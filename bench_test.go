@@ -1,0 +1,201 @@
+// Package repro's top-level benchmarks regenerate every table and figure
+// of the paper at Tiny scale (one full experiment per benchmark
+// iteration) and report the headline metrics alongside wall-clock time.
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Use cmd/axsnn-repro for the full-scale artifacts; these benchmarks are
+// the regression harness that keeps every experiment runnable and its
+// key relationships intact.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/dataset"
+	"repro/internal/defense"
+	"repro/internal/dvs"
+	"repro/internal/encoding"
+	"repro/internal/exp"
+	"repro/internal/rng"
+	"repro/internal/snn"
+)
+
+var benchOpts = exp.Options{Scale: exp.Tiny, Seed: 7}
+
+// benchExperiment runs one registered experiment per iteration and
+// reports selected metrics (as percentages).
+func benchExperiment(b *testing.B, id string, metrics ...string) {
+	b.Helper()
+	var last exp.Result
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Run(id, benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, m := range metrics {
+		if v, ok := last.Metrics[m]; ok {
+			b.ReportMetric(100*v, m+"_%")
+		}
+	}
+}
+
+// BenchmarkFig1 regenerates Fig. 1 (AccSNN vs AxSNN(0.1) under PGD).
+func BenchmarkFig1(b *testing.B) {
+	benchExperiment(b, "fig1", "clean_accsnn", "accsnn_eps1.0", "axsnn0.1_eps1.0")
+}
+
+// BenchmarkFig2 regenerates Fig. 2 (PGD across approximation levels).
+func BenchmarkFig2(b *testing.B) {
+	benchExperiment(b, "fig2", "AccSNN_eps0.9", "Ax(0.01)_eps0.9", "Ax(1)_eps0")
+}
+
+// BenchmarkFig3 regenerates Fig. 3 (BIM across approximation levels).
+func BenchmarkFig3(b *testing.B) {
+	benchExperiment(b, "fig3", "AccSNN_eps0.9", "Ax(0.01)_eps0.9")
+}
+
+// BenchmarkFig4 regenerates Fig. 4 (FP32 structural heatmaps, ε=1).
+func BenchmarkFig4(b *testing.B) {
+	benchExperiment(b, "fig4", "pgd_mean", "bim_mean", "pgd_best", "bim_best")
+}
+
+// BenchmarkFig5 regenerates Fig. 5 (FP16 structural heatmaps, ε=1).
+func BenchmarkFig5(b *testing.B) {
+	benchExperiment(b, "fig5", "pgd_mean", "bim_mean")
+}
+
+// BenchmarkFig6 regenerates Fig. 6 (INT8 structural heatmaps, ε=1).
+func BenchmarkFig6(b *testing.B) {
+	benchExperiment(b, "fig6", "pgd_mean", "bim_mean")
+}
+
+// BenchmarkFig7a regenerates Fig. 7a (clean AccSNN heatmap).
+func BenchmarkFig7a(b *testing.B) {
+	benchExperiment(b, "fig7a", "mean", "best")
+}
+
+// BenchmarkFig7b regenerates Fig. 7b (neuromorphic attack bars).
+func BenchmarkFig7b(b *testing.B) {
+	benchExperiment(b, "fig7b", "accsnn_clean", "accsnn_sparse", "accsnn_frame")
+}
+
+// BenchmarkTable1 regenerates Table I (Algorithm 1 best settings).
+func BenchmarkTable1(b *testing.B) {
+	benchExperiment(b, "table1")
+}
+
+// BenchmarkTable2 regenerates Table II (AQF recovered accuracy).
+func BenchmarkTable2(b *testing.B) {
+	benchExperiment(b, "table2", "baseline")
+}
+
+// BenchmarkEnergy regenerates the §I energy-efficiency ablation.
+func BenchmarkEnergy(b *testing.B) {
+	benchExperiment(b, "energy", "savings_level0.1", "acc_level0.1")
+}
+
+// BenchmarkAblationEncoding regenerates the spike-encoding extension.
+func BenchmarkAblationEncoding(b *testing.B) {
+	benchExperiment(b, "ablation-encoding", "rate_clean", "ttfs_clean")
+}
+
+// BenchmarkAblationAQF regenerates the AQF-constants extension.
+func BenchmarkAblationAQF(b *testing.B) {
+	benchExperiment(b, "ablation-aqf", "baseline")
+}
+
+// BenchmarkAblationFilters regenerates the AQF-vs-baseline-filter
+// comparison under the three neuromorphic attacks.
+func BenchmarkAblationFilters(b *testing.B) {
+	benchExperiment(b, "ablation-filters", "Frame_aqf", "Frame_baf")
+}
+
+// BenchmarkHWMapping regenerates the Loihi-class deployment footprint.
+func BenchmarkHWMapping(b *testing.B) {
+	benchExperiment(b, "hw-mapping", "cores_level0", "cores_level0.3")
+}
+
+// ---------------------------------------------------------------------
+// Component throughput benchmarks (the substrate's hot paths).
+
+// BenchmarkSNNInference measures single-sample inference latency of the
+// lite convolutional MNIST topology at T=8.
+func BenchmarkSNNInference(b *testing.B) {
+	r := rng.New(1)
+	cfg := snn.DefaultConfig(0.5, 8)
+	net := snn.MNISTNet(cfg, 1, 16, 16, true, r)
+	dcfg := dataset.DefaultSynthConfig()
+	img := dataset.RenderDigit(3, dcfg, r)
+	frames := encoding.Rate{}.Encode(img, cfg.Steps, r)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = net.Predict(frames)
+	}
+}
+
+// BenchmarkSNNTrainStep measures one BPTT forward+backward pass.
+func BenchmarkSNNTrainStep(b *testing.B) {
+	r := rng.New(2)
+	cfg := snn.DefaultConfig(0.5, 8)
+	net := snn.MNISTNet(cfg, 1, 16, 16, true, r)
+	dcfg := dataset.DefaultSynthConfig()
+	img := dataset.RenderDigit(5, dcfg, r)
+	frames := encoding.Rate{}.Encode(img, cfg.Steps, r)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logits := net.Forward(frames, true)
+		_, grad := snn.SoftmaxCrossEntropy(logits, 5)
+		net.Backward(grad)
+		net.ZeroGrads()
+	}
+}
+
+// BenchmarkPGDCraft measures adversarial example crafting per image.
+func BenchmarkPGDCraft(b *testing.B) {
+	r := rng.New(3)
+	cfg := snn.DefaultConfig(0.5, 6)
+	net := snn.DenseNet(cfg, 256, 64, 10, r)
+	dcfg := dataset.DefaultSynthConfig()
+	img := dataset.RenderDigit(7, dcfg, r)
+	atk := attack.PGD(0.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = atk.Perturb(net, img, 7, r)
+	}
+}
+
+// BenchmarkAQFFilter measures AQF event-filtering throughput.
+func BenchmarkAQFFilter(b *testing.B) {
+	s := dvs.GenerateGesture(7, dvs.DefaultGestureConfig(), rng.New(4))
+	p := defense.DefaultAQFParams(0.015)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = defense.AQF(s, p)
+	}
+	b.ReportMetric(float64(len(s.Events)), "events/op")
+}
+
+// BenchmarkSparseAttack measures the gradient-guided event attack on one
+// stream.
+func BenchmarkSparseAttack(b *testing.B) {
+	gcfg := dvs.DefaultGestureConfig()
+	gcfg.Duration = 400
+	s := dvs.GenerateGesture(2, gcfg, rng.New(5))
+	net := snn.DVSNet(snn.DefaultConfig(1.0, 8), 32, 32, 11, true, rng.New(6), nil)
+	atk := attack.NewSparse()
+	atk.MaxIter = 5
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = atk.Perturb(net, s, 2)
+	}
+}

@@ -1,0 +1,94 @@
+// Command axsnn-repro regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	axsnn-repro [-scale tiny|small|paper] [-seed N] [-exp id[,id...]]
+//	            [-csv dir] [-mnist dir] [-workers N]
+//
+// Without -exp it runs every experiment (fig1..fig7b, table1, table2,
+// energy) and prints the rendered artifacts; with -csv it also writes
+// machine-readable series per experiment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("axsnn-repro: ")
+
+	scaleFlag := flag.String("scale", "small", "experiment scale: tiny, small or paper")
+	seed := flag.Uint64("seed", 7, "experiment seed")
+	expFlag := flag.String("exp", "", "comma-separated experiment ids (default: all); one of "+strings.Join(exp.IDs(), ","))
+	csvDir := flag.String("csv", "", "directory to write CSV series into")
+	jsonDir := flag.String("json", "", "directory to write JSON results into")
+	mnistDir := flag.String("mnist", "", "directory with real MNIST IDX files (optional)")
+	workers := flag.Int("workers", 0, "grid parallelism (0 = GOMAXPROCS)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range exp.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	scale, err := exp.ParseScale(*scaleFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	o := exp.Options{Scale: scale, Seed: *seed, MNISTDir: *mnistDir, Workers: *workers}
+
+	ids := exp.IDs()
+	if *expFlag != "" {
+		ids = strings.Split(*expFlag, ",")
+	}
+
+	for _, id := range ids {
+		t0 := time.Now()
+		r, err := exp.Run(strings.TrimSpace(id), o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("════ %s — %s (scale=%s, %.1fs)\n\n%s\n", r.ID, r.Title, scale, time.Since(t0).Seconds(), r.Text)
+		if r.Notes != "" {
+			fmt.Printf("paper reference: %s\n\n", r.Notes)
+		}
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			for name, data := range r.CSV {
+				p := filepath.Join(*csvDir, fmt.Sprintf("%s_%s.csv", r.ID, name))
+				if err := os.WriteFile(p, []byte(data), 0o644); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("wrote %s\n", p)
+			}
+		}
+		if *jsonDir != "" {
+			if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			data, err := r.JSON()
+			if err != nil {
+				log.Fatal(err)
+			}
+			p := filepath.Join(*jsonDir, r.ID+".json")
+			if err := os.WriteFile(p, data, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n", p)
+		}
+	}
+}

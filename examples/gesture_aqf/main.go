@@ -1,0 +1,66 @@
+// gesture_aqf demonstrates the neuromorphic side of the paper: a gesture
+// classifier on synthetic DVS event streams is attacked with the Sparse
+// and Frame attacks, then defended with approximate quantization-aware
+// filtering (AQF, Algorithm 2).
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/defense"
+	"repro/internal/dvs"
+	"repro/internal/quant"
+	"repro/internal/rng"
+	"repro/internal/snn"
+	"repro/internal/viz"
+)
+
+func main() {
+	gcfg := dvs.DefaultGestureConfig()
+	gcfg.Duration = 1000
+	train := dvs.GenerateGestureSet(66, gcfg, 1)
+	test := dvs.GenerateGestureSet(33, gcfg, 2)
+
+	d := core.NewGestureDesigner(core.GestureConfig{
+		Arch: func(cfg snn.Config, r *rng.RNG) *snn.Network {
+			return snn.DVSNet(cfg, gcfg.H, gcfg.W, dvs.GestureClasses, true, r, rng.New(3))
+		},
+		Train: train,
+		Test:  test,
+		TrainOpts: func() snn.TrainOptions {
+			return snn.TrainOptions{Epochs: 8, BatchSize: 8, Optimizer: snn.NewAdam(3e-3)}
+		},
+		Seed: 4,
+	})
+
+	// The paper's DVS structural point is Vth=1.0, T=80 (scaled to 12
+	// bins here).
+	accNet := d.TrainAccurate(1.0, 12)
+	ax, _ := d.Approximate(accNet, 0.1, quant.FP32)
+	fmt.Printf("clean:  AccSNN %.1f%%  AxSNN(0.1) %.1f%%\n",
+		100*d.Evaluate(accNet, test, nil), 100*d.Evaluate(ax, test, nil))
+
+	frame := attack.NewFrame()
+	frame.Thickness = 4
+	for _, atk := range []attack.StreamAttack{attack.NewSparse(), frame} {
+		adv := d.CraftAdversarial(accNet, atk)
+		aqf := defense.DefaultAQFParams(0.015) // qt = 15 ms
+		fmt.Printf("%-7s attack: AxSNN %.1f%%  ->  with AQF %.1f%%\n",
+			atk.Name(),
+			100*d.Evaluate(ax, adv, nil),
+			100*d.Evaluate(ax, adv, &aqf))
+	}
+
+	// Show what the frame attack and the filter do to one recording.
+	adv := frame.Perturb(accNet, test.Samples[0].Stream, test.Samples[0].Label)
+	filtered := defense.AQF(adv, defense.DefaultAQFParams(0.015))
+	fmt.Printf("\nevent footprint: clean (%d ev) | frame-attacked (%d ev) | AQF-filtered (%d ev)\n",
+		len(test.Samples[0].Stream.Events), len(adv.Events), len(filtered.Events))
+	fmt.Println("--- attacked ---")
+	fmt.Print(viz.Events(adv))
+	fmt.Println("--- filtered ---")
+	fmt.Print(viz.Events(filtered))
+	fmt.Println("AQF removes uncorrelated adversarial events and recovers accuracy (Table II).")
+}

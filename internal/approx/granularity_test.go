@@ -1,0 +1,78 @@
+package approx
+
+import (
+	"testing"
+
+	"repro/internal/quant"
+	"repro/internal/snn"
+)
+
+func TestNeuronGranularitySkipsWholeRows(t *testing.T) {
+	net, calib := fixture(20)
+	ax, rep := Approximate(net, Params{Level: 0.1, Scale: quant.FP32, Granularity: Neurons}, calib)
+	totalSkipped := 0
+	for _, l := range rep.Layers {
+		totalSkipped += l.Skipped
+		// At neuron granularity, pruned synapses must be exactly
+		// skipped × fan-in.
+		fanIn := l.Connections / l.Neurons
+		if l.Pruned != l.Skipped*fanIn {
+			t.Fatalf("%s: pruned %d != skipped %d × fanIn %d", l.Name, l.Pruned, l.Skipped, fanIn)
+		}
+	}
+	if totalSkipped == 0 {
+		t.Fatal("no neurons skipped at level 0.1")
+	}
+	// Masks must be all-zero or all-one per row.
+	for _, l := range ax.Layers {
+		var mask []float32
+		var neurons int
+		switch v := l.(type) {
+		case *snn.Conv2D:
+			mask, neurons = v.Mask.Data, v.OutC
+		case *snn.Dense:
+			mask, neurons = v.Mask.Data, v.Out
+		default:
+			continue
+		}
+		fanIn := len(mask) / neurons
+		for o := 0; o < neurons; o++ {
+			first := mask[o*fanIn]
+			for i := o*fanIn + 1; i < (o+1)*fanIn; i++ {
+				if mask[i] != first {
+					t.Fatal("neuron mask row is not uniform")
+				}
+			}
+		}
+	}
+}
+
+func TestGranularityString(t *testing.T) {
+	if Synapses.String() != "synapses" || Neurons.String() != "neurons" {
+		t.Fatal("granularity names wrong")
+	}
+}
+
+func TestNeuronLevelOneKillsEverything(t *testing.T) {
+	net, calib := fixture(21)
+	_, rep := Approximate(net, Params{Level: 1, Scale: quant.FP32, Granularity: Neurons}, calib)
+	if rep.TotalPrunedFraction() < 0.99 {
+		t.Fatalf("level 1 neurons pruned only %.2f", rep.TotalPrunedFraction())
+	}
+}
+
+func TestNeuronVsSynapseAccuracy(t *testing.T) {
+	// At equal level, neuron skipping is coarser and must hurt at least
+	// as much as synapse pruning (within noise) on a generic network.
+	net, calib := fixture(22)
+	axS, repS := Approximate(net, Params{Level: 0.05, Scale: quant.FP32}, calib)
+	axN, repN := Approximate(net, Params{Level: 0.05, Scale: quant.FP32, Granularity: Neurons}, calib)
+	_ = axS
+	_ = axN
+	// Equal pruned fractions by construction (same quantile), different
+	// structure.
+	if repN.TotalPrunedFraction() < repS.TotalPrunedFraction()-0.1 {
+		t.Fatalf("granularities prune very different fractions: %v vs %v",
+			repN.TotalPrunedFraction(), repS.TotalPrunedFraction())
+	}
+}

@@ -1,0 +1,54 @@
+package attack
+
+import (
+	"testing"
+
+	"repro/internal/dvs"
+	"repro/internal/rng"
+	"repro/internal/snn"
+)
+
+func TestCornerAttackGeometry(t *testing.T) {
+	stream := dvs.GenerateGesture(3, dvs.DefaultGestureConfig(), rng.New(1))
+	net := snn.DVSNet(snn.DefaultConfig(1.0, 8), 32, 32, 11, true, rng.New(2), nil)
+	atk := NewCorner()
+	adv := atk.Perturb(net, stream, 3)
+	if err := adv.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	injected := len(adv.Events) - len(stream.Events)
+	if injected <= 0 {
+		t.Fatal("corner attack added no events")
+	}
+	// Expected: 4 corners × size² pixels × 2 polarities × steps bins.
+	want := 4 * 4 * 4 * 2 * 8
+	if injected != want {
+		t.Fatalf("injected %d events, want %d", injected, want)
+	}
+	// Injected events only in corners: count events at a centre pixel in
+	// both streams — must be identical.
+	centre := func(s *dvs.Stream) int {
+		n := 0
+		for _, e := range s.Events {
+			if e.X == 16 && e.Y == 16 {
+				n++
+			}
+		}
+		return n
+	}
+	if centre(adv) != centre(stream) {
+		t.Fatal("corner attack touched the centre")
+	}
+}
+
+func TestCornerWeakerThanFrame(t *testing.T) {
+	stream := dvs.GenerateGesture(5, dvs.DefaultGestureConfig(), rng.New(3))
+	net := snn.DVSNet(snn.DefaultConfig(1.0, 8), 32, 32, 11, true, rng.New(4), nil)
+	corner := NewCorner().Perturb(net, stream, 5)
+	frame := NewFrame()
+	frame.Thickness = 4
+	framed := frame.Perturb(net, stream, 5)
+	if len(corner.Events)-len(stream.Events) >= len(framed.Events)-len(stream.Events) {
+		t.Fatal("corner attack must inject fewer events than a thick frame attack")
+	}
+}

@@ -1,0 +1,33 @@
+package attack
+
+import (
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// RandomNoise is the non-adversarial control: uniform l∞-bounded noise
+// with the same budget as the gradient attacks. Robustness papers use it
+// to separate "the input is merely degraded" from "the input is
+// adversarially aimed" — a model that fails equally under both is not
+// being attacked, it is just brittle.
+type RandomNoise struct {
+	Eps float64
+}
+
+// NewRandomNoise returns the control with budget eps.
+func NewRandomNoise(eps float64) *RandomNoise { return &RandomNoise{Eps: eps} }
+
+// Name identifies the control.
+func (n *RandomNoise) Name() string { return "RandomNoise" }
+
+// Perturb adds uniform noise in [-eps, eps] per pixel and clips to [0,1].
+// The model argument is ignored (signature-compatible with Gradient use
+// sites via small adapters).
+func (n *RandomNoise) Perturb(img *tensor.Tensor, r *rng.RNG) *tensor.Tensor {
+	out := img.Clone()
+	for i := range out.Data {
+		out.Data[i] += float32((2*r.Float64() - 1) * n.Eps)
+	}
+	out.Clamp(0, 1)
+	return out
+}

@@ -1,0 +1,65 @@
+package attack
+
+import (
+	"testing"
+
+	"repro/internal/encoding"
+	"repro/internal/rng"
+	"repro/internal/snn"
+	"repro/internal/tensor"
+)
+
+func TestRandomNoiseBounded(t *testing.T) {
+	img := tensor.New(64)
+	img.Fill(0.5)
+	n := NewRandomNoise(0.2)
+	out := n.Perturb(img, rng.New(1))
+	for i := range out.Data {
+		d := out.Data[i] - img.Data[i]
+		if d > 0.2+1e-6 || d < -0.2-1e-6 {
+			t.Fatalf("noise %v exceeds budget", d)
+		}
+	}
+	if n.Name() != "RandomNoise" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestRandomNoiseClips(t *testing.T) {
+	img := tensor.New(32) // zeros
+	out := NewRandomNoise(0.5).Perturb(img, rng.New(2))
+	for _, v := range out.Data {
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel %v outside [0,1]", v)
+		}
+	}
+}
+
+// The whole point of the control: at equal budget, aimed PGD must hurt
+// far more than random noise.
+func TestAdversarialBeatsRandomNoise(t *testing.T) {
+	net, test := trainedDigitNet(t, 110)
+	enc := encoding.Direct{}
+	small := test.Subset(50)
+
+	noiseSet := small.Clone()
+	nr := rng.New(3)
+	noise := NewRandomNoise(0.3)
+	for i := range noiseSet.Samples {
+		noiseSet.Samples[i].Image = noise.Perturb(noiseSet.Samples[i].Image, nr)
+	}
+	noiseAcc := snn.Accuracy(net, noiseSet, enc, 4)
+
+	advSet := small.Clone()
+	ar := rng.New(5)
+	atk := PGD(0.3)
+	for i := range advSet.Samples {
+		s := &advSet.Samples[i]
+		s.Image = atk.Perturb(net, s.Image, s.Label, ar)
+	}
+	advAcc := snn.Accuracy(net, advSet, enc, 4)
+
+	if advAcc >= noiseAcc {
+		t.Fatalf("PGD (%.2f) not stronger than random noise (%.2f)", advAcc, noiseAcc)
+	}
+}

@@ -1,0 +1,52 @@
+package attack
+
+import (
+	"testing"
+
+	"repro/internal/encoding"
+	"repro/internal/rng"
+)
+
+func TestTargetedPGDSteersTowardTarget(t *testing.T) {
+	net, test := trainedDigitNet(t, 120)
+	enc := encoding.Direct{}
+	r := rng.New(1)
+
+	steered, attempts := 0, 0
+	for i := 0; i < 30; i++ {
+		s := test.Samples[i]
+		target := (s.Label + 5) % 10
+		atk := TargetedPGD(0.6, target)
+		atk.Encoder = enc
+		adv := atk.Perturb(net, s.Image, s.Label, r)
+		attempts++
+		if net.Predict(enc.Encode(adv, net.Cfg.Steps, r)) == target {
+			steered++
+		}
+	}
+	// White-box targeted attacks at a generous budget should land the
+	// target class on a decent fraction of inputs.
+	if steered < attempts/4 {
+		t.Fatalf("targeted PGD hit the target on only %d/%d", steered, attempts)
+	}
+}
+
+func TestTargetedRespectsBudget(t *testing.T) {
+	net, test := trainedDigitNet(t, 125)
+	atk := TargetedPGD(0.2, 3)
+	r := rng.New(2)
+	s := test.Samples[0]
+	adv := atk.Perturb(net, s.Image, s.Label, r)
+	for i := range adv.Data {
+		d := adv.Data[i] - s.Image.Data[i]
+		if d > 0.2+1e-5 || d < -0.2-1e-5 {
+			t.Fatalf("perturbation %v outside budget", d)
+		}
+	}
+}
+
+func TestUntargetedDefaultUnchanged(t *testing.T) {
+	if PGD(0.1).Target != -1 || BIM(0.1).Target != -1 || FGSM(0.1).Target != -1 {
+		t.Fatal("constructors must default to untargeted")
+	}
+}

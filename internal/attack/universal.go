@@ -1,0 +1,77 @@
+package attack
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/encoding"
+	"repro/internal/rng"
+	"repro/internal/snn"
+	"repro/internal/tensor"
+)
+
+// Universal computes a single input-agnostic l∞-bounded perturbation
+// that degrades the model on as many samples as possible
+// (Moosavi-Dezfooli et al.'s universal adversarial perturbations,
+// adapted to the SNN's straight-through input gradients). A universal
+// perturbation is the strongest practical threat for an edge deployment:
+// it can be baked into a sticker or a sensor bias, needing no per-input
+// computation.
+type Universal struct {
+	Eps     float64 // l∞ bound on the universal perturbation
+	Alpha   float64 // per-sample gradient step (0 ⇒ Eps/8)
+	Epochs  int     // passes over the crafting set
+	Encoder encoding.Encoder
+}
+
+// NewUniversal returns a UAP attack with budget eps.
+func NewUniversal(eps float64) *Universal {
+	return &Universal{Eps: eps, Epochs: 3, Encoder: encoding.Direct{}}
+}
+
+// Name identifies the attack.
+func (u *Universal) Name() string { return "UAP" }
+
+// Compute crafts the universal perturbation against model using the
+// given crafting set. The returned tensor has the sample image shape.
+func (u *Universal) Compute(model *snn.Network, set *dataset.Set, r *rng.RNG) *tensor.Tensor {
+	if set.Len() == 0 {
+		return nil
+	}
+	alpha := u.Alpha
+	if alpha == 0 {
+		alpha = u.Eps / 8
+	}
+	delta := tensor.New(set.Samples[0].Image.Shape...)
+	for epoch := 0; epoch < u.Epochs; epoch++ {
+		for _, s := range set.Samples {
+			x := s.Image.Clone().Add(delta)
+			x.Clamp(0, 1)
+			frames := u.Encoder.Encode(x, model.Cfg.Steps, r)
+			if model.Predict(frames) != s.Label {
+				continue // already fooled; spend budget elsewhere
+			}
+			frameGrads := snn.InputGradient(model, frames, s.Label)
+			g := encoding.SumFrameGradients(frameGrads)
+			g.Sign()
+			delta.AddScaled(float32(alpha), g)
+			delta.Clamp(float32(-u.Eps), float32(u.Eps))
+		}
+	}
+	return delta
+}
+
+// Apply returns a copy of img shifted by delta and clipped to [0,1].
+func (u *Universal) Apply(img, delta *tensor.Tensor) *tensor.Tensor {
+	out := img.Clone()
+	out.Add(delta)
+	out.Clamp(0, 1)
+	return out
+}
+
+// PerturbSet applies a computed delta to every sample of a set.
+func (u *Universal) PerturbSet(set *dataset.Set, delta *tensor.Tensor) *dataset.Set {
+	out := set.Clone()
+	for i := range out.Samples {
+		out.Samples[i].Image = u.Apply(out.Samples[i].Image, delta)
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/encoding"
+	"repro/internal/rng"
+	"repro/internal/snn"
+)
+
+func TestUniversalBounded(t *testing.T) {
+	net, test := trainedDigitNet(t, 80)
+	u := NewUniversal(0.2)
+	delta := u.Compute(net, test.Subset(30), rng.New(1))
+	if delta == nil {
+		t.Fatal("nil delta")
+	}
+	if delta.LInfNorm() > 0.2+1e-6 {
+		t.Fatalf("delta norm %v exceeds eps", delta.LInfNorm())
+	}
+	if delta.LInfNorm() == 0 {
+		t.Fatal("delta is identically zero")
+	}
+}
+
+func TestUniversalDegradesHeldOut(t *testing.T) {
+	net, test := trainedDigitNet(t, 90)
+	craft := test.Subset(40)
+	holdOut := test.Clone()
+	holdOut.Samples = holdOut.Samples[40:]
+
+	u := NewUniversal(0.4)
+	delta := u.Compute(net, craft, rng.New(2))
+
+	clean := snn.Accuracy(net, holdOut, encoding.Direct{}, 3)
+	adv := snn.Accuracy(net, u.PerturbSet(holdOut, delta), encoding.Direct{}, 3)
+	if adv >= clean {
+		t.Fatalf("UAP had no held-out effect: %.2f vs %.2f", adv, clean)
+	}
+}
+
+func TestUniversalApplyClips(t *testing.T) {
+	net, test := trainedDigitNet(t, 95)
+	u := NewUniversal(0.5)
+	delta := u.Compute(net, test.Subset(10), rng.New(4))
+	out := u.Apply(test.Samples[0].Image, delta)
+	for _, v := range out.Data {
+		if v < 0 || v > 1 {
+			t.Fatalf("pixel %v outside [0,1]", v)
+		}
+	}
+	// Perturbed image differs from the original somewhere.
+	diff := 0.0
+	for i := range out.Data {
+		diff += math.Abs(float64(out.Data[i] - test.Samples[0].Image.Data[i]))
+	}
+	if diff == 0 {
+		t.Fatal("Apply changed nothing")
+	}
+}
+
+func TestUniversalEmptySet(t *testing.T) {
+	net, test := trainedDigitNet(t, 97)
+	u := NewUniversal(0.3)
+	if u.Compute(net, test.Subset(0), rng.New(5)) != nil {
+		t.Fatal("empty crafting set must yield nil")
+	}
+	if u.Name() != "UAP" {
+		t.Fatal("name wrong")
+	}
+}

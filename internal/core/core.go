@@ -1,0 +1,167 @@
+// Package core is the public face of the library: the security-aware
+// AxSNN design flow the paper proposes. A Designer owns a dataset, an
+// architecture and a training recipe, and exposes the paper's design
+// loop as composable steps:
+//
+//	d := core.NewDesigner(cfg)
+//	acc := d.TrainAccurate(0.25, 32)                  // AccSNN
+//	ax, rep := d.Approximate(acc, 0.01, quant.INT8)   // AxSNN (Eq. 1)
+//	adv := d.CraftAdversarial(attack.PGD(1.0), 42)    // transfer set (§III)
+//	r := d.EvaluateSet(ax, adv)                       // robustness R(ε)
+//	best := d.SearchRobust(space, attack.PGD, 1.0)    // Algorithm 1
+//
+// The DVS path (neuromorphic attacks + the AQF defense, Algorithm 2) is
+// exposed through GestureDesigner in gesture.go.
+package core
+
+import (
+	"repro/internal/approx"
+	"repro/internal/attack"
+	"repro/internal/dataset"
+	"repro/internal/defense"
+	"repro/internal/encoding"
+	"repro/internal/quant"
+	"repro/internal/rng"
+	"repro/internal/snn"
+	"repro/internal/tensor"
+)
+
+// Config assembles the ingredients of a design flow for static images.
+type Config struct {
+	// Arch builds an untrained network for a structural point.
+	Arch func(cfg snn.Config, r *rng.RNG) *snn.Network
+	// Train / Test are the dataset splits.
+	Train, Test *dataset.Set
+	// Encoder is the spike encoding (the paper uses rate coding).
+	Encoder encoding.Encoder
+	// TrainOpts yields fresh training options per model (fresh
+	// optimizer state each call).
+	TrainOpts func() snn.TrainOptions
+	// CalibN is the number of test samples used for Eq. 1 calibration.
+	CalibN int
+	// Seed makes the whole flow deterministic.
+	Seed uint64
+}
+
+// Designer runs the security-aware design flow for static image tasks.
+type Designer struct {
+	cfg Config
+}
+
+// NewDesigner validates the config and returns a Designer.
+func NewDesigner(cfg Config) *Designer {
+	if cfg.Arch == nil || cfg.Train == nil || cfg.Test == nil || cfg.TrainOpts == nil {
+		panic("core: incomplete designer config")
+	}
+	if cfg.Encoder == nil {
+		cfg.Encoder = encoding.Rate{}
+	}
+	if cfg.CalibN <= 0 {
+		cfg.CalibN = 16
+	}
+	return &Designer{cfg: cfg}
+}
+
+// TrainAccurate trains the accurate SNN (AccSNN) at a structural point.
+func (d *Designer) TrainAccurate(vth float32, steps int) *snn.Network {
+	seed := d.cfg.Seed ^ (uint64(steps)<<24 + uint64(vth*1000))
+	net := d.cfg.Arch(snn.DefaultConfig(vth, steps), rng.New(seed))
+	opts := d.cfg.TrainOpts()
+	opts.Encoder = d.cfg.Encoder
+	opts.Seed = seed + 1
+	snn.Train(net, d.cfg.Train, opts)
+	return net
+}
+
+// TrainSurrogate trains the adversary's model (threat model §III: same
+// architecture and data access, independent parameters).
+func (d *Designer) TrainSurrogate(vth float32, steps int) *snn.Network {
+	seed := d.cfg.Seed ^ 0xada ^ (uint64(steps)<<24 + uint64(vth*1000))
+	net := d.cfg.Arch(snn.DefaultConfig(vth, steps), rng.New(seed))
+	opts := d.cfg.TrainOpts()
+	opts.Encoder = d.cfg.Encoder
+	opts.Seed = seed + 1
+	snn.Train(net, d.cfg.Train, opts)
+	return net
+}
+
+// Approximate derives the AxSNN at the given approximation level and
+// precision scale, calibrating Eq. 1 on held-out samples.
+func (d *Designer) Approximate(net *snn.Network, level float64, scale quant.Scale) (*snn.Network, approx.Report) {
+	return approx.Approximate(net, approx.Params{Level: level, Scale: scale}, d.CalibrationFrames(net))
+}
+
+// CalibrationFrames encodes the calibration subset for a network's
+// time-step count.
+func (d *Designer) CalibrationFrames(net *snn.Network) [][]*tensor.Tensor {
+	n := d.cfg.CalibN
+	if n > d.cfg.Test.Len() {
+		n = d.cfg.Test.Len()
+	}
+	r := rng.New(d.cfg.Seed + 7)
+	out := make([][]*tensor.Tensor, n)
+	for i := 0; i < n; i++ {
+		out[i] = d.cfg.Encoder.Encode(d.cfg.Test.Samples[i].Image, net.Cfg.Steps, r)
+	}
+	return out
+}
+
+// CraftAdversarial perturbs the whole test set against the surrogate
+// model with the given attack, returning a new set.
+func (d *Designer) CraftAdversarial(surrogate *snn.Network, atk *attack.Gradient, seed uint64) *dataset.Set {
+	adv := d.cfg.Test.Clone()
+	r := rng.New(seed)
+	for i := range adv.Samples {
+		s := &adv.Samples[i]
+		s.Image = atk.Perturb(surrogate, s.Image, s.Label, r)
+	}
+	return adv
+}
+
+// EvaluateSet returns a network's accuracy on a (possibly adversarial)
+// set; on an adversarial set this equals the paper's robustness
+// R(ε) = 1 − adv/|Dts|.
+func (d *Designer) EvaluateSet(net *snn.Network, set *dataset.Set) float64 {
+	return snn.Accuracy(net, set, d.cfg.Encoder, d.cfg.Seed+9)
+}
+
+// RobustnessCurve evaluates a victim over a range of budgets, crafting
+// each adversarial set on the surrogate (Figs. 1-3 shape).
+func (d *Designer) RobustnessCurve(victim, surrogate *snn.Network, mk func(float64) *attack.Gradient, eps []float64) []float64 {
+	out := make([]float64, len(eps))
+	for i, e := range eps {
+		if e == 0 {
+			out[i] = d.EvaluateSet(victim, d.cfg.Test)
+			continue
+		}
+		atk := mk(e)
+		atk.Encoder = d.cfg.Encoder
+		adv := d.CraftAdversarial(surrogate, atk, d.cfg.Seed+11+uint64(i))
+		out[i] = d.EvaluateSet(victim, adv)
+	}
+	return out
+}
+
+// SearchRobust runs Algorithm 1 over the given space.
+func (d *Designer) SearchRobust(space defense.SearchSpace, mk func(float64) *attack.Gradient, eps, q float64, workers int) defense.SearchResult {
+	return defense.PrecisionScalingSearch(defense.SearchConfig{
+		Space:     space,
+		AttackFor: mk,
+		Eps:       eps,
+		Q:         q,
+		Train:     d.cfg.Train,
+		Test:      d.cfg.Test,
+		BuildNet:  d.cfg.Arch,
+		TrainOpts: d.cfg.TrainOpts,
+		Encoder:   d.cfg.Encoder,
+		CalibN:    d.cfg.CalibN,
+		Seed:      d.cfg.Seed,
+		Workers:   workers,
+	})
+}
+
+// Energy reports the modelled synaptic-operation energy of a network on
+// the calibration workload (the "up to 4X" comparison).
+func (d *Designer) Energy(net *snn.Network) approx.EnergyReport {
+	return approx.MeasureEnergy(net, d.CalibrationFrames(net))
+}

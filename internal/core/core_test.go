@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/dataset"
+	"repro/internal/defense"
+	"repro/internal/dvs"
+	"repro/internal/encoding"
+	"repro/internal/quant"
+	"repro/internal/rng"
+	"repro/internal/snn"
+)
+
+func testDesigner() *Designer {
+	dcfg := dataset.DefaultSynthConfig()
+	dcfg.H, dcfg.W = 12, 12
+	return NewDesigner(Config{
+		Arch: func(cfg snn.Config, r *rng.RNG) *snn.Network {
+			return snn.DenseNet(cfg, 144, 64, 10, r)
+		},
+		Train:   dataset.GenerateSynth(300, dcfg, 1),
+		Test:    dataset.GenerateSynth(60, dcfg, 2),
+		Encoder: encoding.Rate{},
+		TrainOpts: func() snn.TrainOptions {
+			return snn.TrainOptions{Epochs: 4, BatchSize: 16, Optimizer: snn.NewAdam(2e-3)}
+		},
+		CalibN: 8,
+		Seed:   11,
+	})
+}
+
+func TestDesignerEndToEnd(t *testing.T) {
+	d := testDesigner()
+	acc := d.TrainAccurate(0.25, 8)
+	clean := d.EvaluateSet(acc, nil2set(d))
+	if clean < 0.5 {
+		t.Fatalf("AccSNN clean accuracy %.2f", clean)
+	}
+
+	ax, rep := d.Approximate(acc, 0.1, quant.INT8)
+	if rep.TotalPrunedFraction() <= 0 {
+		t.Fatal("approximation pruned nothing")
+	}
+	axClean := d.EvaluateSet(ax, nil2set(d))
+	if axClean > clean+0.05 {
+		t.Fatalf("AxSNN cleaner than AccSNN: %.2f vs %.2f", axClean, clean)
+	}
+
+	sur := d.TrainSurrogate(0.25, 8)
+	adv := d.CraftAdversarial(sur, attack.PGD(0.5), 21)
+	advAcc := d.EvaluateSet(acc, adv)
+	if advAcc >= clean {
+		t.Fatalf("attack had no effect: %.2f vs clean %.2f", advAcc, clean)
+	}
+
+	e := d.Energy(ax)
+	if e.Savings() <= 1 {
+		t.Fatalf("no energy savings for pruned network: %v", e.Savings())
+	}
+}
+
+// nil2set returns the designer's test set (helper keeps call sites
+// short).
+func nil2set(d *Designer) *dataset.Set { return d.cfg.Test }
+
+func TestDesignerDeterministic(t *testing.T) {
+	a := testDesigner().TrainAccurate(0.5, 6)
+	b := testDesigner().TrainAccurate(0.5, 6)
+	pa, pb := a.Params(), b.Params()
+	for i := range pa {
+		for j := range pa[i].Data {
+			if pa[i].Data[j] != pb[i].Data[j] {
+				t.Fatal("training not deterministic for identical seeds")
+			}
+		}
+	}
+}
+
+func TestSurrogateDiffersFromVictim(t *testing.T) {
+	d := testDesigner()
+	acc := d.TrainAccurate(0.5, 6)
+	sur := d.TrainSurrogate(0.5, 6)
+	same := true
+	pa, pb := acc.Params(), sur.Params()
+	for i := range pa {
+		for j := range pa[i].Data {
+			if pa[i].Data[j] != pb[i].Data[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("surrogate must have independent parameters")
+	}
+}
+
+func TestRobustnessCurveMonotoneAtZero(t *testing.T) {
+	d := testDesigner()
+	acc := d.TrainAccurate(0.25, 8)
+	sur := d.TrainSurrogate(0.25, 8)
+	curve := d.RobustnessCurve(acc, sur, attack.PGD, []float64{0, 0.5})
+	if len(curve) != 2 {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	if curve[1] >= curve[0]+0.05 {
+		t.Fatalf("accuracy rose under attack: %v", curve)
+	}
+}
+
+func TestSearchRobustSmoke(t *testing.T) {
+	d := testDesigner()
+	res := d.SearchRobust(defense.SearchSpace{
+		VThs:   []float32{0.25},
+		Steps:  []int{6},
+		Scales: []quant.Scale{quant.FP32},
+		Levels: []float64{0, 0.01},
+	}, attack.PGD, 0.3, 0.4, 0)
+	if res.Best == nil || len(res.All) != 2 {
+		t.Fatalf("unexpected search result: %+v", res)
+	}
+}
+
+func TestNewDesignerValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for incomplete config")
+		}
+	}()
+	NewDesigner(Config{})
+}
+
+func TestGestureDesignerEndToEnd(t *testing.T) {
+	gcfg := dvs.DefaultGestureConfig()
+	gcfg.Duration = 500
+	train := dvs.GenerateGestureSet(33, gcfg, 5)
+	test := dvs.GenerateGestureSet(22, gcfg, 6)
+	d := NewGestureDesigner(GestureConfig{
+		Arch: func(cfg snn.Config, r *rng.RNG) *snn.Network {
+			return snn.DVSNet(cfg, 32, 32, dvs.GestureClasses, true, r, rng.New(9))
+		},
+		Train: train,
+		Test:  test,
+		TrainOpts: func() snn.TrainOptions {
+			return snn.TrainOptions{Epochs: 6, BatchSize: 8, Optimizer: snn.NewAdam(3e-3)}
+		},
+		Seed: 10,
+	})
+	acc := d.TrainAccurate(1.0, 8)
+	clean := d.Evaluate(acc, test, nil)
+	if clean < 0.4 {
+		t.Fatalf("gesture clean accuracy %.2f too low", clean)
+	}
+	adv := d.CraftAdversarial(acc, attack.NewFrame())
+	attacked := d.Evaluate(acc, adv, nil)
+	aqf := defense.DefaultAQFParams(0.015)
+	defended := d.Evaluate(acc, adv, &aqf)
+	if defended < attacked {
+		t.Fatalf("AQF made things worse: %.2f -> %.2f", attacked, defended)
+	}
+	ax, _ := d.Approximate(acc, 0.01, quant.FP16)
+	if d.Evaluate(ax, test, nil) < clean-0.3 {
+		t.Fatal("mild approximation destroyed the gesture model")
+	}
+}
+
+func TestNewGestureDesignerValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for incomplete config")
+		}
+	}()
+	NewGestureDesigner(GestureConfig{})
+}

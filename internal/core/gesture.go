@@ -1,0 +1,110 @@
+package core
+
+import (
+	"repro/internal/approx"
+	"repro/internal/attack"
+	"repro/internal/defense"
+	"repro/internal/dvs"
+	"repro/internal/quant"
+	"repro/internal/rng"
+	"repro/internal/snn"
+	"repro/internal/tensor"
+)
+
+// GestureConfig assembles the design flow for the neuromorphic (DVS)
+// task.
+type GestureConfig struct {
+	// Arch builds an untrained gesture network.
+	Arch func(cfg snn.Config, r *rng.RNG) *snn.Network
+	// Train / Test are labelled event-stream splits.
+	Train, Test *dvs.Set
+	// TrainOpts yields fresh training options per model.
+	TrainOpts func() snn.TrainOptions
+	CalibN    int
+	Seed      uint64
+}
+
+// GestureDesigner runs the security-aware design flow for event data:
+// training on voxelized streams, neuromorphic attacks, and the AQF
+// defense (Algorithm 2).
+type GestureDesigner struct {
+	cfg GestureConfig
+}
+
+// NewGestureDesigner validates the config and returns a designer.
+func NewGestureDesigner(cfg GestureConfig) *GestureDesigner {
+	if cfg.Arch == nil || cfg.Train == nil || cfg.Test == nil || cfg.TrainOpts == nil {
+		panic("core: incomplete gesture designer config")
+	}
+	if cfg.CalibN <= 0 {
+		cfg.CalibN = 8
+	}
+	return &GestureDesigner{cfg: cfg}
+}
+
+// voxelize converts a set into frame sequences + labels for steps bins.
+func voxelize(set *dvs.Set, steps int) ([][]*tensor.Tensor, []int) {
+	frames := make([][]*tensor.Tensor, set.Len())
+	labels := make([]int, set.Len())
+	for i, s := range set.Samples {
+		frames[i] = s.Stream.Voxelize(steps)
+		labels[i] = s.Label
+	}
+	return frames, labels
+}
+
+// TrainAccurate trains the accurate gesture SNN at a structural point.
+func (d *GestureDesigner) TrainAccurate(vth float32, steps int) *snn.Network {
+	seed := d.cfg.Seed ^ (uint64(steps)<<24 + uint64(vth*1000))
+	net := d.cfg.Arch(snn.DefaultConfig(vth, steps), rng.New(seed))
+	frames, labels := voxelize(d.cfg.Train, steps)
+	opts := d.cfg.TrainOpts()
+	opts.Seed = seed + 1
+	snn.TrainFrames(net, frames, labels, opts)
+	return net
+}
+
+// TrainSurrogate trains the adversary's copy (independent parameters).
+func (d *GestureDesigner) TrainSurrogate(vth float32, steps int) *snn.Network {
+	seed := d.cfg.Seed ^ 0xada ^ (uint64(steps)<<24 + uint64(vth*1000))
+	net := d.cfg.Arch(snn.DefaultConfig(vth, steps), rng.New(seed))
+	frames, labels := voxelize(d.cfg.Train, steps)
+	opts := d.cfg.TrainOpts()
+	opts.Seed = seed + 1
+	snn.TrainFrames(net, frames, labels, opts)
+	return net
+}
+
+// Approximate derives the AxSNN from a trained gesture network.
+func (d *GestureDesigner) Approximate(net *snn.Network, level float64, scale quant.Scale) (*snn.Network, approx.Report) {
+	n := d.cfg.CalibN
+	if n > d.cfg.Test.Len() {
+		n = d.cfg.Test.Len()
+	}
+	calib := make([][]*tensor.Tensor, n)
+	for i := 0; i < n; i++ {
+		calib[i] = d.cfg.Test.Samples[i].Stream.Voxelize(net.Cfg.Steps)
+	}
+	return approx.Approximate(net, approx.Params{Level: level, Scale: scale}, calib)
+}
+
+// CraftAdversarial perturbs every test stream with a neuromorphic attack
+// crafted against the surrogate, returning a new set.
+func (d *GestureDesigner) CraftAdversarial(surrogate *snn.Network, atk attack.StreamAttack) *dvs.Set {
+	adv := d.cfg.Test.Clone()
+	for i := range adv.Samples {
+		s := &adv.Samples[i]
+		s.Stream = atk.Perturb(surrogate, s.Stream, s.Label)
+	}
+	return adv
+}
+
+// Evaluate returns accuracy of net on a set, optionally AQF-filtered
+// first (pass nil to skip filtering).
+func (d *GestureDesigner) Evaluate(net *snn.Network, set *dvs.Set, aqf *defense.AQFParams) float64 {
+	if aqf != nil {
+		set = defense.AQFSet(set, *aqf)
+	}
+	frames, labels := voxelize(set, net.Cfg.Steps)
+	return snn.AccuracyFrames(net, frames, labels)
+}

@@ -1,0 +1,72 @@
+// Package dataset provides the static image workloads for the MNIST-side
+// experiments: a procedural synthetic digit corpus (the default, since
+// the real MNIST files are not shipped with this repository) and a reader
+// for the genuine IDX file format so real MNIST drops in transparently
+// when available.
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Sample is one labelled image. Image is a (C,H,W) tensor of intensities
+// in [0,1]; Label is the class index.
+type Sample struct {
+	Image *tensor.Tensor
+	Label int
+}
+
+// Set is an in-memory labelled dataset.
+type Set struct {
+	Samples []Sample
+	Classes int
+	H, W    int
+}
+
+// Len returns the number of samples.
+func (s *Set) Len() int { return len(s.Samples) }
+
+// Subset returns a view of the first n samples (or all if n exceeds Len).
+func (s *Set) Subset(n int) *Set {
+	if n > len(s.Samples) {
+		n = len(s.Samples)
+	}
+	return &Set{Samples: s.Samples[:n], Classes: s.Classes, H: s.H, W: s.W}
+}
+
+// Clone deep-copies the set, including image data. Attacks mutate images,
+// so evaluation code clones before perturbing.
+func (s *Set) Clone() *Set {
+	out := &Set{Samples: make([]Sample, len(s.Samples)), Classes: s.Classes, H: s.H, W: s.W}
+	for i, sm := range s.Samples {
+		out.Samples[i] = Sample{Image: sm.Image.Clone(), Label: sm.Label}
+	}
+	return out
+}
+
+// Validate checks dataset invariants: consistent shapes, labels in range,
+// pixel intensities in [0,1].
+func (s *Set) Validate() error {
+	for i, sm := range s.Samples {
+		if sm.Image == nil {
+			return fmt.Errorf("dataset: sample %d has nil image", i)
+		}
+		if sm.Image.Rank() != 3 {
+			return fmt.Errorf("dataset: sample %d rank %d, want 3", i, sm.Image.Rank())
+		}
+		if sm.Image.Dim(1) != s.H || sm.Image.Dim(2) != s.W {
+			return fmt.Errorf("dataset: sample %d shape %v, want (_, %d, %d)", i, sm.Image.Shape, s.H, s.W)
+		}
+		if sm.Label < 0 || sm.Label >= s.Classes {
+			return fmt.Errorf("dataset: sample %d label %d out of [0,%d)", i, sm.Label, s.Classes)
+		}
+		for _, v := range sm.Image.Data {
+			if v < 0 || v > 1 {
+				return fmt.Errorf("dataset: sample %d pixel %v out of [0,1]", i, v)
+			}
+		}
+	}
+	return nil
+}

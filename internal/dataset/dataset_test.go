@@ -1,0 +1,258 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestGenerateSynthBasics(t *testing.T) {
+	set := GenerateSynth(100, DefaultSynthConfig(), 1)
+	if set.Len() != 100 {
+		t.Fatalf("len = %d", set.Len())
+	}
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateSynthBalanced(t *testing.T) {
+	set := GenerateSynth(200, DefaultSynthConfig(), 2)
+	counts := make([]int, 10)
+	for _, s := range set.Samples {
+		counts[s.Label]++
+	}
+	for c, n := range counts {
+		if n != 20 {
+			t.Fatalf("class %d has %d samples, want 20", c, n)
+		}
+	}
+}
+
+func TestGenerateSynthDeterministic(t *testing.T) {
+	a := GenerateSynth(30, DefaultSynthConfig(), 7)
+	b := GenerateSynth(30, DefaultSynthConfig(), 7)
+	for i := range a.Samples {
+		if a.Samples[i].Label != b.Samples[i].Label {
+			t.Fatal("labels differ across identical seeds")
+		}
+		for p := range a.Samples[i].Image.Data {
+			if a.Samples[i].Image.Data[p] != b.Samples[i].Image.Data[p] {
+				t.Fatal("pixels differ across identical seeds")
+			}
+		}
+	}
+}
+
+func TestGenerateSynthSeedsDiffer(t *testing.T) {
+	a := GenerateSynth(10, DefaultSynthConfig(), 1)
+	b := GenerateSynth(10, DefaultSynthConfig(), 2)
+	same := true
+	for i := range a.Samples {
+		for p := range a.Samples[i].Image.Data {
+			if a.Samples[i].Image.Data[p] != b.Samples[i].Image.Data[p] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+// Digits must be visually distinct: the mean rendered image of one class
+// should be closer to samples of its own class than to every other class
+// mean for a solid majority of samples (a nearest-mean classifier beats
+// chance by a wide margin).
+func TestSynthClassesSeparable(t *testing.T) {
+	cfg := DefaultSynthConfig()
+	train := GenerateSynth(400, cfg, 3)
+	means := make([][]float32, 10)
+	counts := make([]int, 10)
+	dim := cfg.H * cfg.W
+	for i := range means {
+		means[i] = make([]float32, dim)
+	}
+	for _, s := range train.Samples {
+		for p, v := range s.Image.Data {
+			means[s.Label][p] += v
+		}
+		counts[s.Label]++
+	}
+	for c := range means {
+		for p := range means[c] {
+			means[c][p] /= float32(counts[c])
+		}
+	}
+	test := GenerateSynth(200, cfg, 4)
+	correct := 0
+	for _, s := range test.Samples {
+		best, bi := math.Inf(1), -1
+		for c := range means {
+			d := 0.0
+			for p, v := range s.Image.Data {
+				dv := float64(v - means[c][p])
+				d += dv * dv
+			}
+			if d < best {
+				best, bi = d, c
+			}
+		}
+		if bi == s.Label {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(test.Len())
+	if acc < 0.6 {
+		t.Fatalf("nearest-mean accuracy %.2f; classes not separable enough", acc)
+	}
+}
+
+func TestRenderDigitInkPresent(t *testing.T) {
+	cfg := DefaultSynthConfig()
+	r := rng.New(5)
+	for d := 0; d < 10; d++ {
+		img := RenderDigit(d, cfg, r)
+		if img.Sum() < 3 {
+			t.Fatalf("digit %d rendered almost empty (sum=%v)", d, img.Sum())
+		}
+		if img.Max() <= 0.5 {
+			t.Fatalf("digit %d has no strong stroke (max=%v)", d, img.Max())
+		}
+	}
+}
+
+func TestSubsetAndClone(t *testing.T) {
+	set := GenerateSynth(20, DefaultSynthConfig(), 6)
+	sub := set.Subset(5)
+	if sub.Len() != 5 {
+		t.Fatalf("subset len %d", sub.Len())
+	}
+	if set.Subset(100).Len() != 20 {
+		t.Fatal("oversized subset must clamp")
+	}
+	cl := set.Clone()
+	cl.Samples[0].Image.Data[0] = 0.999
+	if set.Samples[0].Image.Data[0] == 0.999 {
+		t.Fatal("clone must not alias image data")
+	}
+}
+
+func TestValidateCatchesBadLabel(t *testing.T) {
+	set := GenerateSynth(5, DefaultSynthConfig(), 8)
+	set.Samples[2].Label = 17
+	if set.Validate() == nil {
+		t.Fatal("Validate must reject out-of-range label")
+	}
+}
+
+func TestValidateCatchesBadPixel(t *testing.T) {
+	set := GenerateSynth(5, DefaultSynthConfig(), 9)
+	set.Samples[1].Image.Data[0] = 1.5
+	if set.Validate() == nil {
+		t.Fatal("Validate must reject out-of-range pixel")
+	}
+}
+
+func TestIDXRoundTrip(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + int(seed%4)
+		h := 2 + int((seed>>4)%5)
+		w := 2 + int((seed>>8)%5)
+		data := make([]byte, n*h*w)
+		for i := range data {
+			data[i] = byte(r.Intn(256))
+		}
+		var buf bytes.Buffer
+		if err := WriteIDX(&buf, []int{n, h, w}, data); err != nil {
+			return false
+		}
+		dims, got, err := ReadIDX(&buf)
+		if err != nil || len(dims) != 3 || dims[0] != n || dims[1] != h || dims[2] != w {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadIDXRejectsGarbage(t *testing.T) {
+	if _, _, err := ReadIDX(bytes.NewReader([]byte{1, 2, 3, 4, 5})); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+	if _, _, err := ReadIDX(bytes.NewReader([]byte{0, 0, 0x0d, 1, 0, 0, 0, 4})); err == nil {
+		t.Fatal("expected error for unsupported element type")
+	}
+	// Truncated payload.
+	var buf bytes.Buffer
+	_ = WriteIDX(&buf, []int{4}, []byte{1, 2, 3, 4})
+	tr := buf.Bytes()[:buf.Len()-2]
+	if _, _, err := ReadIDX(bytes.NewReader(tr)); err == nil {
+		t.Fatal("expected error for truncated payload")
+	}
+}
+
+func TestWriteIDXValidates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteIDX(&buf, []int{3}, []byte{1, 2}); err == nil {
+		t.Fatal("expected dims/data mismatch error")
+	}
+}
+
+func TestMNISTOrSynthFallsBack(t *testing.T) {
+	train, test, real := MNISTOrSynth(t.TempDir(), 50, 20, DefaultSynthConfig(), 1)
+	if real {
+		t.Fatal("empty dir must not report real MNIST")
+	}
+	if train.Len() != 50 || test.Len() != 20 {
+		t.Fatalf("lens %d/%d", train.Len(), test.Len())
+	}
+}
+
+func TestMNISTOrSynthLoadsRealIDX(t *testing.T) {
+	dir := t.TempDir()
+	// Write a miniature "real" MNIST pair.
+	writePair := func(imgName, lblName string, n int) {
+		imgs := make([]byte, n*4*4)
+		lbls := make([]byte, n)
+		for i := range lbls {
+			lbls[i] = byte(i % 10)
+			imgs[i*16] = 255
+		}
+		var b1 bytes.Buffer
+		if err := WriteIDX(&b1, []int{n, 4, 4}, imgs); err != nil {
+			t.Fatal(err)
+		}
+		if err := writeFile(dir, imgName, b1.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+		var b2 bytes.Buffer
+		if err := WriteIDX(&b2, []int{n}, lbls); err != nil {
+			t.Fatal(err)
+		}
+		if err := writeFile(dir, lblName, b2.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writePair("train-images-idx3-ubyte", "train-labels-idx1-ubyte", 30)
+	writePair("t10k-images-idx3-ubyte", "t10k-labels-idx1-ubyte", 10)
+
+	train, test, real := MNISTOrSynth(dir, 20, 5, DefaultSynthConfig(), 1)
+	if !real {
+		t.Fatal("expected real MNIST to load")
+	}
+	if train.Len() != 20 || test.Len() != 5 {
+		t.Fatalf("lens %d/%d", train.Len(), test.Len())
+	}
+	if train.Samples[0].Image.Data[0] != 1 {
+		t.Fatal("pixel scaling to [0,1] broken")
+	}
+	if err := train.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,172 @@
+package dataset
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/tensor"
+)
+
+// The IDX format is the container MNIST ships in: a magic number encoding
+// the element type and rank, big-endian dimension sizes, then raw data.
+// This reader supports the two layouts MNIST uses (uint8 rank-1 labels and
+// uint8 rank-3 images) so the genuine dataset can replace the synthetic
+// corpus without code changes.
+
+const (
+	idxTypeUint8 = 0x08
+)
+
+// ReadIDX parses an IDX stream into dimensions and raw uint8 data.
+func ReadIDX(r io.Reader) (dims []int, data []byte, err error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, nil, fmt.Errorf("dataset: reading IDX magic: %w", err)
+	}
+	if magic[0] != 0 || magic[1] != 0 {
+		return nil, nil, fmt.Errorf("dataset: bad IDX magic % x", magic)
+	}
+	if magic[2] != idxTypeUint8 {
+		return nil, nil, fmt.Errorf("dataset: unsupported IDX element type 0x%02x", magic[2])
+	}
+	rank := int(magic[3])
+	if rank < 1 || rank > 4 {
+		return nil, nil, fmt.Errorf("dataset: unsupported IDX rank %d", rank)
+	}
+	dims = make([]int, rank)
+	n := 1
+	for i := range dims {
+		var d uint32
+		if err := binary.Read(br, binary.BigEndian, &d); err != nil {
+			return nil, nil, fmt.Errorf("dataset: reading IDX dim %d: %w", i, err)
+		}
+		dims[i] = int(d)
+		n *= int(d)
+	}
+	data = make([]byte, n)
+	if _, err := io.ReadFull(br, data); err != nil {
+		return nil, nil, fmt.Errorf("dataset: reading IDX payload: %w", err)
+	}
+	return dims, data, nil
+}
+
+// WriteIDX emits dims/data in IDX format (uint8 elements).
+func WriteIDX(w io.Writer, dims []int, data []byte) error {
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	if n != len(data) {
+		return fmt.Errorf("dataset: IDX dims %v do not cover %d bytes", dims, len(data))
+	}
+	magic := []byte{0, 0, idxTypeUint8, byte(len(dims))}
+	if _, err := w.Write(magic); err != nil {
+		return err
+	}
+	for _, d := range dims {
+		if err := binary.Write(w, binary.BigEndian, uint32(d)); err != nil {
+			return err
+		}
+	}
+	_, err := w.Write(data)
+	return err
+}
+
+// openMaybeGzip opens path, transparently decompressing .gz files.
+func openMaybeGzip(path string) (io.ReadCloser, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	if !strings.HasSuffix(path, ".gz") {
+		return f, nil
+	}
+	gz, err := gzip.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &gzipFile{gz: gz, f: f}, nil
+}
+
+type gzipFile struct {
+	gz *gzip.Reader
+	f  *os.File
+}
+
+func (g *gzipFile) Read(p []byte) (int, error) { return g.gz.Read(p) }
+func (g *gzipFile) Close() error {
+	g.gz.Close()
+	return g.f.Close()
+}
+
+// LoadMNIST loads an MNIST-style pair of IDX files (images + labels) into
+// a Set with intensities scaled to [0,1].
+func LoadMNIST(imagesPath, labelsPath string) (*Set, error) {
+	ir, err := openMaybeGzip(imagesPath)
+	if err != nil {
+		return nil, err
+	}
+	defer ir.Close()
+	idims, idata, err := ReadIDX(ir)
+	if err != nil {
+		return nil, err
+	}
+	if len(idims) != 3 {
+		return nil, fmt.Errorf("dataset: image file rank %d, want 3", len(idims))
+	}
+	lr, err := openMaybeGzip(labelsPath)
+	if err != nil {
+		return nil, err
+	}
+	defer lr.Close()
+	ldims, ldata, err := ReadIDX(lr)
+	if err != nil {
+		return nil, err
+	}
+	if len(ldims) != 1 || ldims[0] != idims[0] {
+		return nil, fmt.Errorf("dataset: label count %v vs image count %d", ldims, idims[0])
+	}
+	n, h, w := idims[0], idims[1], idims[2]
+	set := &Set{Classes: 10, H: h, W: w, Samples: make([]Sample, n)}
+	for i := 0; i < n; i++ {
+		img := tensor.New(1, h, w)
+		for p := 0; p < h*w; p++ {
+			img.Data[p] = float32(idata[i*h*w+p]) / 255
+		}
+		set.Samples[i] = Sample{Image: img, Label: int(ldata[i])}
+	}
+	return set, nil
+}
+
+// MNISTOrSynth returns real MNIST from dir if the canonical files exist,
+// otherwise a synthetic corpus of trainN+testN samples. It always returns
+// (train, test).
+func MNISTOrSynth(dir string, trainN, testN int, cfg SynthConfig, seed uint64) (train, test *Set, real bool) {
+	if dir != "" {
+		ti := filepath.Join(dir, "train-images-idx3-ubyte")
+		tl := filepath.Join(dir, "train-labels-idx1-ubyte")
+		si := filepath.Join(dir, "t10k-images-idx3-ubyte")
+		sl := filepath.Join(dir, "t10k-labels-idx1-ubyte")
+		if fileExists(ti) && fileExists(tl) && fileExists(si) && fileExists(sl) {
+			tr, err1 := LoadMNIST(ti, tl)
+			te, err2 := LoadMNIST(si, sl)
+			if err1 == nil && err2 == nil {
+				return tr.Subset(trainN), te.Subset(testN), true
+			}
+		}
+	}
+	return GenerateSynth(trainN, cfg, seed), GenerateSynth(testN, cfg, seed+1), false
+}
+
+func fileExists(p string) bool {
+	st, err := os.Stat(p)
+	return err == nil && !st.IsDir()
+}

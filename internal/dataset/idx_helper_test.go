@@ -1,0 +1,11 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// writeFile writes data into dir/name for the IDX loader tests.
+func writeFile(dir, name string, data []byte) error {
+	return os.WriteFile(filepath.Join(dir, name), data, 0o644)
+}

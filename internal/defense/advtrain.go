@@ -1,0 +1,49 @@
+package defense
+
+import (
+	"repro/internal/attack"
+	"repro/internal/dataset"
+	"repro/internal/rng"
+	"repro/internal/snn"
+)
+
+// AdversarialTrainOptions configures PGD adversarial training (Madry et
+// al.) — an extension defense the paper leaves to future work. Each
+// minibatch example is replaced, with probability Mix, by a PGD example
+// crafted on the current model.
+type AdversarialTrainOptions struct {
+	Base snn.TrainOptions
+	// Attack is the crafting attack template (its Eps is the training
+	// budget).
+	Attack *attack.Gradient
+	// Mix is the fraction of samples replaced by adversarial versions
+	// (0..1; 0.5 is the usual choice).
+	Mix float64
+}
+
+// AdversarialTrain fits the network with on-the-fly adversarial
+// examples. It is substantially slower than clean training (one PGD run
+// per selected sample per epoch).
+func AdversarialTrain(n *snn.Network, train *dataset.Set, opt AdversarialTrainOptions) {
+	if opt.Mix <= 0 || opt.Attack == nil {
+		snn.Train(n, train, opt.Base)
+		return
+	}
+	r := rng.New(opt.Base.Seed + 77)
+	for epoch := 0; epoch < opt.Base.Epochs; epoch++ {
+		// Craft a fresh adversarial copy of a subset against the
+		// *current* model, then take one clean+adversarial epoch.
+		mixed := train.Clone()
+		for i := range mixed.Samples {
+			if !r.Bernoulli(opt.Mix) {
+				continue
+			}
+			s := &mixed.Samples[i]
+			s.Image = opt.Attack.Perturb(n, s.Image, s.Label, r)
+		}
+		one := opt.Base
+		one.Epochs = 1
+		one.Seed = opt.Base.Seed + uint64(epoch)*13
+		snn.Train(n, mixed, one)
+	}
+}

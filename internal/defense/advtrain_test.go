@@ -1,0 +1,83 @@
+package defense
+
+import (
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/dataset"
+	"repro/internal/encoding"
+	"repro/internal/rng"
+	"repro/internal/snn"
+)
+
+func advTrainFixture() (*dataset.Set, *dataset.Set) {
+	dcfg := dataset.DefaultSynthConfig()
+	dcfg.H, dcfg.W = 12, 12
+	return dataset.GenerateSynth(300, dcfg, 31), dataset.GenerateSynth(80, dcfg, 32)
+}
+
+func TestAdversarialTrainImprovesRobustness(t *testing.T) {
+	train, test := advTrainFixture()
+	base := snn.TrainOptions{
+		Epochs: 4, BatchSize: 16,
+		Optimizer: snn.NewAdam(2e-3),
+		Encoder:   encoding.Direct{},
+		Seed:      33,
+	}
+	mkNet := func(seed uint64) *snn.Network {
+		return snn.DenseNet(snn.DefaultConfig(0.5, 6), 144, 64, 10, rng.New(seed))
+	}
+
+	clean := mkNet(34)
+	snn.Train(clean, train, base)
+
+	robust := mkNet(34)
+	atk := attack.PGD(0.15)
+	atk.Encoder = encoding.Direct{}
+	advBase := base
+	advBase.Optimizer = snn.NewAdam(2e-3) // fresh optimizer state
+	AdversarialTrain(robust, train, AdversarialTrainOptions{
+		Base: advBase, Attack: atk, Mix: 0.5,
+	})
+
+	// White-box PGD at the training budget: the adversarially trained
+	// model must hold up better.
+	evalUnder := func(net *snn.Network) float64 {
+		adv := test.Clone()
+		r := rng.New(35)
+		a := attack.PGD(0.15)
+		a.Encoder = encoding.Direct{}
+		for i := range adv.Samples {
+			s := &adv.Samples[i]
+			s.Image = a.Perturb(net, s.Image, s.Label, r)
+		}
+		return snn.Accuracy(net, adv, encoding.Direct{}, 36)
+	}
+	cleanRob := evalUnder(clean)
+	advRob := evalUnder(robust)
+	if advRob <= cleanRob {
+		t.Fatalf("adversarial training did not help: %.2f vs %.2f", advRob, cleanRob)
+	}
+	// And it must not destroy clean accuracy.
+	ca := snn.Accuracy(robust, test, encoding.Direct{}, 36)
+	if ca < 0.4 {
+		t.Fatalf("adversarially trained clean accuracy %.2f collapsed", ca)
+	}
+}
+
+func TestAdversarialTrainFallsBackToClean(t *testing.T) {
+	train, test := advTrainFixture()
+	net := snn.DenseNet(snn.DefaultConfig(0.5, 6), 144, 64, 10, rng.New(37))
+	AdversarialTrain(net, train, AdversarialTrainOptions{
+		Base: snn.TrainOptions{
+			Epochs: 3, BatchSize: 16,
+			Optimizer: snn.NewAdam(2e-3),
+			Encoder:   encoding.Direct{},
+			Seed:      38,
+		},
+		// No attack: must behave exactly like snn.Train.
+	})
+	if acc := snn.Accuracy(net, test, encoding.Direct{}, 39); acc < 0.5 {
+		t.Fatalf("fallback training accuracy %.2f", acc)
+	}
+}

@@ -1,0 +1,188 @@
+// Package defense implements the paper's two defense methods:
+// Algorithm 1 (precision-scaling robustness search, search.go) and
+// Algorithm 2 (approximate quantization-aware filtering, this file).
+package defense
+
+import (
+	"math"
+
+	"repro/internal/dvs"
+)
+
+// AQFParams are Algorithm 2's constants. The paper fixes s=2, T1=5,
+// T2=50 (Line 2) and passes the quantization step qt per configuration
+// (Table II uses 0.015, 0.01 and 0 seconds).
+type AQFParams struct {
+	S  int     // spatial neighbourhood radius (pixels)
+	T1 int     // activity threshold (hot-pixel run length / support count)
+	T2 float64 // temporal correlation window (ms)
+	Qt float64 // timestamp quantization step (seconds; 0 = no quantization)
+
+	// Support is the minimum number of neighbourhood events within the
+	// last T2 ms for an event to count as correlated; 0 selects the
+	// default (2).
+	Support int
+}
+
+// DefaultAQFParams returns the paper's constants with quantization step
+// qt (in seconds, as Table II lists it).
+func DefaultAQFParams(qt float64) AQFParams {
+	return AQFParams{S: 2, T1: 5, T2: 50, Qt: qt, Support: 2}
+}
+
+// AQF removes uncorrelated (adversarial) events from a stream, returning
+// a filtered copy. It implements the published Algorithm 2's evident
+// intent (the pseudocode overloads its M map as both a timestamp store
+// and a flag store; see DESIGN.md "Algorithm notes"):
+//
+//  1. Timestamps are quantized to step qt (Line 4).
+//  2. Polarity-consistency ("quantization-aware") check: a pixel cannot
+//     physically emit both polarities at the same (quantized) instant;
+//     such pairs are sensor-impossible artifacts — the Frame attack's
+//     signature — and are dropped.
+//  3. Spatio-temporal correlation (Lines 5-12, 18-20): each event writes
+//     its timestamp into the (2s+1)² neighbourhood activity map,
+//     excluding its own pixel; an event is kept only if its own pixel
+//     accumulated at least `Support` neighbourhood events within the
+//     last T2 ms. Gesture events ride dense moving edges and pass;
+//     isolated adversarial events do not. Events within the first T2 ms
+//     pass unconditionally (the published M is zero-initialized, which
+//     has exactly this effect).
+//  4. Hot-pixel flag (Lines 13-17): a pixel active in more than T1
+//     consecutive T2/2-windows fires continuously — defective by DVS
+//     standards, and the signature of boundary flooding — and all its
+//     events are removed.
+//
+// The input stream is not modified.
+func AQF(s *dvs.Stream, p AQFParams) *dvs.Stream {
+	out := &dvs.Stream{W: s.W, H: s.H, Duration: s.Duration}
+	if len(s.Events) == 0 {
+		return out
+	}
+	support := p.Support
+	if support <= 0 {
+		support = 2
+	}
+
+	events := make([]dvs.Event, len(s.Events))
+	copy(events, s.Events)
+
+	// Step 1: quantize timestamps (qt is in seconds; timestamps in ms).
+	qtMS := p.Qt * 1000
+	if qtMS > 0 {
+		for i := range events {
+			events[i].T = math.Round(events[i].T/qtMS) * qtMS
+			if events[i].T > s.Duration {
+				events[i].T = s.Duration
+			}
+		}
+	}
+
+	// Step 2: drop same-pixel same-instant opposite-polarity pairs.
+	type pxt struct {
+		idx int
+		t   float64
+	}
+	seenPos := make(map[pxt]int) // -> count of +1 events at (pixel, t)
+	seenNeg := make(map[pxt]int)
+	for _, e := range events {
+		k := pxt{e.Y*s.W + e.X, e.T}
+		if e.P > 0 {
+			seenPos[k]++
+		} else {
+			seenNeg[k]++
+		}
+	}
+	impossible := func(e dvs.Event) bool {
+		k := pxt{e.Y*s.W + e.X, e.T}
+		return seenPos[k] > 0 && seenNeg[k] > 0
+	}
+
+	// Step 4 bookkeeping (computed up front, single pass): hot pixels.
+	winLen := p.T2 / 2
+	if winLen <= 0 {
+		winLen = 25
+	}
+	lastWin := make([]int, s.W*s.H)
+	runLen := make([]int, s.W*s.H)
+	flag := make([]bool, s.W*s.H)
+	for i := range lastWin {
+		lastWin[i] = -2
+	}
+	for _, e := range events {
+		idx := e.Y*s.W + e.X
+		win := int(e.T / winLen)
+		switch {
+		case win == lastWin[idx]:
+			// same window: no run-length change
+		case win == lastWin[idx]+1:
+			runLen[idx]++
+			lastWin[idx] = win
+		default:
+			runLen[idx] = 1
+			lastWin[idx] = win
+		}
+		if runLen[idx] > p.T1 {
+			flag[idx] = true
+		}
+	}
+
+	// Step 3: neighbourhood-support filter. recent[idx] holds the
+	// timestamps of neighbourhood events at pixel idx, pruned to the
+	// trailing T2 window as the (time-sorted) scan advances.
+	recent := make([][]float64, s.W*s.H)
+	countRecent := func(idx int, t float64) int {
+		buf := recent[idx]
+		// Drop expired entries in place; only *strictly earlier*
+		// neighbours count as support. A moving edge always has
+		// earlier neighbours; a batch of simultaneous injected events
+		// does not — simultaneity cannot vouch for itself.
+		keep := buf[:0]
+		n := 0
+		for _, ts := range buf {
+			if t-ts <= p.T2 {
+				keep = append(keep, ts)
+				if ts < t {
+					n++
+				}
+			}
+		}
+		recent[idx] = keep
+		return n
+	}
+
+	for _, e := range events {
+		idx := e.Y*s.W + e.X
+		keep := !flag[idx] && !impossible(e)
+		if keep && e.T > p.T2 {
+			keep = countRecent(idx, e.T) >= support
+		}
+		// Write the neighbourhood map after the test: an event never
+		// vouches for itself (Lines 7-8 exclude the centre pixel).
+		for dy := -p.S; dy <= p.S; dy++ {
+			for dx := -p.S; dx <= p.S; dx++ {
+				if dx == 0 && dy == 0 {
+					continue
+				}
+				x, y := e.X+dx, e.Y+dy
+				if x < 0 || x >= s.W || y < 0 || y >= s.H {
+					continue
+				}
+				recent[y*s.W+x] = append(recent[y*s.W+x], e.T)
+			}
+		}
+		if keep {
+			out.Events = append(out.Events, e)
+		}
+	}
+	return out
+}
+
+// AQFSet filters every stream of a gesture set, returning a new set.
+func AQFSet(set *dvs.Set, p AQFParams) *dvs.Set {
+	out := &dvs.Set{Classes: set.Classes, W: set.W, H: set.H, Samples: make([]dvs.Sample, len(set.Samples))}
+	for i, sm := range set.Samples {
+		out.Samples[i] = dvs.Sample{Stream: AQF(sm.Stream, p), Label: sm.Label}
+	}
+	return out
+}

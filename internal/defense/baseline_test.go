@@ -1,0 +1,89 @@
+package defense
+
+import (
+	"testing"
+
+	"repro/internal/dvs"
+	"repro/internal/rng"
+)
+
+func TestBackgroundActivityFilterKeepsSignal(t *testing.T) {
+	cfg := dvs.DefaultGestureConfig()
+	cfg.NoiseRate = 0
+	s := dvs.GenerateGesture(7, cfg, rng.New(1))
+	f := NewBackgroundActivityFilter().Filter(s)
+	kept := float64(len(f.Events)) / float64(len(s.Events))
+	if kept < 0.6 {
+		t.Fatalf("BAF kept only %.0f%% of gesture events", 100*kept)
+	}
+}
+
+func TestBackgroundActivityFilterDropsIsolatedNoise(t *testing.T) {
+	r := rng.New(2)
+	s := &dvs.Stream{W: 32, H: 32, Duration: 1600}
+	for i := 0; i < 300; i++ {
+		s.Events = append(s.Events, dvs.Event{X: r.Intn(32), Y: r.Intn(32), P: 1, T: r.Float64() * 1600})
+	}
+	s.Sort()
+	f := NewBackgroundActivityFilter().Filter(s)
+	kept := float64(len(f.Events)) / float64(len(s.Events))
+	if kept > 0.35 {
+		t.Fatalf("BAF kept %.0f%% of sparse noise", 100*kept)
+	}
+}
+
+// AQF must beat the plain background-activity filter against the frame
+// attack (BAF has no polarity/hot-pixel logic, so boundary floods are
+// self-supporting and slip through).
+func TestAQFBeatsBaselineOnFrameAttack(t *testing.T) {
+	cfg := dvs.DefaultGestureConfig()
+	s := dvs.GenerateGesture(4, cfg, rng.New(3))
+	// Synthesize a frame attack directly (avoid the attack package
+	// import cycle in tests): both polarities on the border each 20 ms.
+	adv := s.Clone()
+	for ti := 0; ti < 80; ti++ {
+		tm := float64(ti) * 20
+		for x := 0; x < adv.W; x++ {
+			adv.Events = append(adv.Events,
+				dvs.Event{X: x, Y: 0, P: 1, T: tm}, dvs.Event{X: x, Y: 0, P: -1, T: tm},
+				dvs.Event{X: x, Y: adv.H - 1, P: 1, T: tm}, dvs.Event{X: x, Y: adv.H - 1, P: -1, T: tm})
+		}
+	}
+	adv.Sort()
+	injected := len(adv.Events) - len(s.Events)
+
+	borderCount := func(st *dvs.Stream) int {
+		n := 0
+		for _, e := range st.Events {
+			if e.Y == 0 || e.Y == st.H-1 {
+				n++
+			}
+		}
+		return n
+	}
+	aqfOut := AQF(adv, DefaultAQFParams(0.015))
+	bafOut := NewBackgroundActivityFilter().Filter(adv)
+	aqfLeft := borderCount(aqfOut)
+	bafLeft := borderCount(bafOut)
+	if aqfLeft >= bafLeft {
+		t.Fatalf("AQF left %d border events, baseline %d (of %d injected)", aqfLeft, bafLeft, injected)
+	}
+	if aqfLeft > injected/10 {
+		t.Fatalf("AQF left %d of %d frame events", aqfLeft, injected)
+	}
+}
+
+func TestBackgroundActivityFilterSet(t *testing.T) {
+	cfg := dvs.DefaultGestureConfig()
+	cfg.Duration = 300
+	set := dvs.GenerateGestureSet(4, cfg, 4)
+	out := NewBackgroundActivityFilter().FilterSet(set)
+	if out.Len() != set.Len() {
+		t.Fatal("sample count changed")
+	}
+	for i := range out.Samples {
+		if out.Samples[i].Label != set.Samples[i].Label {
+			t.Fatal("labels scrambled")
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package defense
+
+import (
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/dataset"
+	"repro/internal/encoding"
+	"repro/internal/quant"
+	"repro/internal/rng"
+	"repro/internal/snn"
+)
+
+// smallSearchConfig builds a fast Algorithm-1 configuration over a tiny
+// grid.
+func smallSearchConfig() SearchConfig {
+	dcfg := dataset.DefaultSynthConfig()
+	dcfg.H, dcfg.W = 12, 12
+	train := dataset.GenerateSynth(200, dcfg, 1)
+	test := dataset.GenerateSynth(60, dcfg, 2)
+	return SearchConfig{
+		Space: SearchSpace{
+			VThs:   []float32{0.5},
+			Steps:  []int{5},
+			Scales: []quant.Scale{quant.FP32, quant.INT8},
+			Levels: []float64{0, 0.01},
+		},
+		AttackFor: attack.PGD,
+		Eps:       0.3,
+		Q:         0.4,
+		Train:     train,
+		Test:      test,
+		BuildNet: func(cfg snn.Config, r *rng.RNG) *snn.Network {
+			return snn.DenseNet(cfg, 144, 48, 10, r)
+		},
+		TrainOpts: func() snn.TrainOptions {
+			return snn.TrainOptions{Epochs: 3, BatchSize: 16, Optimizer: snn.NewAdam(3e-3)}
+		},
+		Encoder: encoding.Direct{},
+		CalibN:  8,
+		Seed:    42,
+	}
+}
+
+func TestSearchProducesCandidates(t *testing.T) {
+	cfg := smallSearchConfig()
+	res := PrecisionScalingSearch(cfg)
+	want := len(cfg.Space.Scales) * len(cfg.Space.Levels)
+	if len(res.All) != want {
+		t.Fatalf("got %d candidates, want %d", len(res.All), want)
+	}
+	if res.Best == nil {
+		t.Fatal("no best candidate returned")
+	}
+	for _, c := range res.All {
+		if c.CleanAcc < cfg.Q {
+			t.Fatalf("candidate with clean accuracy %.2f below the quality gate leaked through", c.CleanAcc)
+		}
+		if c.Robustness < 0 || c.Robustness > 1 {
+			t.Fatalf("robustness %v out of range", c.Robustness)
+		}
+		if c.String() == "" {
+			t.Fatal("empty candidate string")
+		}
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	a := PrecisionScalingSearch(smallSearchConfig())
+	b := PrecisionScalingSearch(smallSearchConfig())
+	if len(a.All) != len(b.All) {
+		t.Fatal("nondeterministic candidate counts")
+	}
+	for i := range a.All {
+		if a.All[i] != b.All[i] {
+			t.Fatalf("candidate %d differs across identical runs:\n%+v\n%+v", i, a.All[i], b.All[i])
+		}
+	}
+}
+
+func TestSearchQualityGateSkipsWeakModels(t *testing.T) {
+	cfg := smallSearchConfig()
+	cfg.TrainOpts = func() snn.TrainOptions {
+		// One mini-epoch on 10 samples: the model stays near chance.
+		return snn.TrainOptions{Epochs: 0, BatchSize: 16, Optimizer: snn.NewAdam(1e-3)}
+	}
+	cfg.Q = 0.8
+	res := PrecisionScalingSearch(cfg)
+	if len(res.All) != 0 {
+		t.Fatalf("untrained models must be gated out, got %d candidates", len(res.All))
+	}
+	if res.Best != nil {
+		t.Fatal("no best candidate expected")
+	}
+}
+
+func TestSearchAcceptsWhenRobust(t *testing.T) {
+	cfg := smallSearchConfig()
+	cfg.Eps = 0.05 // trivial attack: robustness should clear Q
+	res := PrecisionScalingSearch(cfg)
+	if res.Best == nil || !res.Best.Accepted {
+		t.Fatalf("expected an accepted configuration under a weak attack, got %+v", res.Best)
+	}
+}
+
+func TestSearchBestIsMostRobustWhenNoneAccepted(t *testing.T) {
+	cfg := smallSearchConfig()
+	cfg.Q = 0.999 // nothing will be accepted...
+	// ...but the quality gate would also reject everything, so relax the
+	// gate by reading robustness: use a strong attack with normal Q for
+	// the gate and verify ordering instead.
+	cfg.Q = 0.4
+	cfg.Eps = 1.0
+	res := PrecisionScalingSearch(cfg)
+	if res.Best == nil {
+		t.Fatal("expected a best candidate")
+	}
+	for _, c := range res.All {
+		if c.Robustness > res.Best.Robustness && !res.Best.Accepted {
+			t.Fatalf("best (R=%.2f) is not the most robust (found R=%.2f)", res.Best.Robustness, c.Robustness)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package dvs
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Minimal binary container for event streams, modelled on the AEDAT
+// polarity-event format used by DVS cameras (a simplified single-stream
+// variant: fixed header, then one 16-byte record per event). It lets
+// recordings and attacked/filtered streams be stored and exchanged.
+//
+// Layout (little endian):
+//
+//	magic   [8]byte  "AXSNNEV1"
+//	width   uint32
+//	height  uint32
+//	duration float64 (ms)
+//	count   uint64
+//	events  count × {x uint16, y uint16, polarity int16, pad uint16, t float64}
+
+var aedatMagic = [8]byte{'A', 'X', 'S', 'N', 'N', 'E', 'V', '1'}
+
+// WriteAEDAT serializes the stream to w.
+func WriteAEDAT(w io.Writer, s *Stream) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(aedatMagic[:]); err != nil {
+		return err
+	}
+	hdr := struct {
+		W, H     uint32
+		Duration float64
+		Count    uint64
+	}{uint32(s.W), uint32(s.H), s.Duration, uint64(len(s.Events))}
+	if err := binary.Write(bw, binary.LittleEndian, &hdr); err != nil {
+		return err
+	}
+	for _, e := range s.Events {
+		rec := struct {
+			X, Y uint16
+			P    int16
+			Pad  uint16
+			T    float64
+		}{uint16(e.X), uint16(e.Y), int16(e.P), 0, e.T}
+		if err := binary.Write(bw, binary.LittleEndian, &rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadAEDAT deserializes a stream written by WriteAEDAT.
+func ReadAEDAT(r io.Reader) (*Stream, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("dvs: reading magic: %w", err)
+	}
+	if magic != aedatMagic {
+		return nil, fmt.Errorf("dvs: bad magic %q", magic)
+	}
+	var hdr struct {
+		W, H     uint32
+		Duration float64
+		Count    uint64
+	}
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("dvs: reading header: %w", err)
+	}
+	if hdr.W == 0 || hdr.H == 0 || hdr.W > 1<<14 || hdr.H > 1<<14 {
+		return nil, fmt.Errorf("dvs: implausible sensor size %dx%d", hdr.W, hdr.H)
+	}
+	const maxEvents = 100 << 20 / 16
+	if hdr.Count > maxEvents {
+		return nil, fmt.Errorf("dvs: event count %d exceeds limit", hdr.Count)
+	}
+	s := &Stream{W: int(hdr.W), H: int(hdr.H), Duration: hdr.Duration,
+		Events: make([]Event, hdr.Count)}
+	for i := range s.Events {
+		var rec struct {
+			X, Y uint16
+			P    int16
+			Pad  uint16
+			T    float64
+		}
+		if err := binary.Read(br, binary.LittleEndian, &rec); err != nil {
+			return nil, fmt.Errorf("dvs: reading event %d: %w", i, err)
+		}
+		s.Events[i] = Event{X: int(rec.X), Y: int(rec.Y), P: int8(rec.P), T: rec.T}
+	}
+	return s, nil
+}
+
+// SaveAEDAT writes the stream to path.
+func (s *Stream) SaveAEDAT(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return WriteAEDAT(f, s)
+}
+
+// LoadAEDAT reads a stream from path.
+func LoadAEDAT(path string) (*Stream, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadAEDAT(f)
+}

@@ -1,0 +1,98 @@
+package dvs
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestAEDATRoundTrip(t *testing.T) {
+	s := GenerateGesture(4, DefaultGestureConfig(), rng.New(1))
+	var buf bytes.Buffer
+	if err := WriteAEDAT(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAEDAT(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != s.W || got.H != s.H || got.Duration != s.Duration {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Events) != len(s.Events) {
+		t.Fatalf("event count %d vs %d", len(got.Events), len(s.Events))
+	}
+	for i := range s.Events {
+		if got.Events[i] != s.Events[i] {
+			t.Fatalf("event %d: %+v vs %+v", i, got.Events[i], s.Events[i])
+		}
+	}
+}
+
+func TestAEDATRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		s := &Stream{W: 16, H: 16, Duration: 100}
+		n := r.Intn(50)
+		for i := 0; i < n; i++ {
+			p := int8(1)
+			if r.Bernoulli(0.5) {
+				p = -1
+			}
+			s.Events = append(s.Events, Event{X: r.Intn(16), Y: r.Intn(16), P: p, T: r.Float64() * 100})
+		}
+		var buf bytes.Buffer
+		if err := WriteAEDAT(&buf, s); err != nil {
+			return false
+		}
+		got, err := ReadAEDAT(&buf)
+		if err != nil || len(got.Events) != len(s.Events) {
+			return false
+		}
+		for i := range s.Events {
+			if got.Events[i] != s.Events[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAEDATRejectsGarbage(t *testing.T) {
+	if _, err := ReadAEDAT(bytes.NewReader([]byte("not an aedat file at all"))); err == nil {
+		t.Fatal("expected magic error")
+	}
+	// Truncated payload.
+	s := &Stream{W: 4, H: 4, Duration: 10, Events: []Event{{X: 1, Y: 1, P: 1, T: 5}}}
+	var buf bytes.Buffer
+	if err := WriteAEDAT(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-4]
+	if _, err := ReadAEDAT(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestAEDATFileHelpers(t *testing.T) {
+	s := GenerateGesture(1, DefaultGestureConfig(), rng.New(2))
+	path := filepath.Join(t.TempDir(), "g.aedat")
+	if err := s.SaveAEDAT(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadAEDAT(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != len(s.Events) {
+		t.Fatal("file round-trip lost events")
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

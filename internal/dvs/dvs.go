@@ -1,0 +1,133 @@
+// Package dvs models dynamic-vision-sensor (event camera) data: the event
+// representation used by the neuromorphic side of the paper, a synthetic
+// DVS128-Gesture-like generator, and voxelization of event streams into
+// the per-time-step frames the SNN consumes.
+//
+// An event is (x, y, p, t): pixel coordinates, polarity and timestamp in
+// milliseconds. Real DVS128 Gesture recordings are 128×128; the synthetic
+// generator defaults to 32×32 so pure-Go experiments stay fast, and the
+// resolution is a parameter throughout (see DESIGN.md substitution #2).
+package dvs
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// Event is one DVS event. Polarity is +1 (brightness increase) or -1.
+type Event struct {
+	X, Y int
+	P    int8
+	T    float64 // milliseconds
+}
+
+// Stream is a time-ordered list of events from a W×H sensor.
+type Stream struct {
+	W, H     int
+	Duration float64 // milliseconds
+	Events   []Event
+}
+
+// Clone deep-copies the stream.
+func (s *Stream) Clone() *Stream {
+	out := &Stream{W: s.W, H: s.H, Duration: s.Duration, Events: make([]Event, len(s.Events))}
+	copy(out.Events, s.Events)
+	return out
+}
+
+// Sort orders events by timestamp (stable on ties).
+func (s *Stream) Sort() {
+	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].T < s.Events[j].T })
+}
+
+// Validate checks that every event lies on the sensor and inside the
+// recording window, with polarity ±1.
+func (s *Stream) Validate() error {
+	for i, e := range s.Events {
+		if e.X < 0 || e.X >= s.W || e.Y < 0 || e.Y >= s.H {
+			return fmt.Errorf("dvs: event %d at (%d,%d) off the %dx%d sensor", i, e.X, e.Y, s.W, s.H)
+		}
+		if e.P != 1 && e.P != -1 {
+			return fmt.Errorf("dvs: event %d polarity %d", i, e.P)
+		}
+		if e.T < 0 || e.T > s.Duration {
+			return fmt.Errorf("dvs: event %d time %v outside [0,%v]", i, e.T, s.Duration)
+		}
+	}
+	return nil
+}
+
+// Voxelize bins the stream into steps frames of shape (2, H, W): channel 0
+// holds positive-polarity events, channel 1 negative. Values are clamped
+// to [0,1] (spike presence), which is the standard SNN input encoding for
+// event data.
+func (s *Stream) Voxelize(steps int) []*tensor.Tensor {
+	frames := make([]*tensor.Tensor, steps)
+	for i := range frames {
+		frames[i] = tensor.New(2, s.H, s.W)
+	}
+	if s.Duration <= 0 {
+		return frames
+	}
+	binW := s.Duration / float64(steps)
+	for _, e := range s.Events {
+		b := int(e.T / binW)
+		if b >= steps {
+			b = steps - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		ch := 0
+		if e.P < 0 {
+			ch = 1
+		}
+		frames[b].Data[(ch*s.H+e.Y)*s.W+e.X] = 1
+	}
+	return frames
+}
+
+// EventCountGrid returns per-pixel event counts summed over time and
+// polarity, used by analysis and by attack budgeting.
+func (s *Stream) EventCountGrid() *tensor.Tensor {
+	g := tensor.New(s.H, s.W)
+	for _, e := range s.Events {
+		g.Data[e.Y*s.W+e.X]++
+	}
+	return g
+}
+
+// Sample is one labelled gesture recording.
+type Sample struct {
+	Stream *Stream
+	Label  int
+}
+
+// Set is an in-memory labelled collection of gesture recordings.
+type Set struct {
+	Samples []Sample
+	Classes int
+	W, H    int
+}
+
+// Len returns the number of samples.
+func (s *Set) Len() int { return len(s.Samples) }
+
+// Subset returns a view of the first n samples.
+func (s *Set) Subset(n int) *Set {
+	if n > len(s.Samples) {
+		n = len(s.Samples)
+	}
+	return &Set{Samples: s.Samples[:n], Classes: s.Classes, W: s.W, H: s.H}
+}
+
+// Clone deep-copies the set (attacks mutate streams).
+func (s *Set) Clone() *Set {
+	out := &Set{Samples: make([]Sample, len(s.Samples)), Classes: s.Classes, W: s.W, H: s.H}
+	for i, sm := range s.Samples {
+		out.Samples[i] = Sample{Stream: sm.Stream.Clone(), Label: sm.Label}
+	}
+	return out
+}

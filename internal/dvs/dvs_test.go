@@ -1,0 +1,238 @@
+package dvs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestGenerateGestureValid(t *testing.T) {
+	cfg := DefaultGestureConfig()
+	r := rng.New(1)
+	for class := 0; class < GestureClasses; class++ {
+		s := GenerateGesture(class, cfg, r)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("class %d (%s): %v", class, GestureNames[class], err)
+		}
+		if len(s.Events) < 100 {
+			t.Fatalf("class %d produced only %d events", class, len(s.Events))
+		}
+	}
+}
+
+func TestGenerateGestureSorted(t *testing.T) {
+	s := GenerateGesture(3, DefaultGestureConfig(), rng.New(2))
+	for i := 1; i < len(s.Events); i++ {
+		if s.Events[i].T < s.Events[i-1].T {
+			t.Fatalf("events out of order at %d", i)
+		}
+	}
+}
+
+func TestGestureSetBalancedAndDeterministic(t *testing.T) {
+	cfg := DefaultGestureConfig()
+	cfg.Duration = 400 // keep the test fast
+	a := GenerateGestureSet(22, cfg, 5)
+	b := GenerateGestureSet(22, cfg, 5)
+	counts := make([]int, GestureClasses)
+	for i := range a.Samples {
+		counts[a.Samples[i].Label]++
+		if a.Samples[i].Label != b.Samples[i].Label {
+			t.Fatal("labels differ across identical seeds")
+		}
+		if len(a.Samples[i].Stream.Events) != len(b.Samples[i].Stream.Events) {
+			t.Fatal("event counts differ across identical seeds")
+		}
+	}
+	for c, n := range counts {
+		if n != 2 {
+			t.Fatalf("class %d has %d samples, want 2", c, n)
+		}
+	}
+}
+
+func TestVoxelizeShapeAndBinning(t *testing.T) {
+	s := &Stream{W: 4, H: 4, Duration: 100, Events: []Event{
+		{X: 1, Y: 2, P: 1, T: 10},   // bin 0 of 4
+		{X: 3, Y: 0, P: -1, T: 60},  // bin 2
+		{X: 0, Y: 0, P: 1, T: 100},  // clamped into last bin
+		{X: 2, Y: 2, P: 1, T: 99.9}, // bin 3
+	}}
+	frames := s.Voxelize(4)
+	if len(frames) != 4 {
+		t.Fatalf("got %d frames", len(frames))
+	}
+	if frames[0].At(0, 2, 1) != 1 {
+		t.Fatal("positive event missing from bin 0")
+	}
+	if frames[2].At(1, 0, 3) != 1 {
+		t.Fatal("negative event missing from channel 1, bin 2")
+	}
+	if frames[3].At(0, 0, 0) != 1 || frames[3].At(0, 2, 2) != 1 {
+		t.Fatal("end-of-window events not clamped into the last bin")
+	}
+	// Values stay in [0,1] even with duplicates.
+	s.Events = append(s.Events, Event{X: 1, Y: 2, P: 1, T: 11})
+	frames = s.Voxelize(4)
+	if frames[0].At(0, 2, 1) != 1 {
+		t.Fatal("duplicate events must clamp to 1")
+	}
+}
+
+func TestVoxelizeEmptyAndZeroDuration(t *testing.T) {
+	s := &Stream{W: 2, H: 2, Duration: 0}
+	frames := s.Voxelize(3)
+	for _, f := range frames {
+		if f.Sum() != 0 {
+			t.Fatal("zero-duration stream must voxelize to empty frames")
+		}
+	}
+}
+
+func TestEventCountGrid(t *testing.T) {
+	s := &Stream{W: 3, H: 2, Duration: 10, Events: []Event{
+		{X: 0, Y: 0, P: 1, T: 1}, {X: 0, Y: 0, P: -1, T: 2}, {X: 2, Y: 1, P: 1, T: 3},
+	}}
+	g := s.EventCountGrid()
+	if g.At(0, 0) != 2 || g.At(1, 2) != 1 {
+		t.Fatalf("counts wrong: %v", g.Data)
+	}
+}
+
+func TestStreamCloneIndependent(t *testing.T) {
+	s := GenerateGesture(0, DefaultGestureConfig(), rng.New(3))
+	c := s.Clone()
+	c.Events[0].X = 31
+	c.Events[0].T = 0
+	if s.Events[0].X == 31 && s.Events[0].T == 0 {
+		t.Fatal("clone aliases events")
+	}
+}
+
+func TestSetCloneAndSubset(t *testing.T) {
+	cfg := DefaultGestureConfig()
+	cfg.Duration = 200
+	set := GenerateGestureSet(11, cfg, 7)
+	sub := set.Subset(3)
+	if sub.Len() != 3 || set.Subset(100).Len() != 11 {
+		t.Fatal("subset sizing broken")
+	}
+	cl := set.Clone()
+	cl.Samples[0].Stream.Events[0].X = 0
+	cl.Samples[0].Stream.Events[0].Y = 0
+	cl.Samples[0].Stream.Events = cl.Samples[0].Stream.Events[:1]
+	if len(set.Samples[0].Stream.Events) == 1 {
+		t.Fatal("clone aliases streams")
+	}
+}
+
+func TestValidateCatchesOffSensor(t *testing.T) {
+	s := &Stream{W: 4, H: 4, Duration: 10, Events: []Event{{X: 4, Y: 0, P: 1, T: 1}}}
+	if s.Validate() == nil {
+		t.Fatal("expected off-sensor error")
+	}
+	s = &Stream{W: 4, H: 4, Duration: 10, Events: []Event{{X: 0, Y: 0, P: 0, T: 1}}}
+	if s.Validate() == nil {
+		t.Fatal("expected polarity error")
+	}
+	s = &Stream{W: 4, H: 4, Duration: 10, Events: []Event{{X: 0, Y: 0, P: 1, T: 11}}}
+	if s.Validate() == nil {
+		t.Fatal("expected time-window error")
+	}
+}
+
+// Gesture events must be spatio-temporally correlated (a dense moving
+// trajectory), in contrast with uniform noise: the fraction of events that
+// have a nearby-in-space-and-time neighbour should be much higher than in
+// a shuffled control. This is the property AQF exploits.
+func TestGestureEventsCorrelated(t *testing.T) {
+	cfg := DefaultGestureConfig()
+	cfg.Duration = 400
+	cfg.NoiseRate = 0 // look at signal events only
+	s := GenerateGesture(7, cfg, rng.New(11))
+
+	correlated := func(events []Event) float64 {
+		n := 0
+		for i, e := range events {
+			found := false
+			for j := max(0, i-40); j < min(len(events), i+40); j++ {
+				if j == i {
+					continue
+				}
+				o := events[j]
+				if math.Abs(o.T-e.T) <= 20 && abs(o.X-e.X) <= 2 && abs(o.Y-e.Y) <= 2 {
+					found = true
+					break
+				}
+			}
+			if found {
+				n++
+			}
+		}
+		return float64(n) / float64(len(events))
+	}
+
+	sig := correlated(s.Events)
+
+	// Control: same number of events, uniformly random.
+	r := rng.New(12)
+	ctl := make([]Event, len(s.Events))
+	for i := range ctl {
+		ctl[i] = Event{X: r.Intn(cfg.W), Y: r.Intn(cfg.H), P: 1, T: r.Float64() * cfg.Duration}
+	}
+	// sort control by time
+	ctlStream := &Stream{W: cfg.W, H: cfg.H, Duration: cfg.Duration, Events: ctl}
+	ctlStream.Sort()
+	noise := correlated(ctlStream.Events)
+
+	if sig < noise+0.2 {
+		t.Fatalf("gesture correlation %.2f not clearly above noise %.2f", sig, noise)
+	}
+}
+
+// Different gesture classes must differ in their spatial event footprint,
+// otherwise the SNN has nothing to learn. Compare mean column of activity
+// for left- vs right-hand waves.
+func TestGestureClassesSpatiallyDistinct(t *testing.T) {
+	cfg := DefaultGestureConfig()
+	cfg.Duration = 400
+	r := rng.New(13)
+	meanX := func(class int) float64 {
+		s := GenerateGesture(class, cfg, r)
+		sum := 0.0
+		for _, e := range s.Events {
+			sum += float64(e.X)
+		}
+		return sum / float64(len(s.Events))
+	}
+	right := meanX(1) // rh_wave
+	left := meanX(2)  // lh_wave
+	if right-left < 4 {
+		t.Fatalf("rh_wave meanX %.1f vs lh_wave %.1f: classes not distinct", right, left)
+	}
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+func BenchmarkGenerateGesture(b *testing.B) {
+	cfg := DefaultGestureConfig()
+	r := rng.New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = GenerateGesture(i%GestureClasses, cfg, r)
+	}
+}
+
+func BenchmarkVoxelize(b *testing.B) {
+	s := GenerateGesture(7, DefaultGestureConfig(), rng.New(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Voxelize(20)
+	}
+}

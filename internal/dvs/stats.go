@@ -1,0 +1,64 @@
+package dvs
+
+// Stream statistics used by the analysis tooling, the examples and the
+// AQF diagnostics.
+
+// Stats summarizes an event stream.
+type Stats struct {
+	Events        int
+	PositiveFrac  float64 // fraction of +1 events
+	MeanRateHz    float64 // events per second over the recording
+	ActivePixels  int     // pixels with at least one event
+	MaxPixelCount int     // busiest pixel's event count
+}
+
+// ComputeStats gathers summary statistics for the stream.
+func (s *Stream) ComputeStats() Stats {
+	st := Stats{Events: len(s.Events)}
+	if len(s.Events) == 0 {
+		return st
+	}
+	counts := make([]int, s.W*s.H)
+	pos := 0
+	for _, e := range s.Events {
+		if e.P > 0 {
+			pos++
+		}
+		counts[e.Y*s.W+e.X]++
+	}
+	st.PositiveFrac = float64(pos) / float64(len(s.Events))
+	for _, c := range counts {
+		if c > 0 {
+			st.ActivePixels++
+		}
+		if c > st.MaxPixelCount {
+			st.MaxPixelCount = c
+		}
+	}
+	if s.Duration > 0 {
+		st.MeanRateHz = float64(len(s.Events)) / (s.Duration / 1000)
+	}
+	return st
+}
+
+// RateOverTime returns events-per-bin over `bins` equal time windows,
+// the temporal activity profile (used by the raster views and by
+// hot-pixel diagnostics).
+func (s *Stream) RateOverTime(bins int) []float64 {
+	out := make([]float64, bins)
+	if s.Duration <= 0 || bins <= 0 {
+		return out
+	}
+	binW := s.Duration / float64(bins)
+	for _, e := range s.Events {
+		b := int(e.T / binW)
+		if b >= bins {
+			b = bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		out[b]++
+	}
+	return out
+}

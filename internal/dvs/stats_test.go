@@ -1,0 +1,73 @@
+package dvs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestComputeStats(t *testing.T) {
+	s := &Stream{W: 4, H: 4, Duration: 2000, Events: []Event{
+		{X: 0, Y: 0, P: 1, T: 10},
+		{X: 0, Y: 0, P: 1, T: 20},
+		{X: 1, Y: 1, P: -1, T: 30},
+		{X: 2, Y: 3, P: 1, T: 40},
+	}}
+	st := s.ComputeStats()
+	if st.Events != 4 {
+		t.Fatalf("events %d", st.Events)
+	}
+	if st.PositiveFrac != 0.75 {
+		t.Fatalf("positive frac %v", st.PositiveFrac)
+	}
+	if st.ActivePixels != 3 || st.MaxPixelCount != 2 {
+		t.Fatalf("pixels %d max %d", st.ActivePixels, st.MaxPixelCount)
+	}
+	if math.Abs(st.MeanRateHz-2) > 1e-9 { // 4 events / 2 s
+		t.Fatalf("rate %v Hz", st.MeanRateHz)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	s := &Stream{W: 2, H: 2, Duration: 100}
+	st := s.ComputeStats()
+	if st.Events != 0 || st.ActivePixels != 0 || st.MeanRateHz != 0 {
+		t.Fatalf("empty stats wrong: %+v", st)
+	}
+}
+
+func TestRateOverTime(t *testing.T) {
+	s := &Stream{W: 2, H: 2, Duration: 100, Events: []Event{
+		{X: 0, Y: 0, P: 1, T: 5},
+		{X: 0, Y: 0, P: 1, T: 6},
+		{X: 0, Y: 0, P: 1, T: 55},
+		{X: 0, Y: 0, P: 1, T: 100}, // clamps into last bin
+	}}
+	r := s.RateOverTime(2)
+	if r[0] != 2 || r[1] != 2 {
+		t.Fatalf("rate profile %v", r)
+	}
+	if got := s.RateOverTime(0); len(got) != 0 {
+		t.Fatal("bins=0 must yield empty profile")
+	}
+}
+
+func TestGestureStatsPlausible(t *testing.T) {
+	s := GenerateGesture(7, DefaultGestureConfig(), rng.New(1))
+	st := s.ComputeStats()
+	if st.PositiveFrac < 0.3 || st.PositiveFrac > 0.7 {
+		t.Fatalf("gesture polarity balance off: %v", st.PositiveFrac)
+	}
+	if st.MeanRateHz < 100 {
+		t.Fatalf("gesture rate implausibly low: %v Hz", st.MeanRateHz)
+	}
+	profile := s.RateOverTime(10)
+	sum := 0.0
+	for _, v := range profile {
+		sum += v
+	}
+	if int(sum) != st.Events {
+		t.Fatalf("profile mass %v != events %d", sum, st.Events)
+	}
+}

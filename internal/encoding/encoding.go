@@ -1,0 +1,99 @@
+// Package encoding converts static images into spike trains for the SNN.
+// The paper uses rate coding ("activation activity corresponds to the mean
+// firing rates of spikes over certain time steps", §II); a deterministic
+// direct-current encoder and a time-to-first-spike encoder are provided as
+// well for comparison experiments.
+package encoding
+
+import (
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Encoder turns a (C,H,W) intensity image in [0,1] into steps spike
+// frames of the same shape.
+type Encoder interface {
+	Encode(img *tensor.Tensor, steps int, r *rng.RNG) []*tensor.Tensor
+	Name() string
+}
+
+// Rate is Bernoulli rate coding: each pixel fires independently each step
+// with probability equal to its intensity. Gradients pass straight
+// through (∂spike/∂intensity ≈ 1 in expectation), which is how gradient
+// attacks reach the pixels.
+type Rate struct{}
+
+// Name implements Encoder.
+func (Rate) Name() string { return "rate" }
+
+// Encode implements Encoder.
+func (Rate) Encode(img *tensor.Tensor, steps int, r *rng.RNG) []*tensor.Tensor {
+	frames := make([]*tensor.Tensor, steps)
+	for t := range frames {
+		f := tensor.New(img.Shape...)
+		for i, p := range img.Data {
+			if r.Bernoulli(float64(p)) {
+				f.Data[i] = 1
+			}
+		}
+		frames[t] = f
+	}
+	return frames
+}
+
+// Direct presents the analog intensities as input current every step
+// (a.k.a. constant-current or "direct" coding). Deterministic.
+type Direct struct{}
+
+// Name implements Encoder.
+func (Direct) Name() string { return "direct" }
+
+// Encode implements Encoder.
+func (Direct) Encode(img *tensor.Tensor, steps int, _ *rng.RNG) []*tensor.Tensor {
+	frames := make([]*tensor.Tensor, steps)
+	for t := range frames {
+		frames[t] = img.Clone()
+	}
+	return frames
+}
+
+// TTFS is time-to-first-spike coding: brighter pixels fire earlier, each
+// pixel fires exactly once (or never, for zero intensity). Deterministic.
+type TTFS struct{}
+
+// Name implements Encoder.
+func (TTFS) Name() string { return "ttfs" }
+
+// Encode implements Encoder.
+func (TTFS) Encode(img *tensor.Tensor, steps int, _ *rng.RNG) []*tensor.Tensor {
+	frames := make([]*tensor.Tensor, steps)
+	for t := range frames {
+		frames[t] = tensor.New(img.Shape...)
+	}
+	for i, p := range img.Data {
+		if p <= 0 {
+			continue
+		}
+		// intensity 1 fires at t=0, intensity→0 fires at the last step.
+		t := int(float32(steps-1) * (1 - p))
+		if t >= steps {
+			t = steps - 1
+		}
+		frames[t].Data[i] = 1
+	}
+	return frames
+}
+
+// SumFrameGradients folds per-step input-frame gradients back to pixel
+// space under the straight-through assumption used by rate coding:
+// dL/dpixel = Σ_t dL/dframe_t.
+func SumFrameGradients(frameGrads []*tensor.Tensor) *tensor.Tensor {
+	if len(frameGrads) == 0 {
+		return nil
+	}
+	out := tensor.New(frameGrads[0].Shape...)
+	for _, g := range frameGrads {
+		out.Add(g)
+	}
+	return out
+}

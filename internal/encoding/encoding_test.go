@@ -1,0 +1,102 @@
+package encoding
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+func TestRateEncodingFrequency(t *testing.T) {
+	img := tensor.FromSlice([]float32{0, 0.25, 0.5, 1}, 4)
+	r := rng.New(1)
+	const steps = 4000
+	frames := Rate{}.Encode(img, steps, r)
+	counts := make([]float64, 4)
+	for _, f := range frames {
+		for i, v := range f.Data {
+			counts[i] += float64(v)
+		}
+	}
+	want := []float64{0, 0.25, 0.5, 1}
+	for i := range counts {
+		rate := counts[i] / steps
+		if math.Abs(rate-want[i]) > 0.02 {
+			t.Fatalf("pixel %d fires at %.3f, want %.2f", i, rate, want[i])
+		}
+	}
+}
+
+func TestRateEncodingBinary(t *testing.T) {
+	img := tensor.FromSlice([]float32{0.5}, 1)
+	frames := Rate{}.Encode(img, 100, rng.New(2))
+	for _, f := range frames {
+		if f.Data[0] != 0 && f.Data[0] != 1 {
+			t.Fatalf("non-binary spike %v", f.Data[0])
+		}
+	}
+}
+
+func TestDirectEncodingIsConstant(t *testing.T) {
+	img := tensor.FromSlice([]float32{0.3, 0.7}, 2)
+	frames := Direct{}.Encode(img, 5, nil)
+	if len(frames) != 5 {
+		t.Fatalf("got %d frames", len(frames))
+	}
+	for _, f := range frames {
+		if f.Data[0] != 0.3 || f.Data[1] != 0.7 {
+			t.Fatal("direct encoding must repeat the image")
+		}
+	}
+	// Frames are copies, not aliases.
+	frames[0].Data[0] = 9
+	if frames[1].Data[0] == 9 || img.Data[0] == 9 {
+		t.Fatal("direct frames must not alias")
+	}
+}
+
+func TestTTFSTiming(t *testing.T) {
+	img := tensor.FromSlice([]float32{1, 0.5, 0.01, 0}, 4)
+	frames := TTFS{}.Encode(img, 10, nil)
+	// Each nonzero pixel fires exactly once.
+	counts := make([]int, 4)
+	first := []int{-1, -1, -1, -1}
+	for t0, f := range frames {
+		for i, v := range f.Data {
+			if v == 1 {
+				counts[i]++
+				if first[i] == -1 {
+					first[i] = t0
+				}
+			}
+		}
+	}
+	if counts[0] != 1 || counts[1] != 1 || counts[2] != 1 || counts[3] != 0 {
+		t.Fatalf("spike counts %v", counts)
+	}
+	if !(first[0] < first[1] && first[1] < first[2]) {
+		t.Fatalf("brighter must fire earlier: %v", first)
+	}
+	if first[0] != 0 {
+		t.Fatalf("intensity 1 must fire at t=0, got %d", first[0])
+	}
+}
+
+func TestSumFrameGradients(t *testing.T) {
+	a := tensor.FromSlice([]float32{1, 2}, 2)
+	b := tensor.FromSlice([]float32{3, -1}, 2)
+	s := SumFrameGradients([]*tensor.Tensor{a, b})
+	if s.Data[0] != 4 || s.Data[1] != 1 {
+		t.Fatalf("sum = %v", s.Data)
+	}
+	if SumFrameGradients(nil) != nil {
+		t.Fatal("empty input must return nil")
+	}
+}
+
+func TestEncoderNames(t *testing.T) {
+	if (Rate{}).Name() != "rate" || (Direct{}).Name() != "direct" || (TTFS{}).Name() != "ttfs" {
+		t.Fatal("encoder names wrong")
+	}
+}

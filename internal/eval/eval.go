@@ -1,0 +1,187 @@
+// Package eval provides the evaluation utilities shared by the
+// experiment harness: robustness curves, parameter-grid sweeps and
+// terminal renderers that print results in the same form as the paper's
+// figures (accuracy-vs-ε curves, T×Vth heatmaps, bar groups and tables).
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Curve is one named accuracy-vs-ε series (Figs. 1-3).
+type Curve struct {
+	Name string
+	Eps  []float64
+	Acc  []float64 // same length as Eps, values in [0,1]
+}
+
+// Grid is a T×Vth accuracy heatmap (Figs. 4-7a). Acc[i][j] corresponds
+// to Steps[i], VThs[j].
+type Grid struct {
+	Title string
+	Steps []int
+	VThs  []float32
+	Acc   [][]float64
+}
+
+// BarGroup is a set of labelled bars per category (Fig. 7b).
+type BarGroup struct {
+	Title      string
+	Categories []string // e.g. AccSNN, AxSNN
+	Series     []string // e.g. No Attack, Sparse, Frame
+	Values     [][]float64
+}
+
+// Table is a generic header+rows table (Tables I-II).
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// FormatCurves renders curves as an aligned text table, one ε per row.
+func FormatCurves(title string, curves []Curve) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%8s", "eps")
+	for _, c := range curves {
+		fmt.Fprintf(&b, " %12s", c.Name)
+	}
+	b.WriteByte('\n')
+	if len(curves) == 0 {
+		return b.String()
+	}
+	for i, e := range curves[0].Eps {
+		fmt.Fprintf(&b, "%8.2f", e)
+		for _, c := range curves {
+			if i < len(c.Acc) {
+				fmt.Fprintf(&b, " %11.1f%%", 100*c.Acc[i])
+			} else {
+				fmt.Fprintf(&b, " %12s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatGrid renders a heatmap as the paper prints them: rows are time
+// steps (descending), columns are threshold voltages, cells are accuracy
+// percentages.
+func FormatGrid(g Grid) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", g.Title)
+	fmt.Fprintf(&b, "%6s |", "T\\Vth")
+	for _, v := range g.VThs {
+		fmt.Fprintf(&b, " %5.2f", v)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 8+6*len(g.VThs)))
+	// Paper displays high T at the top.
+	order := make([]int, len(g.Steps))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, bIdx int) bool { return g.Steps[order[a]] > g.Steps[order[bIdx]] })
+	for _, i := range order {
+		fmt.Fprintf(&b, "%6d |", g.Steps[i])
+		for j := range g.VThs {
+			fmt.Fprintf(&b, " %5.0f", 100*g.Acc[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatBars renders grouped bars as rows of percentages.
+func FormatBars(g BarGroup) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", g.Title)
+	fmt.Fprintf(&b, "%-22s", "")
+	for _, s := range g.Series {
+		fmt.Fprintf(&b, " %14s", s)
+	}
+	b.WriteByte('\n')
+	for i, cat := range g.Categories {
+		fmt.Fprintf(&b, "%-22s", cat)
+		for j := range g.Series {
+			fmt.Fprintf(&b, " %13.1f%%", 100*g.Values[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatTable renders a table with aligned columns.
+func FormatTable(t Table) string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// CurvesCSV emits curves as CSV (eps, one column per curve).
+func CurvesCSV(curves []Curve) string {
+	var b strings.Builder
+	b.WriteString("eps")
+	for _, c := range curves {
+		fmt.Fprintf(&b, ",%s", c.Name)
+	}
+	b.WriteByte('\n')
+	if len(curves) == 0 {
+		return b.String()
+	}
+	for i, e := range curves[0].Eps {
+		fmt.Fprintf(&b, "%g", e)
+		for _, c := range curves {
+			fmt.Fprintf(&b, ",%.4f", c.Acc[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// GridCSV emits a grid as CSV with a header row of threshold voltages.
+func GridCSV(g Grid) string {
+	var b strings.Builder
+	b.WriteString("steps")
+	for _, v := range g.VThs {
+		fmt.Fprintf(&b, ",%g", v)
+	}
+	b.WriteByte('\n')
+	for i, s := range g.Steps {
+		fmt.Fprintf(&b, "%d", s)
+		for j := range g.VThs {
+			fmt.Fprintf(&b, ",%.4f", g.Acc[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatCurves(t *testing.T) {
+	s := FormatCurves("title", []Curve{
+		{Name: "a", Eps: []float64{0, 1}, Acc: []float64{0.9, 0.1}},
+		{Name: "b", Eps: []float64{0, 1}, Acc: []float64{0.8, 0.2}},
+	})
+	if !strings.Contains(s, "title") || !strings.Contains(s, "90.0%") || !strings.Contains(s, "20.0%") {
+		t.Fatalf("bad curve format:\n%s", s)
+	}
+	// Ragged series render a dash instead of panicking.
+	s = FormatCurves("t", []Curve{
+		{Name: "a", Eps: []float64{0, 1}, Acc: []float64{0.9, 0.1}},
+		{Name: "b", Eps: []float64{0, 1}, Acc: []float64{0.8}},
+	})
+	if !strings.Contains(s, "-") {
+		t.Fatal("ragged curve not handled")
+	}
+	if FormatCurves("empty", nil) == "" {
+		t.Fatal("empty curves must still render the title")
+	}
+}
+
+func TestFormatGridOrdersStepsDescending(t *testing.T) {
+	g := Grid{
+		Title: "g",
+		Steps: []int{32, 80, 56},
+		VThs:  []float32{0.25, 0.5},
+		Acc:   [][]float64{{0.1, 0.2}, {0.3, 0.4}, {0.5, 0.6}},
+	}
+	s := FormatGrid(g)
+	i80 := strings.Index(s, "    80 |")
+	i56 := strings.Index(s, "    56 |")
+	i32 := strings.Index(s, "    32 |")
+	if !(i80 < i56 && i56 < i32) || i80 < 0 {
+		t.Fatalf("rows not in descending T order:\n%s", s)
+	}
+	// Row for T=80 must carry Acc[1] (30, 40).
+	row := s[i80 : strings.Index(s[i80:], "\n")+i80]
+	if !strings.Contains(row, "30") || !strings.Contains(row, "40") {
+		t.Fatalf("row/value association broken: %q", row)
+	}
+}
+
+func TestFormatBars(t *testing.T) {
+	s := FormatBars(BarGroup{
+		Title:      "bars",
+		Categories: []string{"AccSNN", "AxSNN"},
+		Series:     []string{"No Attack", "Sparse"},
+		Values:     [][]float64{{0.92, 0.12}, {0.9, 0.1}},
+	})
+	if !strings.Contains(s, "AccSNN") || !strings.Contains(s, "92.0%") || !strings.Contains(s, "10.0%") {
+		t.Fatalf("bad bars:\n%s", s)
+	}
+}
+
+func TestFormatTableAlignment(t *testing.T) {
+	s := FormatTable(Table{
+		Title:   "tbl",
+		Headers: []string{"a", "longheader"},
+		Rows:    [][]string{{"verylongcell", "x"}},
+	})
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), s)
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Fatal("separator missing")
+	}
+}
+
+func TestCSVOutputs(t *testing.T) {
+	c := CurvesCSV([]Curve{{Name: "a", Eps: []float64{0, 0.5}, Acc: []float64{1, 0.25}}})
+	if !strings.HasPrefix(c, "eps,a\n") || !strings.Contains(c, "0.5,0.2500") {
+		t.Fatalf("bad curves csv: %q", c)
+	}
+	g := GridCSV(Grid{Steps: []int{8}, VThs: []float32{0.25, 0.5}, Acc: [][]float64{{0.5, 0.75}}})
+	if !strings.Contains(g, "steps,0.25,0.5") || !strings.Contains(g, "8,0.5000,0.7500") {
+		t.Fatalf("bad grid csv: %q", g)
+	}
+	if CurvesCSV(nil) != "eps\n" {
+		t.Fatal("empty curves csv wrong")
+	}
+}

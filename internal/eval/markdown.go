@@ -1,0 +1,75 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Markdown emitters, used to paste regenerated artifacts into
+// EXPERIMENTS.md-style reports.
+
+// TableMarkdown renders a Table as GitHub-flavoured markdown.
+func TableMarkdown(t Table) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	b.WriteString("| " + strings.Join(t.Headers, " | ") + " |\n")
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// CurvesMarkdown renders curves as a markdown table with one ε per row.
+func CurvesMarkdown(title string, curves []Curve) string {
+	t := Table{Title: title, Headers: []string{"eps"}}
+	for _, c := range curves {
+		t.Headers = append(t.Headers, c.Name)
+	}
+	if len(curves) > 0 {
+		for i, e := range curves[0].Eps {
+			row := []string{fmt.Sprintf("%g", e)}
+			for _, c := range curves {
+				if i < len(c.Acc) {
+					row = append(row, fmt.Sprintf("%.1f%%", 100*c.Acc[i]))
+				} else {
+					row = append(row, "-")
+				}
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return TableMarkdown(t)
+}
+
+// GridMarkdown renders a heatmap as a markdown table (T rows descending).
+func GridMarkdown(g Grid) string {
+	t := Table{Title: g.Title, Headers: []string{"T \\ Vth"}}
+	for _, v := range g.VThs {
+		t.Headers = append(t.Headers, fmt.Sprintf("%.2f", v))
+	}
+	order := make([]int, len(g.Steps))
+	for i := range order {
+		order[i] = i
+	}
+	// descending by steps (matches the paper's figures)
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			if g.Steps[order[j]] > g.Steps[order[i]] {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	for _, i := range order {
+		row := []string{fmt.Sprintf("%d", g.Steps[i])}
+		for j := range g.VThs {
+			row = append(row, fmt.Sprintf("%.0f", 100*g.Acc[i][j]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return TableMarkdown(t)
+}

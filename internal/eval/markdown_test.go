@@ -1,0 +1,45 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableMarkdown(t *testing.T) {
+	s := TableMarkdown(Table{
+		Title:   "T",
+		Headers: []string{"a", "b"},
+		Rows:    [][]string{{"1", "2"}},
+	})
+	if !strings.Contains(s, "**T**") || !strings.Contains(s, "| a | b |") ||
+		!strings.Contains(s, "| --- | --- |") || !strings.Contains(s, "| 1 | 2 |") {
+		t.Fatalf("bad markdown:\n%s", s)
+	}
+}
+
+func TestCurvesMarkdown(t *testing.T) {
+	s := CurvesMarkdown("c", []Curve{
+		{Name: "x", Eps: []float64{0, 1}, Acc: []float64{0.9, 0.1}},
+		{Name: "y", Eps: []float64{0, 1}, Acc: []float64{0.8}},
+	})
+	if !strings.Contains(s, "| eps | x | y |") || !strings.Contains(s, "90.0%") || !strings.Contains(s, "| - |") {
+		t.Fatalf("bad curves markdown:\n%s", s)
+	}
+}
+
+func TestGridMarkdownDescending(t *testing.T) {
+	s := GridMarkdown(Grid{
+		Title: "g",
+		Steps: []int{32, 80},
+		VThs:  []float32{0.25},
+		Acc:   [][]float64{{0.5}, {0.9}},
+	})
+	i80 := strings.Index(s, "| 80 |")
+	i32 := strings.Index(s, "| 32 |")
+	if i80 < 0 || i32 < 0 || i80 > i32 {
+		t.Fatalf("rows not descending:\n%s", s)
+	}
+	if !strings.Contains(s, "| 80 | 90 |") {
+		t.Fatalf("row association broken:\n%s", s)
+	}
+}

@@ -1,0 +1,101 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationEncoding(t *testing.T) {
+	r := AblationEncoding(testOpts)
+	for _, enc := range []string{"rate", "direct", "ttfs"} {
+		if _, ok := r.Metrics[enc+"_clean"]; !ok {
+			t.Fatalf("missing %s metrics", enc)
+		}
+		if r.Metrics[enc+"_clean"] < 0.5 {
+			t.Fatalf("%s encoding failed to train: %.2f", enc, r.Metrics[enc+"_clean"])
+		}
+		if !strings.Contains(r.Text, enc) {
+			t.Fatalf("table missing %s row", enc)
+		}
+	}
+}
+
+func TestAblationAQF(t *testing.T) {
+	r := AblationAQF(testOpts)
+	if len(r.Metrics) < 10 {
+		t.Fatalf("expected a full sweep, got %d metrics", len(r.Metrics))
+	}
+	// A larger T2 window admits more uncorrelated events: adversarial
+	// recovery at T2=100 must not beat T2=25 by a wide margin for the
+	// same support (sanity of the knob's direction).
+	if r.Metrics["s2_t100_adv"] > r.Metrics["s2_t25_adv"]+0.15 {
+		t.Fatalf("T2 sensitivity inverted: t100=%.2f t25=%.2f",
+			r.Metrics["s2_t100_adv"], r.Metrics["s2_t25_adv"])
+	}
+	// Clean retention must stay reasonable at the paper's constants.
+	if r.Metrics["s2_t50_clean"] < r.Metrics["baseline"]-0.35 {
+		t.Fatalf("AQF at paper constants destroys clean accuracy: %.2f vs %.2f",
+			r.Metrics["s2_t50_clean"], r.Metrics["baseline"])
+	}
+}
+
+func TestAblationUAP(t *testing.T) {
+	r := AblationUAP(testOpts)
+	if r.Metrics["clean"] < 0.6 {
+		t.Fatalf("clean accuracy %.2f too low", r.Metrics["clean"])
+	}
+	// The universal perturbation must transfer: larger budgets hurt more
+	// and the approximate model must not be noticeably safer.
+	if r.Metrics["accsnn_eps0.5"] >= r.Metrics["accsnn_eps0.1"] {
+		t.Fatalf("UAP budget not monotone: %.2f vs %.2f",
+			r.Metrics["accsnn_eps0.5"], r.Metrics["accsnn_eps0.1"])
+	}
+	if r.Metrics["accsnn_eps0.5"] >= r.Metrics["clean"] {
+		t.Fatal("UAP had no effect at eps 0.5")
+	}
+	if r.Metrics["ax0.1_eps0.5"] > r.Metrics["accsnn_eps0.5"]+0.15 {
+		t.Fatalf("AxSNN(0.1) safer than AccSNN under UAP: %.2f vs %.2f",
+			r.Metrics["ax0.1_eps0.5"], r.Metrics["accsnn_eps0.5"])
+	}
+}
+
+func TestHWMapping(t *testing.T) {
+	r := HWMapping(testOpts)
+	if len(r.Metrics) == 0 {
+		t.Fatal("no metrics")
+	}
+	// Footprint must shrink monotonically with the approximation level.
+	if r.Metrics["synapses_level0.3"] >= r.Metrics["synapses_level0"] {
+		t.Fatalf("synapse footprint did not shrink: %v vs %v",
+			r.Metrics["synapses_level0.3"], r.Metrics["synapses_level0"])
+	}
+	if r.Metrics["energy_nj_level0.3"] >= r.Metrics["energy_nj_level0"] {
+		t.Fatalf("energy did not shrink: %v vs %v",
+			r.Metrics["energy_nj_level0.3"], r.Metrics["energy_nj_level0"])
+	}
+	if r.Metrics["cores_level0.3"] > r.Metrics["cores_level0"] {
+		t.Fatal("core count grew under pruning")
+	}
+}
+
+func TestAblationFilters(t *testing.T) {
+	r := AblationFilters(testOpts)
+	for _, atk := range []string{"Sparse", "Frame", "Corner"} {
+		none := r.Metrics[atk+"_none"]
+		aqf := r.Metrics[atk+"_aqf"]
+		baf := r.Metrics[atk+"_baf"]
+		if aqf < none {
+			t.Fatalf("%s: AQF made things worse (%.2f -> %.2f)", atk, none, aqf)
+		}
+		// AQF must at least match the baseline filter on every attack
+		// and clearly beat it on Frame (whose events are
+		// self-supporting under plain neighbourhood refresh).
+		if aqf < baf-0.05 {
+			t.Fatalf("%s: AQF %.2f below baseline filter %.2f", atk, aqf, baf)
+		}
+	}
+	if r.Metrics["Frame_aqf"] < r.Metrics["Frame_baf"]+0.2 {
+		t.Fatalf("AQF must dominate BAF under Frame: %.2f vs %.2f",
+			r.Metrics["Frame_aqf"], r.Metrics["Frame_baf"])
+	}
+}

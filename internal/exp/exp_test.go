@@ -1,0 +1,225 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment tests assert the paper's *relationships* (who wins, what
+// recovers, what collapses) at Tiny scale; absolute values are noisy at
+// this size and are not asserted tightly. EXPERIMENTS.md records the
+// measured numbers at the default scale.
+
+var testOpts = Options{Scale: Tiny, Seed: 7}
+
+func TestFig1Relations(t *testing.T) {
+	r := Fig1(testOpts)
+	m := r.Metrics
+	if m["clean_accsnn"] < 0.6 {
+		t.Fatalf("AccSNN clean accuracy %.2f too low", m["clean_accsnn"])
+	}
+	if m["axsnn0.1_eps0"] >= m["clean_accsnn"] {
+		t.Fatalf("AxSNN(0.1) clean %.2f not below AccSNN %.2f", m["axsnn0.1_eps0"], m["clean_accsnn"])
+	}
+	// Attack must hurt the AxSNN at least as much as the AccSNN.
+	if m["axsnn_loss_eps1.0"] < m["accsnn_loss_eps1.0"]-0.1 {
+		t.Fatalf("AxSNN loss %.2f vs AccSNN loss %.2f: approximation did not increase vulnerability",
+			m["axsnn_loss_eps1.0"], m["accsnn_loss_eps1.0"])
+	}
+	if !strings.Contains(r.Text, "eps") || r.CSV["curves"] == "" {
+		t.Fatal("artifact text/CSV missing")
+	}
+}
+
+func TestFig2LevelOrdering(t *testing.T) {
+	r := Fig2(testOpts)
+	m := r.Metrics
+	// Clean accuracy must be monotone non-increasing in the
+	// approximation level (allowing small evaluation noise).
+	const slack = 0.07
+	if m["Ax(0.001)_eps0"] > m["AccSNN_eps0"]+slack ||
+		m["Ax(0.01)_eps0"] > m["Ax(0.001)_eps0"]+slack ||
+		m["Ax(0.1)_eps0"] > m["Ax(0.01)_eps0"]+slack ||
+		m["Ax(1)_eps0"] > m["Ax(0.1)_eps0"]+slack {
+		t.Fatalf("clean accuracy not ordered by level: %+v", m)
+	}
+	// Level 1 collapses to chance.
+	if m["Ax(1)_eps0"] > 0.25 {
+		t.Fatalf("Ax(1) clean accuracy %.2f, want ≈0.1", m["Ax(1)_eps0"])
+	}
+	// ε=1.5 collapses everything.
+	if m["AccSNN_eps1.5"] > 0.3 {
+		t.Fatalf("AccSNN at ε=1.5 is %.2f, want collapse", m["AccSNN_eps1.5"])
+	}
+}
+
+func TestFig3BIMBehaves(t *testing.T) {
+	r := Fig3(testOpts)
+	m := r.Metrics
+	if m["AccSNN_eps0"] < 0.6 {
+		t.Fatalf("clean accuracy %.2f too low", m["AccSNN_eps0"])
+	}
+	if m["AccSNN_eps0.9"] >= m["AccSNN_eps0"] {
+		t.Fatal("BIM at ε=0.9 did not reduce accuracy")
+	}
+}
+
+func TestFig4GridComplete(t *testing.T) {
+	r := Fig4(testOpts)
+	if r.Metrics["pgd_mean"] <= 0.05 || r.Metrics["pgd_mean"] >= 1 {
+		t.Fatalf("pgd grid mean %v implausible", r.Metrics["pgd_mean"])
+	}
+	if r.Metrics["bim_best"] < 0.4 {
+		t.Fatalf("no robust cells under BIM (best %.2f); Table I would be empty", r.Metrics["bim_best"])
+	}
+	if !strings.Contains(r.Text, "T\\Vth") {
+		t.Fatal("grid text missing")
+	}
+	if r.CSV["pgd"] == "" || r.CSV["bim"] == "" {
+		t.Fatal("grid CSVs missing")
+	}
+}
+
+func TestFig5And6PrecisionScales(t *testing.T) {
+	r5 := Fig5(testOpts)
+	r6 := Fig6(testOpts)
+	// Reduced precision must stay in the same ballpark as FP32 (the
+	// paper's point: it does not destroy accuracy and often helps).
+	r4 := Fig4(testOpts)
+	for _, pair := range []struct {
+		name string
+		got  float64
+	}{
+		{"fig5 pgd", r5.Metrics["pgd_mean"]},
+		{"fig6 pgd", r6.Metrics["pgd_mean"]},
+	} {
+		if pair.got < r4.Metrics["pgd_mean"]-0.25 {
+			t.Fatalf("%s mean %.2f collapsed vs fp32 %.2f", pair.name, pair.got, r4.Metrics["pgd_mean"])
+		}
+	}
+}
+
+func TestFig7aCleanGrid(t *testing.T) {
+	r := Fig7a(testOpts)
+	if r.Metrics["mean"] < 0.5 {
+		t.Fatalf("clean grid mean %.2f too low", r.Metrics["mean"])
+	}
+	if r.Metrics["best"] < 0.75 {
+		t.Fatalf("best clean cell %.2f too low", r.Metrics["best"])
+	}
+}
+
+func TestFig7bAttackCollapse(t *testing.T) {
+	r := Fig7b(testOpts)
+	m := r.Metrics
+	if m["accsnn_clean"] < 0.6 {
+		t.Fatalf("gesture clean accuracy %.2f too low", m["accsnn_clean"])
+	}
+	if m["accsnn_sparse"] > m["accsnn_clean"]-0.3 {
+		t.Fatalf("sparse attack too weak: %.2f vs clean %.2f", m["accsnn_sparse"], m["accsnn_clean"])
+	}
+	if m["accsnn_frame"] > m["accsnn_clean"]-0.3 {
+		t.Fatalf("frame attack too weak: %.2f vs clean %.2f", m["accsnn_frame"], m["accsnn_clean"])
+	}
+	if m["axsnn_sparse"] > m["axsnn_clean"]-0.3 {
+		t.Fatalf("sparse attack too weak on AxSNN: %.2f vs %.2f", m["axsnn_sparse"], m["axsnn_clean"])
+	}
+}
+
+func TestTable2AQFRecovers(t *testing.T) {
+	fig := Fig7b(testOpts)
+	r := Table2(testOpts)
+	// Best AQF row per attack must recover well above the undefended
+	// attacked accuracy.
+	bestSparse, bestFrame := 0.0, 0.0
+	for k, v := range r.Metrics {
+		if strings.HasPrefix(k, "Spars") && v > bestSparse {
+			bestSparse = v
+		}
+		if strings.HasPrefix(k, "Frame") && v > bestFrame {
+			bestFrame = v
+		}
+	}
+	if bestSparse < fig.Metrics["accsnn_sparse"]+0.3 {
+		t.Fatalf("AQF sparse recovery %.2f vs undefended %.2f", bestSparse, fig.Metrics["accsnn_sparse"])
+	}
+	if bestFrame < fig.Metrics["accsnn_frame"]+0.3 {
+		t.Fatalf("AQF frame recovery %.2f vs undefended %.2f", bestFrame, fig.Metrics["accsnn_frame"])
+	}
+	// Recovery approaches the clean baseline within 25 points.
+	if bestFrame < r.Metrics["baseline"]-0.25 {
+		t.Fatalf("frame recovery %.2f far from baseline %.2f", bestFrame, r.Metrics["baseline"])
+	}
+}
+
+func TestTable1Search(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Algorithm 1 search is the slowest experiment")
+	}
+	r := Table1(testOpts)
+	if len(r.Metrics) == 0 {
+		t.Fatal("no search results")
+	}
+	best := 0.0
+	for _, v := range r.Metrics {
+		if v > best {
+			best = v
+		}
+	}
+	if best < 0.4 {
+		t.Fatalf("best searched robustness %.2f too low", best)
+	}
+	if !strings.Contains(r.Text, "PGD") || !strings.Contains(r.Text, "BIM") {
+		t.Fatal("table text incomplete")
+	}
+}
+
+func TestEnergyAblation(t *testing.T) {
+	r := Energy(testOpts)
+	m := r.Metrics
+	if m["savings_level0"] != 1 {
+		t.Fatalf("level 0 savings %.2f, want exactly 1", m["savings_level0"])
+	}
+	// Savings must grow with the approximation level.
+	if !(m["savings_level0.001"] <= m["savings_level0.01"]+0.01 &&
+		m["savings_level0.01"] <= m["savings_level0.1"]+0.01 &&
+		m["savings_level0.1"] <= m["savings_level1"]+0.01) {
+		t.Fatalf("savings not monotone: %+v", m)
+	}
+	// The paper's headline regime: meaningful savings at level 0.1.
+	if m["savings_level0.1"] < 1.2 {
+		t.Fatalf("savings at level 0.1 only %.2fx", m["savings_level0.1"])
+	}
+}
+
+func TestRegistryAndRun(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(Registry) || len(ids) < 11 {
+		t.Fatalf("registry incomplete: %v", ids)
+	}
+	if _, err := Run("nope", testOpts); err == nil {
+		t.Fatal("expected error for unknown id")
+	}
+	r, err := Run("energy", testOpts)
+	if err != nil || r.ID != "energy" {
+		t.Fatalf("Run failed: %v", err)
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Scale
+	}{{"tiny", Tiny}, {"small", Small}, {"", Small}, {"paper", Paper}, {"full", Paper}} {
+		got, err := ParseScale(c.in)
+		if err != nil || got != c.want {
+			t.Fatalf("ParseScale(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if _, err := ParseScale("huge"); err == nil {
+		t.Fatal("expected error")
+	}
+	if Tiny.String() != "tiny" || Small.String() != "small" || Paper.String() != "paper" {
+		t.Fatal("Scale.String broken")
+	}
+}

@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/approx"
+	"repro/internal/eval"
+	"repro/internal/hw"
+	"repro/internal/quant"
+	"repro/internal/snn"
+)
+
+// HWMapping maps the accurate and approximate networks onto a
+// Loihi-class core mesh and reports the deployment footprint — the
+// hardware-level view of the paper's energy-efficiency motivation.
+func HWMapping(o Options) Result {
+	p := presetFor(o.Scale)
+	train, test := mnistData(o, p)
+	d := designerFor(o, p, train, test)
+	acc := d.TrainAccurate(0.25, p.scaledSteps(32))
+
+	// Small cores so even the reduced networks span several of them.
+	spec := hw.DefaultCoreSpec()
+	spec.MaxNeurons = 64
+	spec.MaxSynapses = 4096
+
+	tbl := eval.Table{
+		Title:   "Neuromorphic deployment — core mesh footprint vs approximation level",
+		Headers: []string{"Level", "Cores", "Synapses", "Util[%]", "Energy/inf[nJ]", "Latency[µs]", "Acc[%]"},
+	}
+	metrics := map[string]float64{}
+	calib := d.CalibrationFrames(acc)
+	for _, level := range []float64{0, 0.01, 0.1, 0.3} {
+		victim := acc
+		if level > 0 {
+			victim, _ = approx.Approximate(acc, approx.Params{Level: level, Scale: quant.FP32}, calib)
+		}
+		snn.Calibrate(victim, calib)
+		place, err := hw.Map(victim, spec)
+		if err != nil {
+			tbl.Rows = append(tbl.Rows, []string{fmt.Sprintf("%g", level), "-", "-", "-", "-", "-", "-"})
+			continue
+		}
+		rep := place.Analyze(victim.Cfg.Steps)
+		accPct := d.EvaluateSet(victim, test)
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprintf("%g", level),
+			fmt.Sprintf("%d", rep.CoresUsed),
+			fmt.Sprintf("%d", rep.SynapsesUsed),
+			fmt.Sprintf("%.0f", 100*rep.MeanCoreUtilization),
+			fmt.Sprintf("%.1f", rep.EnergyPerInferenceJ*1e9),
+			fmt.Sprintf("%.1f", rep.LatencyPerInferenceS*1e6),
+			fmt.Sprintf("%.0f", 100*accPct),
+		})
+		metrics[fmt.Sprintf("energy_nj_level%g", level)] = rep.EnergyPerInferenceJ * 1e9
+		metrics[fmt.Sprintf("cores_level%g", level)] = float64(rep.CoresUsed)
+		metrics[fmt.Sprintf("synapses_level%g", level)] = float64(rep.SynapsesUsed)
+	}
+	return Result{
+		ID: "hw-mapping", Title: "Loihi-class deployment footprint",
+		Text:    eval.FormatTable(tbl),
+		Metrics: metrics,
+		Notes:   "Extension: hardware-level realization of the §I energy motivation (ref [1] targets Loihi).",
+	}
+}

@@ -1,0 +1,162 @@
+package hw
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/approx"
+	"repro/internal/encoding"
+	"repro/internal/quant"
+	"repro/internal/rng"
+	"repro/internal/snn"
+	"repro/internal/tensor"
+)
+
+// calibNet returns a small calibrated network and its workload.
+func calibNet(t *testing.T, seed uint64) (*snn.Network, [][]*tensor.Tensor) {
+	t.Helper()
+	r := rng.New(seed)
+	cfg := snn.DefaultConfig(0.3, 6)
+	net := snn.MNISTNet(cfg, 1, 12, 12, true, r)
+	img := tensor.New(1, 12, 12)
+	er := rng.New(seed + 1)
+	for i := range img.Data {
+		img.Data[i] = er.Float32()
+	}
+	workload := [][]*tensor.Tensor{encoding.Direct{}.Encode(img, cfg.Steps, nil)}
+	snn.Calibrate(net, workload)
+	return net, workload
+}
+
+func TestMapRespectsCapacity(t *testing.T) {
+	net, _ := calibNet(t, 1)
+	spec := DefaultCoreSpec()
+	spec.MaxNeurons = 100
+	spec.MaxSynapses = 5000
+	p, err := Map(net, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Cores) == 0 {
+		t.Fatal("no cores allocated")
+	}
+	for i, c := range p.Cores {
+		if c.Neurons > spec.MaxNeurons {
+			t.Fatalf("core %d has %d neurons > %d", i, c.Neurons, spec.MaxNeurons)
+		}
+		if c.Synapses > spec.MaxSynapses {
+			t.Fatalf("core %d has %d synapses > %d", i, c.Synapses, spec.MaxSynapses)
+		}
+		if c.X < 0 || c.X >= p.MeshW || c.Y < 0 || c.Y >= p.MeshH {
+			t.Fatalf("core %d at (%d,%d) off the %dx%d mesh", i, c.X, c.Y, p.MeshW, p.MeshH)
+		}
+	}
+}
+
+func TestMapCountsAllNeurons(t *testing.T) {
+	net, _ := calibNet(t, 2)
+	p, err := Map(net, DefaultCoreSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range p.Cores {
+		total += c.Neurons
+	}
+	// Expected: sum of output units of all weighted layers.
+	want := 0
+	for _, l := range net.Layers {
+		switch v := l.(type) {
+		case *snn.Conv2D:
+			want += v.OutC * v.Geom.OutH() * v.Geom.OutW()
+		case *snn.Dense:
+			want += v.Out
+		}
+	}
+	if total != want {
+		t.Fatalf("placed %d neurons, want %d", total, want)
+	}
+}
+
+func TestMapRejectsOversizedFanIn(t *testing.T) {
+	net, _ := calibNet(t, 3)
+	spec := DefaultCoreSpec()
+	spec.MaxSynapses = 10 // conv fan-in 9 fits, dense fan-in won't
+	if _, err := Map(net, spec); err == nil {
+		t.Fatal("expected fan-in capacity error")
+	}
+}
+
+func TestApproximationShrinksDeployment(t *testing.T) {
+	net, workload := calibNet(t, 4)
+	spec := DefaultCoreSpec()
+	spec.MaxNeurons = 64
+	spec.MaxSynapses = 3000
+
+	pAcc, err := Map(net, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rAcc := pAcc.Analyze(net.Cfg.Steps)
+
+	ax, rep := approx.Approximate(net, approx.Params{Level: 0.3, Scale: quant.FP32}, workload)
+	if rep.TotalPrunedFraction() < 0.3 {
+		t.Skipf("pruning too mild (%.2f) for a deployment contrast", rep.TotalPrunedFraction())
+	}
+	snn.Calibrate(ax, workload)
+	pAx, err := Map(ax, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rAx := pAx.Analyze(ax.Cfg.Steps)
+
+	if rAx.SynapsesUsed >= rAcc.SynapsesUsed {
+		t.Fatalf("pruned network uses %d synapses vs accurate %d", rAx.SynapsesUsed, rAcc.SynapsesUsed)
+	}
+	if rAx.EnergyPerInferenceJ >= rAcc.EnergyPerInferenceJ {
+		t.Fatalf("pruned network energy %v >= accurate %v", rAx.EnergyPerInferenceJ, rAcc.EnergyPerInferenceJ)
+	}
+	if rAx.CoresUsed > rAcc.CoresUsed {
+		t.Fatalf("pruned network needs more cores (%d vs %d)", rAx.CoresUsed, rAcc.CoresUsed)
+	}
+}
+
+func TestAnalyzeBasics(t *testing.T) {
+	net, _ := calibNet(t, 5)
+	p, err := Map(net, DefaultCoreSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.Analyze(6)
+	if r.CoresUsed != len(p.Cores) {
+		t.Fatal("core count mismatch")
+	}
+	if r.SOPsPerStep < 0 || r.HopsPerStep < 0 || r.SpikesPerStep < 0 {
+		t.Fatalf("negative rates: %+v", r)
+	}
+	if r.EnergyPerInferenceJ <= 0 || r.LatencyPerInferenceS <= 0 {
+		t.Fatalf("non-positive cost: %+v", r)
+	}
+	if r.MeanCoreUtilization <= 0 || r.MeanCoreUtilization > 1 {
+		t.Fatalf("utilization %v out of (0,1]", r.MeanCoreUtilization)
+	}
+	if !strings.Contains(r.String(), "cores=") {
+		t.Fatal("report string malformed")
+	}
+}
+
+func TestMoreStepsCostMore(t *testing.T) {
+	net, _ := calibNet(t, 6)
+	p, err := Map(net, DefaultCoreSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r6 := p.Analyze(6)
+	r12 := p.Analyze(12)
+	if r12.EnergyPerInferenceJ <= r6.EnergyPerInferenceJ {
+		t.Fatal("doubling steps must increase energy")
+	}
+	if r12.LatencyPerInferenceS <= r6.LatencyPerInferenceS {
+		t.Fatal("doubling steps must increase latency")
+	}
+}

@@ -1,0 +1,68 @@
+package quant
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+func TestPerChannelBeatsPerTensor(t *testing.T) {
+	// Two rows with wildly different scales: per-channel quantization
+	// must reconstruct the small row far better.
+	r := rng.New(1)
+	x := tensor.New(2, 64)
+	for i := 0; i < 64; i++ {
+		x.Data[i] = r.NormFloat32() * 10 // big row
+		x.Data[64+i] = r.NormFloat32() * 0.01
+	}
+	perTensor := Applied(x, INT8)
+	perChannel := ApplyPerChannel(x.Clone(), INT8, 2)
+
+	smallRowErr := func(q *tensor.Tensor) float64 {
+		e := 0.0
+		for i := 64; i < 128; i++ {
+			d := float64(q.Data[i] - x.Data[i])
+			e += d * d
+		}
+		return e
+	}
+	if smallRowErr(perChannel) >= smallRowErr(perTensor) {
+		t.Fatalf("per-channel error %v not below per-tensor %v",
+			smallRowErr(perChannel), smallRowErr(perTensor))
+	}
+}
+
+func TestPerChannelFallbacks(t *testing.T) {
+	r := rng.New(2)
+	x := tensor.New(10)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat32()
+	}
+	// FP32: identity.
+	y := ApplyPerChannel(x.Clone(), FP32, 2)
+	for i := range x.Data {
+		if y.Data[i] != x.Data[i] {
+			t.Fatal("FP32 per-channel must be identity")
+		}
+	}
+	// Bad row count: falls back to per-tensor (still valid INT8).
+	z := ApplyPerChannel(x.Clone(), INT8, 3) // 10 % 3 != 0
+	w := Applied(x, INT8)
+	for i := range z.Data {
+		if z.Data[i] != w.Data[i] {
+			t.Fatal("fallback must equal per-tensor quantization")
+		}
+	}
+}
+
+func TestPerChannelZeroRow(t *testing.T) {
+	x := tensor.New(2, 4)
+	x.Data[0], x.Data[1] = 1, -1 // row 0 nonzero, row 1 all zero
+	out := ApplyPerChannel(x, INT8, 2)
+	for i := 4; i < 8; i++ {
+		if out.Data[i] != 0 {
+			t.Fatal("zero row must stay zero")
+		}
+	}
+}

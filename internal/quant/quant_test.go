@@ -1,0 +1,239 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+func TestF16SpecialValues(t *testing.T) {
+	cases := []struct {
+		in   float32
+		want float32
+	}{
+		{0, 0},
+		{1, 1},
+		{-1, -1},
+		{0.5, 0.5},
+		{2, 2},
+		{65504, 65504}, // max finite half
+		{1.0 / 1024, 1.0 / 1024},
+		{float32(math.Inf(1)), float32(math.Inf(1))},
+		{float32(math.Inf(-1)), float32(math.Inf(-1))},
+	}
+	for _, c := range cases {
+		got := RoundF16(c.in)
+		if got != c.want {
+			t.Fatalf("RoundF16(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestF16NaN(t *testing.T) {
+	nan := float32(math.NaN())
+	if !math.IsNaN(float64(RoundF16(nan))) {
+		t.Fatal("NaN must round-trip to NaN")
+	}
+}
+
+func TestF16Overflow(t *testing.T) {
+	if !math.IsInf(float64(RoundF16(1e30)), 1) {
+		t.Fatal("large values must overflow to +Inf")
+	}
+	if !math.IsInf(float64(RoundF16(-1e30)), -1) {
+		t.Fatal("large negatives must overflow to -Inf")
+	}
+}
+
+func TestF16Underflow(t *testing.T) {
+	if RoundF16(1e-30) != 0 {
+		t.Fatalf("tiny values must flush to zero, got %v", RoundF16(1e-30))
+	}
+	// Smallest half subnormal is 2^-24 ≈ 5.96e-8.
+	sub := float32(math.Pow(2, -24))
+	if RoundF16(sub) != sub {
+		t.Fatalf("smallest subnormal must survive: %v -> %v", sub, RoundF16(sub))
+	}
+}
+
+func TestF16SignPreserved(t *testing.T) {
+	if math.Signbit(float64(RoundF16(float32(math.Copysign(0, -1))))) != true {
+		t.Fatal("-0 must keep its sign")
+	}
+}
+
+// Round-tripping a value that is already a half must be exact, and the
+// relative error for normal halves is bounded by 2^-11.
+func TestF16RelativeErrorBound(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		v := float32(r.NormFloat64() * 10)
+		got := RoundF16(v)
+		if v == 0 {
+			return got == 0
+		}
+		rel := math.Abs(float64(got-v)) / math.Abs(float64(v))
+		// normals: 2^-11; allow slack near the subnormal boundary
+		return rel <= 1.0/2048+1e-6 || math.Abs(float64(v)) < 6.2e-5
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestF16Idempotent(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		v := float32(r.NormFloat64() * 100)
+		once := RoundF16(v)
+		twice := RoundF16(once)
+		return once == twice
+	}, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt8RoundTrip(t *testing.T) {
+	x := tensor.FromSlice([]float32{-1, -0.5, 0, 0.25, 1}, 5)
+	p := Int8ParamsFor(x)
+	codes := QuantizeInt8(x, p)
+	back := DequantizeInt8(codes, p, 5)
+	for i := range x.Data {
+		if math.Abs(float64(back.Data[i]-x.Data[i])) > float64(p.Step)/2+1e-6 {
+			t.Fatalf("int8 error at %d: %v vs %v (step %v)", i, back.Data[i], x.Data[i], p.Step)
+		}
+	}
+}
+
+func TestInt8ZeroTensor(t *testing.T) {
+	x := tensor.New(4)
+	p := Int8ParamsFor(x)
+	codes := QuantizeInt8(x, p)
+	for _, c := range codes {
+		if c != 0 {
+			t.Fatal("zero tensor must quantize to zero codes")
+		}
+	}
+}
+
+func TestInt8Saturation(t *testing.T) {
+	x := tensor.FromSlice([]float32{10, -10}, 2)
+	p := Int8Params{Step: 0.01} // deliberately too small
+	codes := QuantizeInt8(x, p)
+	if codes[0] != 127 || codes[1] != -127 {
+		t.Fatalf("saturation failed: %v", codes)
+	}
+}
+
+func TestApplyFP32IsIdentity(t *testing.T) {
+	r := rng.New(1)
+	x := tensor.New(100)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat32()
+	}
+	y := Applied(x, FP32)
+	for i := range x.Data {
+		if x.Data[i] != y.Data[i] {
+			t.Fatal("FP32 must be identity")
+		}
+	}
+}
+
+func TestApplyErrorOrdering(t *testing.T) {
+	// Quantization error must grow as precision shrinks: FP32 <= FP16 <= INT8
+	// for a generic random tensor.
+	r := rng.New(2)
+	x := tensor.New(1000)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat32()
+	}
+	e32 := MSE(x, Applied(x, FP32))
+	e16 := MSE(x, Applied(x, FP16))
+	e8 := MSE(x, Applied(x, INT8))
+	if !(e32 <= e16 && e16 <= e8) {
+		t.Fatalf("error ordering violated: fp32=%v fp16=%v int8=%v", e32, e16, e8)
+	}
+	if e32 != 0 {
+		t.Fatal("fp32 error must be zero")
+	}
+}
+
+func TestApplyIdempotent(t *testing.T) {
+	r := rng.New(3)
+	for _, s := range []Scale{FP16, INT8} {
+		x := tensor.New(64)
+		for i := range x.Data {
+			x.Data[i] = r.NormFloat32()
+		}
+		once := Applied(x, s)
+		twice := Applied(once, s)
+		for i := range once.Data {
+			// INT8 params are recomputed; max element is preserved, so the
+			// step is identical and the operation is idempotent.
+			if math.Abs(float64(once.Data[i]-twice.Data[i])) > 1e-6 {
+				t.Fatalf("%v not idempotent at %d: %v vs %v", s, i, once.Data[i], twice.Data[i])
+			}
+		}
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	if FP32.String() != "FP32" || FP16.String() != "FP16" || INT8.String() != "INT8" {
+		t.Fatal("Scale.String broken")
+	}
+	if FP32.Bits() != 32 || FP16.Bits() != 16 || INT8.Bits() != 8 {
+		t.Fatal("Scale.Bits broken")
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Scale
+	}{{"fp32", FP32}, {"FP16", FP16}, {"int8", INT8}, {"Int8", INT8}} {
+		got, err := ParseScale(c.in)
+		if err != nil || got != c.want {
+			t.Fatalf("ParseScale(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if _, err := ParseScale("fp8"); err == nil {
+		t.Fatal("expected error for unknown scale")
+	}
+}
+
+func TestQuantizeStep(t *testing.T) {
+	x := tensor.FromSlice([]float32{0.013, 0.026, 0.031}, 3)
+	QuantizeStep(x, 0.01)
+	want := []float32{0.01, 0.03, 0.03}
+	for i := range x.Data {
+		if math.Abs(float64(x.Data[i]-want[i])) > 1e-6 {
+			t.Fatalf("QuantizeStep = %v, want %v", x.Data, want)
+		}
+	}
+	// step 0 is identity
+	y := tensor.FromSlice([]float32{0.123}, 1)
+	QuantizeStep(y, 0)
+	if y.Data[0] != 0.123 {
+		t.Fatal("step 0 must be identity")
+	}
+}
+
+func BenchmarkRoundF16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = RoundF16(float32(i) * 0.001)
+	}
+}
+
+func BenchmarkApplyINT8(b *testing.B) {
+	r := rng.New(1)
+	x := tensor.New(4096)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat32()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Applied(x, INT8)
+	}
+}

@@ -1,0 +1,237 @@
+package snn
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over (C,H,W) inputs, lowered to matrix
+// multiplication via im2col. Weights are stored as (OutC, InC·KH·KW) plus
+// a per-output-channel bias.
+type Conv2D struct {
+	Geom tensor.Conv2DGeom
+	OutC int
+
+	W *tensor.Tensor // (OutC, InC*KH*KW)
+	B *tensor.Tensor // (OutC)
+
+	// Mask, when non-nil, zeroes pruned connections after every weight
+	// read; the approx package installs it (same shape as W).
+	Mask *tensor.Tensor
+
+	dW *tensor.Tensor
+	dB *tensor.Tensor
+
+	cols []*tensor.Tensor // cached im2col per step (training)
+}
+
+// NewConv2D creates a convolution with Kaiming-uniform-ish Gaussian init.
+func NewConv2D(inC, outC, k, stride, pad, inH, inW int, r *rng.RNG) *Conv2D {
+	g := tensor.Conv2DGeom{InC: inC, InH: inH, InW: inW, KH: k, KW: k, Stride: stride, Pad: pad}
+	c := &Conv2D{Geom: g, OutC: outC}
+	fanIn := inC * k * k
+	c.W = tensor.New(outC, fanIn)
+	sd := sqrt32(2 / float32(fanIn))
+	for i := range c.W.Data {
+		c.W.Data[i] = r.NormFloat32() * sd
+	}
+	c.B = tensor.New(outC)
+	c.dW = tensor.New(outC, fanIn)
+	c.dB = tensor.New(outC)
+	return c
+}
+
+func sqrt32(x float32) float32 {
+	if x <= 0 {
+		return 0
+	}
+	// Newton iterations on float64 then narrow; precision is irrelevant
+	// for initialization.
+	z := float64(x)
+	y := z
+	for i := 0; i < 20; i++ {
+		y = 0.5 * (y + z/y)
+	}
+	return float32(y)
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return "conv2d" }
+
+// effectiveW returns the weight matrix with the prune mask applied.
+func (c *Conv2D) effectiveW() *tensor.Tensor {
+	if c.Mask == nil {
+		return c.W
+	}
+	w := c.W.Clone()
+	w.Mul(c.Mask)
+	return w
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 3 {
+		panic(fmt.Sprintf("snn: Conv2D input rank %d (shape %s)", x.Rank(), shapeStr(x.Shape)))
+	}
+	cols := tensor.Im2Col(x, c.Geom)
+	out := tensor.MatMul(c.effectiveW(), cols) // (OutC, oh*ow)
+	oh, ow := c.Geom.OutH(), c.Geom.OutW()
+	for oc := 0; oc < c.OutC; oc++ {
+		b := c.B.Data[oc]
+		row := out.Data[oc*oh*ow : (oc+1)*oh*ow]
+		for i := range row {
+			row[i] += b
+		}
+	}
+	if train {
+		c.cols = append(c.cols, cols)
+	}
+	return out.Reshape(c.OutC, oh, ow)
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n := len(c.cols)
+	if n == 0 {
+		panic("snn: Conv2D.Backward without cached forward step")
+	}
+	cols := c.cols[n-1]
+	c.cols = c.cols[:n-1]
+
+	oh, ow := c.Geom.OutH(), c.Geom.OutW()
+	g2 := grad.Reshape(c.OutC, oh*ow)
+
+	// dW += g2 · colsᵀ ; dB += row sums of g2.
+	c.dW.Add(tensor.MatMulT(g2, cols))
+	for oc := 0; oc < c.OutC; oc++ {
+		var s float32
+		row := g2.Data[oc*oh*ow : (oc+1)*oh*ow]
+		for _, v := range row {
+			s += v
+		}
+		c.dB.Data[oc] += s
+	}
+
+	// dX = col2im(Wᵀ · g2).
+	dcols := tensor.TMatMul(c.effectiveW(), g2)
+	return tensor.Col2Im(dcols, c.Geom)
+}
+
+// Reset implements Layer.
+func (c *Conv2D) Reset() { c.cols = c.cols[:0] }
+
+// Params implements ParamLayer.
+func (c *Conv2D) Params() []*tensor.Tensor { return []*tensor.Tensor{c.W, c.B} }
+
+// Grads implements ParamLayer.
+func (c *Conv2D) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.dW, c.dB} }
+
+// Dense is a fully connected layer y = Wx + b over rank-1 inputs.
+type Dense struct {
+	In, Out int
+
+	W *tensor.Tensor // (Out, In)
+	B *tensor.Tensor // (Out)
+
+	// Mask, when non-nil, zeroes pruned connections (approx package).
+	Mask *tensor.Tensor
+
+	dW *tensor.Tensor
+	dB *tensor.Tensor
+
+	xs []*tensor.Tensor // cached inputs per step (training)
+}
+
+// NewDense creates a dense layer with Gaussian init scaled by fan-in.
+func NewDense(in, out int, r *rng.RNG) *Dense {
+	d := &Dense{In: in, Out: out}
+	d.W = tensor.New(out, in)
+	sd := sqrt32(2 / float32(in))
+	for i := range d.W.Data {
+		d.W.Data[i] = r.NormFloat32() * sd
+	}
+	d.B = tensor.New(out)
+	d.dW = tensor.New(out, in)
+	d.dB = tensor.New(out)
+	return d
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return "dense" }
+
+func (d *Dense) effectiveW() *tensor.Tensor {
+	if d.Mask == nil {
+		return d.W
+	}
+	w := d.W.Clone()
+	w.Mul(d.Mask)
+	return w
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Len() != d.In {
+		panic(fmt.Sprintf("snn: Dense input %d, want %d", x.Len(), d.In))
+	}
+	w := d.effectiveW()
+	out := tensor.New(d.Out)
+	for o := 0; o < d.Out; o++ {
+		row := w.Data[o*d.In : (o+1)*d.In]
+		var s float32
+		for i, xv := range x.Data {
+			s += row[i] * xv
+		}
+		out.Data[o] = s + d.B.Data[o]
+	}
+	if train {
+		d.xs = append(d.xs, x.Clone())
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n := len(d.xs)
+	if n == 0 {
+		panic("snn: Dense.Backward without cached forward step")
+	}
+	x := d.xs[n-1]
+	d.xs = d.xs[:n-1]
+
+	for o := 0; o < d.Out; o++ {
+		g := grad.Data[o]
+		if g == 0 {
+			continue
+		}
+		drow := d.dW.Data[o*d.In : (o+1)*d.In]
+		for i, xv := range x.Data {
+			drow[i] += g * xv
+		}
+		d.dB.Data[o] += g
+	}
+
+	w := d.effectiveW()
+	dx := tensor.New(d.In)
+	for o := 0; o < d.Out; o++ {
+		g := grad.Data[o]
+		if g == 0 {
+			continue
+		}
+		row := w.Data[o*d.In : (o+1)*d.In]
+		for i, wv := range row {
+			dx.Data[i] += g * wv
+		}
+	}
+	return dx
+}
+
+// Reset implements Layer.
+func (d *Dense) Reset() { d.xs = d.xs[:0] }
+
+// Params implements ParamLayer.
+func (d *Dense) Params() []*tensor.Tensor { return []*tensor.Tensor{d.W, d.B} }
+
+// Grads implements ParamLayer.
+func (d *Dense) Grads() []*tensor.Tensor { return []*tensor.Tensor{d.dW, d.dB} }

@@ -1,0 +1,122 @@
+package snn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/tensor"
+)
+
+// netState is the serialized form of a network: the architecture is NOT
+// stored (callers rebuild it from code, which keeps the format small and
+// forward-compatible); only config, parameter payloads and — for AxSNNs
+// — the pruning masks are.
+type netState struct {
+	VTh    float32
+	Steps  int
+	Decay  float32
+	Beta   float32
+	Shapes [][]int
+	Params [][]float32
+	// Masks aligns with the weighted layers in order; a nil entry means
+	// the layer is unpruned. Absent in pre-mask files (gob zero value).
+	Masks [][]float32
+}
+
+// maskedLayers returns pointers to the mask slots of the weighted layers
+// in network order.
+func (n *Network) maskedLayers() []**tensor.Tensor {
+	var out []**tensor.Tensor
+	for _, l := range n.Layers {
+		switch v := l.(type) {
+		case *Conv2D:
+			out = append(out, &v.Mask)
+		case *Dense:
+			out = append(out, &v.Mask)
+		}
+	}
+	return out
+}
+
+// Save writes the network's configuration, parameters and pruning masks
+// to w.
+func (n *Network) Save(w io.Writer) error {
+	st := netState{VTh: n.Cfg.VTh, Steps: n.Cfg.Steps, Decay: n.Cfg.Decay, Beta: n.Cfg.Beta}
+	for _, p := range n.Params() {
+		st.Shapes = append(st.Shapes, append([]int(nil), p.Shape...))
+		st.Params = append(st.Params, append([]float32(nil), p.Data...))
+	}
+	for _, mp := range n.maskedLayers() {
+		if *mp == nil {
+			st.Masks = append(st.Masks, nil)
+		} else {
+			st.Masks = append(st.Masks, append([]float32(nil), (*mp).Data...))
+		}
+	}
+	return gob.NewEncoder(w).Encode(&st)
+}
+
+// Load restores parameters saved by Save into a structurally identical
+// network. It validates shapes and updates the config.
+func (n *Network) Load(r io.Reader) error {
+	var st netState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("snn: decoding state: %w", err)
+	}
+	params := n.Params()
+	if len(params) != len(st.Params) {
+		return fmt.Errorf("snn: state has %d tensors, network has %d", len(st.Params), len(params))
+	}
+	for i, p := range params {
+		if len(st.Params[i]) != p.Len() {
+			return fmt.Errorf("snn: tensor %d has %d values, want %d", i, len(st.Params[i]), p.Len())
+		}
+		copy(p.Data, st.Params[i])
+	}
+	if st.Masks != nil {
+		slots := n.maskedLayers()
+		if len(slots) != len(st.Masks) {
+			return fmt.Errorf("snn: state has %d masks, network has %d weighted layers", len(st.Masks), len(slots))
+		}
+		for i, m := range st.Masks {
+			if m == nil {
+				*slots[i] = nil
+				continue
+			}
+			// Masks share the weight tensor's shape: weighted layer i
+			// owns params[2i] (weights come before biases).
+			w := params[2*i]
+			if len(m) != w.Len() {
+				return fmt.Errorf("snn: mask %d has %d values, want %d", i, len(m), w.Len())
+			}
+			mt := tensor.New(w.Shape...)
+			copy(mt.Data, m)
+			*slots[i] = mt
+		}
+	}
+	n.Cfg = Config{VTh: st.VTh, Steps: st.Steps, Decay: st.Decay, Beta: st.Beta}
+	n.SetVTh(st.VTh)
+	return nil
+}
+
+// SaveFile writes the network state to path.
+func (n *Network) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return n.Save(f)
+}
+
+// LoadFile restores network state from path.
+func (n *Network) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return n.Load(f)
+}

@@ -1,0 +1,27 @@
+package snn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// SoftmaxCrossEntropy returns the cross-entropy loss of logits against
+// label and the gradient dL/dlogits.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, label int) (float64, *tensor.Tensor) {
+	p := tensor.Softmax(logits)
+	eps := 1e-12
+	loss := -math.Log(math.Max(float64(p.Data[label]), eps))
+	grad := p.Clone()
+	grad.Data[label] -= 1
+	return loss, grad
+}
+
+// NegTargetLoss returns a loss whose *descent* direction reduces the
+// target class probability — attacks maximize the true-class loss, which
+// is the same gradient with opposite sign. Provided for readability in
+// attack code: gradient ascent on SoftmaxCrossEntropy(label).
+func NegTargetLoss(logits *tensor.Tensor, label int) (float64, *tensor.Tensor) {
+	loss, grad := SoftmaxCrossEntropy(logits, label)
+	return -loss, grad.Scale(-1)
+}

@@ -1,0 +1,233 @@
+package snn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Config holds the structural parameters the paper sweeps: threshold
+// voltage Vth and number of time steps T, plus the fixed dynamics
+// constants.
+type Config struct {
+	VTh   float32 // LIF threshold voltage
+	Steps int     // time steps T per sample
+	Decay float32 // membrane leak λ
+	Beta  float32 // surrogate sharpness
+}
+
+// DefaultConfig returns the dynamics constants used throughout the
+// experiments (Vth and Steps are experiment parameters).
+func DefaultConfig(vth float32, steps int) Config {
+	return Config{VTh: vth, Steps: steps, Decay: 0.9, Beta: 4}
+}
+
+// Network is an ordered stack of layers processing one sample as
+// Config.Steps time steps. The final layer acts as a non-spiking readout:
+// its per-step outputs are accumulated into logits.
+type Network struct {
+	Cfg    Config
+	Layers []Layer
+}
+
+// NewNetwork assembles a network from layers.
+func NewNetwork(cfg Config, layers ...Layer) *Network {
+	return &Network{Cfg: cfg, Layers: layers}
+}
+
+// Reset clears all layer state (membranes, caches, dropout masks).
+func (n *Network) Reset() {
+	for _, l := range n.Layers {
+		l.Reset()
+	}
+}
+
+// ResetStats clears LIF calibration statistics network-wide.
+func (n *Network) ResetStats() {
+	for _, l := range n.Layers {
+		if lif, ok := l.(*LIF); ok {
+			lif.ResetStats()
+		}
+	}
+}
+
+// StepForward runs one time step through all layers.
+func (n *Network) StepForward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range n.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// StepBackward runs one reverse time step, returning the gradient w.r.t.
+// this step's input frame.
+func (n *Network) StepBackward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Forward processes a full sample (frames[t] is the input at step t; if
+// fewer frames than Steps are supplied the last frame repeats, and a
+// single frame means a static image presented every step). It returns the
+// accumulated readout logits.
+func (n *Network) Forward(frames []*tensor.Tensor, train bool) *tensor.Tensor {
+	if len(frames) == 0 {
+		panic("snn: Forward with no input frames")
+	}
+	n.Reset()
+	var logits *tensor.Tensor
+	for t := 0; t < n.Cfg.Steps; t++ {
+		f := frames[min(t, len(frames)-1)]
+		out := n.StepForward(f, train)
+		if logits == nil {
+			logits = tensor.New(out.Shape...)
+		}
+		logits.Add(out)
+	}
+	return logits
+}
+
+// Backward completes BPTT after a training Forward: gradLogits is
+// dL/d(accumulated logits); since logits = Σ_t out_t, every reverse step
+// receives the same top gradient. It returns per-step input gradients in
+// forward order (index t), which attacks use to reach the pixels.
+func (n *Network) Backward(gradLogits *tensor.Tensor) []*tensor.Tensor {
+	grads := make([]*tensor.Tensor, n.Cfg.Steps)
+	for t := n.Cfg.Steps - 1; t >= 0; t-- {
+		grads[t] = n.StepBackward(gradLogits.Clone())
+	}
+	return grads
+}
+
+// Predict returns the argmax class for a sample.
+func (n *Network) Predict(frames []*tensor.Tensor) int {
+	return n.Forward(frames, false).Argmax()
+}
+
+// ParamLayers returns the layers holding trainable parameters.
+func (n *Network) ParamLayers() []ParamLayer {
+	var out []ParamLayer
+	for _, l := range n.Layers {
+		if pl, ok := l.(ParamLayer); ok {
+			out = append(out, pl)
+		}
+	}
+	return out
+}
+
+// Params returns all parameter tensors in a stable order.
+func (n *Network) Params() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, pl := range n.ParamLayers() {
+		out = append(out, pl.Params()...)
+	}
+	return out
+}
+
+// Grads returns all gradient tensors, aligned with Params.
+func (n *Network) Grads() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, pl := range n.ParamLayers() {
+		out = append(out, pl.Grads()...)
+	}
+	return out
+}
+
+// ZeroGrads clears every gradient tensor.
+func (n *Network) ZeroGrads() {
+	for _, g := range n.Grads() {
+		g.Zero()
+	}
+}
+
+// LIFLayers returns the spiking layers in order.
+func (n *Network) LIFLayers() []*LIF {
+	var out []*LIF
+	for _, l := range n.Layers {
+		if lif, ok := l.(*LIF); ok {
+			out = append(out, lif)
+		}
+	}
+	return out
+}
+
+// SetVTh updates the threshold voltage on the config and on every LIF
+// layer (used when re-deriving a network at a new structural point).
+func (n *Network) SetVTh(vth float32) {
+	n.Cfg.VTh = vth
+	for _, l := range n.LIFLayers() {
+		l.VTh = vth
+	}
+}
+
+// CloneArchitecture builds a structurally identical network with *shared*
+// parameter tensors but independent state/caches/masks/grad buffers. Use
+// it to evaluate one trained model concurrently from several goroutines:
+// workers may run Forward/Backward freely as long as nobody writes to the
+// shared weights.
+func (n *Network) CloneArchitecture() *Network {
+	out := &Network{Cfg: n.Cfg}
+	for _, l := range n.Layers {
+		switch v := l.(type) {
+		case *Conv2D:
+			c := &Conv2D{Geom: v.Geom, OutC: v.OutC, W: v.W, B: v.B, Mask: v.Mask}
+			c.dW = tensor.New(v.dW.Shape...)
+			c.dB = tensor.New(v.dB.Shape...)
+			out.Layers = append(out.Layers, c)
+		case *Dense:
+			d := &Dense{In: v.In, Out: v.Out, W: v.W, B: v.B, Mask: v.Mask}
+			d.dW = tensor.New(v.dW.Shape...)
+			d.dB = tensor.New(v.dB.Shape...)
+			out.Layers = append(out.Layers, d)
+		case *LIF:
+			out.Layers = append(out.Layers, NewLIF(v.VTh, v.Decay, v.Beta))
+		case *AvgPool:
+			out.Layers = append(out.Layers, NewAvgPool(v.K))
+		case *MaxPool:
+			out.Layers = append(out.Layers, NewMaxPool(v.K))
+		case *Dropout:
+			// Evaluation clones never train; drop the RNG dependency.
+			out.Layers = append(out.Layers, &Dropout{P: v.P})
+		case *Flatten:
+			out.Layers = append(out.Layers, &Flatten{})
+		default:
+			panic(fmt.Sprintf("snn: CloneArchitecture: unknown layer %T", l))
+		}
+	}
+	return out
+}
+
+// DeepClone builds a fully independent copy, including weights. The
+// approx package uses it so pruning/quantization never touches the
+// original accurate model.
+func (n *Network) DeepClone() *Network {
+	out := n.CloneArchitecture()
+	for i, l := range out.Layers {
+		switch v := l.(type) {
+		case *Conv2D:
+			src := n.Layers[i].(*Conv2D)
+			v.W = src.W.Clone()
+			v.B = src.B.Clone()
+			if src.Mask != nil {
+				v.Mask = src.Mask.Clone()
+			}
+		case *Dense:
+			src := n.Layers[i].(*Dense)
+			v.W = src.W.Clone()
+			v.B = src.B.Clone()
+			if src.Mask != nil {
+				v.Mask = src.Mask.Clone()
+			}
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

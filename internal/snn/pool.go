@@ -1,0 +1,131 @@
+package snn
+
+import (
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// AvgPool is non-overlapping average pooling with window K.
+type AvgPool struct {
+	K      int
+	inDims [][3]int // cached (C,H,W) per step
+}
+
+// NewAvgPool returns an average-pooling layer with window k.
+func NewAvgPool(k int) *AvgPool { return &AvgPool{K: k} }
+
+// Name implements Layer.
+func (p *AvgPool) Name() string { return "avgpool" }
+
+// Forward implements Layer.
+func (p *AvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if train {
+		p.inDims = append(p.inDims, [3]int{x.Shape[0], x.Shape[1], x.Shape[2]})
+	}
+	return tensor.AvgPool2D(x, p.K)
+}
+
+// Backward implements Layer.
+func (p *AvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n := len(p.inDims)
+	if n == 0 {
+		panic("snn: AvgPool.Backward without cached forward step")
+	}
+	d := p.inDims[n-1]
+	p.inDims = p.inDims[:n-1]
+	return tensor.AvgPool2DBackward(grad, p.K, d[1], d[2])
+}
+
+// Reset implements Layer.
+func (p *AvgPool) Reset() { p.inDims = p.inDims[:0] }
+
+// MaxPool is non-overlapping max pooling with window K.
+type MaxPool struct {
+	K      int
+	args   [][]int
+	inDims [][3]int
+}
+
+// NewMaxPool returns a max-pooling layer with window k.
+func NewMaxPool(k int) *MaxPool { return &MaxPool{K: k} }
+
+// Name implements Layer.
+func (p *MaxPool) Name() string { return "maxpool" }
+
+// Forward implements Layer.
+func (p *MaxPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out, arg := tensor.MaxPool2D(x, p.K)
+	if train {
+		p.args = append(p.args, arg)
+		p.inDims = append(p.inDims, [3]int{x.Shape[0], x.Shape[1], x.Shape[2]})
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (p *MaxPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n := len(p.args)
+	if n == 0 {
+		panic("snn: MaxPool.Backward without cached forward step")
+	}
+	arg := p.args[n-1]
+	d := p.inDims[n-1]
+	p.args = p.args[:n-1]
+	p.inDims = p.inDims[:n-1]
+	return tensor.MaxPool2DBackward(grad, arg, d[0], d[1], d[2])
+}
+
+// Reset implements Layer.
+func (p *MaxPool) Reset() { p.args = p.args[:0]; p.inDims = p.inDims[:0] }
+
+// Dropout zeroes a random unit subset during training, with inverted
+// scaling. The mask is drawn once per sample (on the first step after
+// Reset) and reused across time steps, the convention for SNN training.
+type Dropout struct {
+	P float32 // drop probability
+
+	r    *rng.RNG
+	mask *tensor.Tensor
+}
+
+// NewDropout returns a dropout layer with drop probability p, drawing
+// masks from r.
+func NewDropout(p float32, r *rng.RNG) *Dropout { return &Dropout{P: p, r: r} }
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return "dropout" }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	// Evaluation clones carry no RNG: dropout is then a pass-through even
+	// when caches are being recorded (e.g. attack gradient computation).
+	if !train || d.P <= 0 || d.r == nil {
+		return x
+	}
+	if d.mask == nil || !tensor.SameShape(d.mask, x) {
+		d.mask = tensor.New(x.Shape...)
+		keep := 1 - d.P
+		inv := 1 / keep
+		for i := range d.mask.Data {
+			if d.r.Float32() >= d.P {
+				d.mask.Data[i] = inv
+			}
+		}
+	}
+	out := x.Clone()
+	out.Mul(d.mask)
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.mask == nil {
+		return grad
+	}
+	out := grad.Clone()
+	out.Mul(d.mask)
+	return out
+}
+
+// Reset implements Layer.
+func (d *Dropout) Reset() { d.mask = nil }

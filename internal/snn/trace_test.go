@@ -1,0 +1,95 @@
+package snn
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/encoding"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+func TestTraceCollectsAllLIFLayers(t *testing.T) {
+	r := rng.New(1)
+	cfg := DefaultConfig(0.2, 5)
+	net := MNISTNet(cfg, 1, 12, 12, true, r)
+	img := tensor.New(1, 12, 12)
+	img.Fill(0.9)
+	tr := Trace(net, [][]*tensor.Tensor{{img}, {img}})
+	if len(tr.Layers) != len(net.LIFLayers()) {
+		t.Fatalf("traced %d layers, network has %d", len(tr.Layers), len(net.LIFLayers()))
+	}
+	if tr.Steps != 10 { // 2 samples × 5 steps
+		t.Fatalf("steps = %d, want 10", tr.Steps)
+	}
+	// With a low threshold and saturated input, the first layer spikes.
+	if tr.Layers[0].SpikesPerStep == 0 {
+		t.Fatal("first LIF layer silent despite saturated input")
+	}
+	if tr.TotalSpikesPerStep() < tr.Layers[0].SpikesPerStep {
+		t.Fatal("total must include every layer")
+	}
+	s := tr.String()
+	if !strings.Contains(s, "spikes/step") || len(strings.Split(s, "\n")) < len(tr.Layers)+1 {
+		t.Fatalf("trace table malformed:\n%s", s)
+	}
+}
+
+func TestTraceRatesBounded(t *testing.T) {
+	r := rng.New(2)
+	net := DenseNet(DefaultConfig(0.5, 4), 16, 8, 4, r)
+	img := tensor.New(16)
+	img.Fill(1)
+	tr := Trace(net, [][]*tensor.Tensor{{img}})
+	for _, l := range tr.Layers {
+		if l.FiringRate < 0 || l.FiringRate > 1 {
+			t.Fatalf("firing rate %v out of [0,1]", l.FiringRate)
+		}
+		if l.Units <= 0 {
+			t.Fatalf("bad unit count %d", l.Units)
+		}
+	}
+}
+
+func TestClipGradients(t *testing.T) {
+	g1 := tensor.FromSlice([]float32{3, 0}, 2)
+	g2 := tensor.FromSlice([]float32{0, 4}, 2)
+	clipGradients([]*tensor.Tensor{g1, g2}, 1) // global norm 5 -> 1
+	n := 0.0
+	for _, g := range []*tensor.Tensor{g1, g2} {
+		v := g.L2Norm()
+		n += v * v
+	}
+	if got := sqrt64(n); got > 1.0001 || got < 0.999 {
+		t.Fatalf("clipped norm %v, want 1", got)
+	}
+	// Below the threshold: untouched.
+	g3 := tensor.FromSlice([]float32{0.1}, 1)
+	clipGradients([]*tensor.Tensor{g3}, 1)
+	if g3.Data[0] != 0.1 {
+		t.Fatal("clip must not touch small gradients")
+	}
+	// Disabled: untouched.
+	g4 := tensor.FromSlice([]float32{100}, 1)
+	clipGradients([]*tensor.Tensor{g4}, 0)
+	if g4.Data[0] != 100 {
+		t.Fatal("clip 0 must be a no-op")
+	}
+}
+
+func TestTrainWithClipNormStillLearns(t *testing.T) {
+	r := rng.New(3)
+	net := DenseNet(DefaultConfig(0.5, 4), 144, 32, 10, r)
+	train := tinyTrainSet(200, 11)
+	Train(net, train, TrainOptions{
+		Epochs: 3, BatchSize: 16,
+		Optimizer: NewAdam(2e-3),
+		Encoder:   encoding.Direct{},
+		Seed:      12,
+		ClipNorm:  1.0,
+	})
+	acc := Accuracy(net, train, encoding.Direct{}, 13)
+	if acc < 0.3 {
+		t.Fatalf("clipped training accuracy %.2f", acc)
+	}
+}

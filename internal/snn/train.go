@@ -1,0 +1,228 @@
+package snn
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dataset"
+	"repro/internal/encoding"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// TrainOptions configures supervised training on a static image dataset.
+type TrainOptions struct {
+	Epochs    int
+	BatchSize int
+	Optimizer Optimizer
+	Encoder   encoding.Encoder
+	Seed      uint64
+	// ClipNorm, when positive, rescales the full gradient so its global
+	// L2 norm does not exceed this value (stabilizes high-Vth training).
+	ClipNorm float64
+	// OnEpoch, when set, is invoked after every epoch.
+	OnEpoch func(epoch int, meanLoss float64)
+}
+
+// clipGradients rescales grads in place to a global L2 norm of at most
+// clip. No-op when clip <= 0.
+func clipGradients(grads []*tensor.Tensor, clip float64) {
+	if clip <= 0 {
+		return
+	}
+	total := 0.0
+	for _, g := range grads {
+		n := g.L2Norm()
+		total += n * n
+	}
+	norm := sqrt64(total)
+	if norm <= clip {
+		return
+	}
+	s := float32(clip / norm)
+	for _, g := range grads {
+		g.Scale(s)
+	}
+}
+
+func sqrt64(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	y := x
+	for i := 0; i < 30; i++ {
+		y = 0.5 * (y + x/y)
+	}
+	return y
+}
+
+// Train fits the network on a static image dataset with BPTT.
+func Train(n *Network, train *dataset.Set, opt TrainOptions) {
+	if opt.BatchSize <= 0 {
+		opt.BatchSize = 16
+	}
+	r := rng.New(opt.Seed)
+	idx := make([]int, train.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		r.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		totalLoss := 0.0
+		for b := 0; b < len(idx); b += opt.BatchSize {
+			end := b + opt.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			n.ZeroGrads()
+			for _, i := range idx[b:end] {
+				s := train.Samples[i]
+				frames := opt.Encoder.Encode(s.Image, n.Cfg.Steps, r)
+				logits := n.Forward(frames, true)
+				loss, grad := SoftmaxCrossEntropy(logits, s.Label)
+				totalLoss += loss
+				n.Backward(grad)
+			}
+			clipGradients(n.Grads(), opt.ClipNorm)
+			opt.Optimizer.Step(n.Params(), n.Grads(), 1/float32(end-b))
+		}
+		if opt.OnEpoch != nil {
+			opt.OnEpoch(epoch, totalLoss/float64(len(idx)))
+		}
+	}
+}
+
+// TrainFrames fits the network on a pre-voxelized frame dataset (the DVS
+// path): samples[i] is the frame sequence, labels[i] the class.
+func TrainFrames(n *Network, samples [][]*tensor.Tensor, labels []int, opt TrainOptions) {
+	if opt.BatchSize <= 0 {
+		opt.BatchSize = 8
+	}
+	r := rng.New(opt.Seed)
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		r.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		totalLoss := 0.0
+		for b := 0; b < len(idx); b += opt.BatchSize {
+			end := b + opt.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			n.ZeroGrads()
+			for _, i := range idx[b:end] {
+				logits := n.Forward(samples[i], true)
+				loss, grad := SoftmaxCrossEntropy(logits, labels[i])
+				totalLoss += loss
+				n.Backward(grad)
+			}
+			clipGradients(n.Grads(), opt.ClipNorm)
+			opt.Optimizer.Step(n.Params(), n.Grads(), 1/float32(end-b))
+		}
+		if opt.OnEpoch != nil {
+			opt.OnEpoch(epoch, totalLoss/float64(len(idx)))
+		}
+	}
+}
+
+// Accuracy evaluates classification accuracy on a static image dataset.
+// Encoding randomness is reseeded per call so repeated evaluations of the
+// same model agree.
+func Accuracy(n *Network, test *dataset.Set, enc encoding.Encoder, seed uint64) float64 {
+	if test.Len() == 0 {
+		return 0
+	}
+	r := rng.New(seed)
+	correct := 0
+	for _, s := range test.Samples {
+		frames := enc.Encode(s.Image, n.Cfg.Steps, r)
+		if n.Predict(frames) == s.Label {
+			correct++
+		}
+	}
+	return float64(correct) / float64(test.Len())
+}
+
+// AccuracyFrames evaluates accuracy on pre-voxelized frame samples.
+func AccuracyFrames(n *Network, samples [][]*tensor.Tensor, labels []int) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, fr := range samples {
+		if n.Predict(fr) == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(samples))
+}
+
+// AccuracyParallel evaluates accuracy like Accuracy but fans samples out
+// over workers goroutines (0 = GOMAXPROCS), each with a weight-sharing
+// evaluation clone. The result is deterministic given seed and does not
+// depend on the worker count: the encoding RNG is split per sample
+// index up front. (It differs from Accuracy's stream for the same seed.)
+func AccuracyParallel(n *Network, test *dataset.Set, enc encoding.Encoder, seed uint64, workers int) float64 {
+	if test.Len() == 0 {
+		return 0
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > test.Len() {
+		workers = test.Len()
+	}
+	// Pre-split one RNG per sample so parallel order cannot matter.
+	base := rng.New(seed)
+	rngs := make([]*rng.RNG, test.Len())
+	for i := range rngs {
+		rngs[i] = base.Split()
+	}
+	var correct int64
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			clone := n.CloneArchitecture()
+			for i := range work {
+				s := test.Samples[i]
+				frames := enc.Encode(s.Image, clone.Cfg.Steps, rngs[i])
+				if clone.Predict(frames) == s.Label {
+					atomic.AddInt64(&correct, 1)
+				}
+			}
+		}()
+	}
+	for i := 0; i < test.Len(); i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return float64(correct) / float64(test.Len())
+}
+
+// InputGradient computes dL/dframe_t for a sample, the quantity attacks
+// need. It runs on a weight-sharing evaluation clone so that (a) dropout
+// stays disabled even though caching requires a training-mode forward,
+// and (b) the caller's network keeps clean state and zero gradients.
+func InputGradient(n *Network, frames []*tensor.Tensor, label int) []*tensor.Tensor {
+	clone := n.CloneArchitecture()
+	logits := clone.Forward(frames, true)
+	_, grad := SoftmaxCrossEntropy(logits, label)
+	return clone.Backward(grad)
+}
+
+// Calibrate runs the network in training=false mode over calibration
+// samples to populate LIF spike/membrane statistics (used by the
+// approximation-level equation). Statistics are reset first.
+func Calibrate(n *Network, frames [][]*tensor.Tensor) {
+	n.ResetStats()
+	for _, f := range frames {
+		n.Forward(f, false)
+	}
+}

@@ -1,0 +1,577 @@
+// Package tensor implements dense float32 N-dimensional arrays and the
+// small set of linear-algebra kernels the SNN substrate needs: matrix
+// multiplication, im2col convolution lowering, pooling and elementwise
+// arithmetic.
+//
+// Tensors are row-major. The package favours explicit shapes and fails
+// loudly (panics) on shape mismatches: inside this repository a mismatch is
+// always a programming error, never an input error.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense row-major float32 array with an explicit shape.
+type Tensor struct {
+	Shape []int
+	Data  []float32
+}
+
+// New returns a zero-filled tensor of the given shape.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in %v", d, shape))
+		}
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float32, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is not
+// copied; it must have exactly the product of shape elements.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (=%d)", len(data), shape, n))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// Len returns the number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Dim returns the size of axis i.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// Rank returns the number of axes.
+func (t *Tensor) Rank() int { return len(t.Shape) }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Reshape returns a view with a new shape covering the same data.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.Shape, shape))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
+}
+
+// At returns the element at the given multi-index (rank must match).
+func (t *Tensor) At(idx ...int) float32 {
+	return t.Data[t.offset(idx)]
+}
+
+// Set stores v at the given multi-index.
+func (t *Tensor) Set(v float32, idx ...int) {
+	t.Data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: index rank %d vs shape %v", len(idx), t.Shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of bounds for %v", idx, t.Shape))
+		}
+		off = off*t.Shape[i] + x
+	}
+	return off
+}
+
+// SameShape reports whether two tensors have identical shapes.
+func SameShape(a, b *Tensor) bool {
+	if len(a.Shape) != len(b.Shape) {
+		return false
+	}
+	for i := range a.Shape {
+		if a.Shape[i] != b.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func mustSameShape(op string, a, b *Tensor) {
+	if !SameShape(a, b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.Shape, b.Shape))
+	}
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Zero resets every element to 0.
+func (t *Tensor) Zero() { t.Fill(0) }
+
+// Add accumulates o into t elementwise.
+func (t *Tensor) Add(o *Tensor) *Tensor {
+	mustSameShape("Add", t, o)
+	for i, v := range o.Data {
+		t.Data[i] += v
+	}
+	return t
+}
+
+// Sub subtracts o from t elementwise.
+func (t *Tensor) Sub(o *Tensor) *Tensor {
+	mustSameShape("Sub", t, o)
+	for i, v := range o.Data {
+		t.Data[i] -= v
+	}
+	return t
+}
+
+// Mul multiplies t by o elementwise (Hadamard).
+func (t *Tensor) Mul(o *Tensor) *Tensor {
+	mustSameShape("Mul", t, o)
+	for i, v := range o.Data {
+		t.Data[i] *= v
+	}
+	return t
+}
+
+// Scale multiplies every element by s.
+func (t *Tensor) Scale(s float32) *Tensor {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+	return t
+}
+
+// AddScaled accumulates s*o into t (axpy).
+func (t *Tensor) AddScaled(s float32, o *Tensor) *Tensor {
+	mustSameShape("AddScaled", t, o)
+	for i, v := range o.Data {
+		t.Data[i] += s * v
+	}
+	return t
+}
+
+// Clamp limits every element to [lo, hi].
+func (t *Tensor) Clamp(lo, hi float32) *Tensor {
+	for i, v := range t.Data {
+		if v < lo {
+			t.Data[i] = lo
+		} else if v > hi {
+			t.Data[i] = hi
+		}
+	}
+	return t
+}
+
+// Sum returns the float64 sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += float64(v)
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean (0 for empty tensors).
+func (t *Tensor) Mean() float64 {
+	if len(t.Data) == 0 {
+		return 0
+	}
+	return t.Sum() / float64(len(t.Data))
+}
+
+// AbsMean returns the mean of |x| (0 for empty tensors).
+func (t *Tensor) AbsMean() float64 {
+	if len(t.Data) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range t.Data {
+		s += math.Abs(float64(v))
+	}
+	return s / float64(len(t.Data))
+}
+
+// Max returns the maximum element; -Inf for empty tensors.
+func (t *Tensor) Max() float32 {
+	m := float32(math.Inf(-1))
+	for _, v := range t.Data {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum element; +Inf for empty tensors.
+func (t *Tensor) Min() float32 {
+	m := float32(math.Inf(1))
+	for _, v := range t.Data {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Argmax returns the index of the first maximal element (-1 if empty).
+func (t *Tensor) Argmax() int {
+	if len(t.Data) == 0 {
+		return -1
+	}
+	best, bi := t.Data[0], 0
+	for i, v := range t.Data {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// L2Norm returns the Euclidean norm of the flattened tensor.
+func (t *Tensor) L2Norm() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// LInfNorm returns max |x|.
+func (t *Tensor) LInfNorm() float64 {
+	m := 0.0
+	for _, v := range t.Data {
+		a := math.Abs(float64(v))
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Sign replaces each element with -1, 0 or +1.
+func (t *Tensor) Sign() *Tensor {
+	for i, v := range t.Data {
+		switch {
+		case v > 0:
+			t.Data[i] = 1
+		case v < 0:
+			t.Data[i] = -1
+		default:
+			t.Data[i] = 0
+		}
+	}
+	return t
+}
+
+// MatMul computes C = A·B for A (m×k) and B (k×n), returning an m×n tensor.
+// The kernel is a cache-friendly ikj loop; inputs must be rank 2.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul wants rank-2, got %v × %v", a.Shape, b.Shape))
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2))
+	}
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// MatMulT computes C = A·Bᵀ for A (m×k) and B (n×k), returning m×n.
+func MatMulT(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulT wants rank-2, got %v × %v", a.Shape, b.Shape))
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulT inner dims %d vs %d", k, k2))
+	}
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := c.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			var s float32
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			crow[j] = s
+		}
+	}
+	return c
+}
+
+// TMatMul computes C = Aᵀ·B for A (k×m) and B (k×n), returning m×n.
+func TMatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: TMatMul wants rank-2, got %v × %v", a.Shape, b.Shape))
+	}
+	k, m := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: TMatMul inner dims %d vs %d", k, k2))
+	}
+	c := New(m, n)
+	for p := 0; p < k; p++ {
+		arow := a.Data[p*m : (p+1)*m]
+		brow := b.Data[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := c.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// Transpose returns the transpose of a rank-2 tensor.
+func Transpose(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose wants rank-2, got %v", a.Shape))
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	t := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			t.Data[j*m+i] = a.Data[i*n+j]
+		}
+	}
+	return t
+}
+
+// Conv2DGeom describes a 2-D convolution geometry shared by the forward
+// lowering and its transpose.
+type Conv2DGeom struct {
+	InC, InH, InW int
+	KH, KW        int
+	Stride, Pad   int
+}
+
+// OutH returns the output height of the geometry.
+func (g Conv2DGeom) OutH() int { return (g.InH+2*g.Pad-g.KH)/g.Stride + 1 }
+
+// OutW returns the output width of the geometry.
+func (g Conv2DGeom) OutW() int { return (g.InW+2*g.Pad-g.KW)/g.Stride + 1 }
+
+// Im2Col lowers a (C,H,W) input to a (C*KH*KW, OutH*OutW) matrix so a
+// convolution becomes one MatMul with the (OutC, C*KH*KW) filter matrix.
+func Im2Col(x *Tensor, g Conv2DGeom) *Tensor {
+	if x.Rank() != 3 || x.Shape[0] != g.InC || x.Shape[1] != g.InH || x.Shape[2] != g.InW {
+		panic(fmt.Sprintf("tensor: Im2Col input %v does not match geom %+v", x.Shape, g))
+	}
+	oh, ow := g.OutH(), g.OutW()
+	cols := New(g.InC*g.KH*g.KW, oh*ow)
+	row := 0
+	for c := 0; c < g.InC; c++ {
+		plane := x.Data[c*g.InH*g.InW:]
+		for ki := 0; ki < g.KH; ki++ {
+			for kj := 0; kj < g.KW; kj++ {
+				dst := cols.Data[row*oh*ow:]
+				idx := 0
+				for oi := 0; oi < oh; oi++ {
+					si := oi*g.Stride + ki - g.Pad
+					for oj := 0; oj < ow; oj++ {
+						sj := oj*g.Stride + kj - g.Pad
+						if si >= 0 && si < g.InH && sj >= 0 && sj < g.InW {
+							dst[idx] = plane[si*g.InW+sj]
+						} else {
+							dst[idx] = 0
+						}
+						idx++
+					}
+				}
+				row++
+			}
+		}
+	}
+	return cols
+}
+
+// Col2Im is the transpose of Im2Col: it scatters a (C*KH*KW, OutH*OutW)
+// matrix of column gradients back into a (C,H,W) input-gradient tensor.
+func Col2Im(cols *Tensor, g Conv2DGeom) *Tensor {
+	oh, ow := g.OutH(), g.OutW()
+	if cols.Rank() != 2 || cols.Shape[0] != g.InC*g.KH*g.KW || cols.Shape[1] != oh*ow {
+		panic(fmt.Sprintf("tensor: Col2Im input %v does not match geom %+v", cols.Shape, g))
+	}
+	x := New(g.InC, g.InH, g.InW)
+	row := 0
+	for c := 0; c < g.InC; c++ {
+		plane := x.Data[c*g.InH*g.InW:]
+		for ki := 0; ki < g.KH; ki++ {
+			for kj := 0; kj < g.KW; kj++ {
+				src := cols.Data[row*oh*ow:]
+				idx := 0
+				for oi := 0; oi < oh; oi++ {
+					si := oi*g.Stride + ki - g.Pad
+					for oj := 0; oj < ow; oj++ {
+						sj := oj*g.Stride + kj - g.Pad
+						if si >= 0 && si < g.InH && sj >= 0 && sj < g.InW {
+							plane[si*g.InW+sj] += src[idx]
+						}
+						idx++
+					}
+				}
+				row++
+			}
+		}
+	}
+	return x
+}
+
+// AvgPool2D performs non-overlapping average pooling with window k on a
+// (C,H,W) tensor. H and W need not be multiples of k; edge windows shrink.
+func AvgPool2D(x *Tensor, k int) *Tensor {
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	oh, ow := (h+k-1)/k, (w+k-1)/k
+	out := New(c, oh, ow)
+	for ci := 0; ci < c; ci++ {
+		for oi := 0; oi < oh; oi++ {
+			for oj := 0; oj < ow; oj++ {
+				var s float32
+				n := 0
+				for di := 0; di < k; di++ {
+					for dj := 0; dj < k; dj++ {
+						i, j := oi*k+di, oj*k+dj
+						if i < h && j < w {
+							s += x.Data[(ci*h+i)*w+j]
+							n++
+						}
+					}
+				}
+				out.Data[(ci*oh+oi)*ow+oj] = s / float32(n)
+			}
+		}
+	}
+	return out
+}
+
+// AvgPool2DBackward scatters the pooled gradient back to input resolution.
+func AvgPool2DBackward(grad *Tensor, k, h, w int) *Tensor {
+	c, oh, ow := grad.Shape[0], grad.Shape[1], grad.Shape[2]
+	out := New(c, h, w)
+	for ci := 0; ci < c; ci++ {
+		for oi := 0; oi < oh; oi++ {
+			for oj := 0; oj < ow; oj++ {
+				n := 0
+				for di := 0; di < k; di++ {
+					for dj := 0; dj < k; dj++ {
+						if oi*k+di < h && oj*k+dj < w {
+							n++
+						}
+					}
+				}
+				g := grad.Data[(ci*oh+oi)*ow+oj] / float32(n)
+				for di := 0; di < k; di++ {
+					for dj := 0; dj < k; dj++ {
+						i, j := oi*k+di, oj*k+dj
+						if i < h && j < w {
+							out.Data[(ci*h+i)*w+j] += g
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MaxPool2D performs non-overlapping max pooling with window k and also
+// returns the flat argmax indices used by the backward pass.
+func MaxPool2D(x *Tensor, k int) (*Tensor, []int) {
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	oh, ow := (h+k-1)/k, (w+k-1)/k
+	out := New(c, oh, ow)
+	arg := make([]int, c*oh*ow)
+	for ci := 0; ci < c; ci++ {
+		for oi := 0; oi < oh; oi++ {
+			for oj := 0; oj < ow; oj++ {
+				best := float32(math.Inf(-1))
+				bi := -1
+				for di := 0; di < k; di++ {
+					for dj := 0; dj < k; dj++ {
+						i, j := oi*k+di, oj*k+dj
+						if i < h && j < w {
+							v := x.Data[(ci*h+i)*w+j]
+							if v > best {
+								best, bi = v, (ci*h+i)*w+j
+							}
+						}
+					}
+				}
+				o := (ci*oh+oi)*ow + oj
+				out.Data[o] = best
+				arg[o] = bi
+			}
+		}
+	}
+	return out, arg
+}
+
+// MaxPool2DBackward routes the pooled gradient to the argmax positions.
+func MaxPool2DBackward(grad *Tensor, arg []int, c, h, w int) *Tensor {
+	out := New(c, h, w)
+	for o, idx := range arg {
+		if idx >= 0 {
+			out.Data[idx] += grad.Data[o]
+		}
+	}
+	return out
+}
+
+// Softmax returns the softmax of a rank-1 tensor (numerically stable).
+func Softmax(x *Tensor) *Tensor {
+	out := New(x.Shape...)
+	maxV := float64(x.Max())
+	sum := 0.0
+	for i, v := range x.Data {
+		e := math.Exp(float64(v) - maxV)
+		out.Data[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1 / sum)
+	for i := range out.Data {
+		out.Data[i] *= inv
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+// Package viz renders images, event streams and spike rasters as ASCII
+// art for terminals — the repository's examples and CLIs use it to show
+// what the attacks and defenses actually do to the inputs.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dvs"
+	"repro/internal/tensor"
+)
+
+// ramp is the intensity ramp from empty to full.
+const ramp = " .:-=+*#%@"
+
+// Image renders a (1,H,W) or (H,W) tensor of [0,1] intensities.
+func Image(t *tensor.Tensor) string {
+	var h, w int
+	switch t.Rank() {
+	case 2:
+		h, w = t.Shape[0], t.Shape[1]
+	case 3:
+		h, w = t.Shape[1], t.Shape[2]
+	default:
+		return fmt.Sprintf("viz: unsupported rank %d", t.Rank())
+	}
+	var b strings.Builder
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := t.Data[y*w+x]
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			idx := int(v * float32(len(ramp)-1))
+			b.WriteByte(ramp[idx])
+			b.WriteByte(ramp[idx]) // double width: terminal cells are tall
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Events renders an event stream's spatial footprint: '+' where positive
+// events dominate, '-' where negative dominate, intensity by count.
+func Events(s *dvs.Stream) string {
+	pos := make([]int, s.W*s.H)
+	neg := make([]int, s.W*s.H)
+	maxC := 1
+	for _, e := range s.Events {
+		idx := e.Y*s.W + e.X
+		if e.P > 0 {
+			pos[idx]++
+		} else {
+			neg[idx]++
+		}
+		if c := pos[idx] + neg[idx]; c > maxC {
+			maxC = c
+		}
+	}
+	var b strings.Builder
+	for y := 0; y < s.H; y++ {
+		for x := 0; x < s.W; x++ {
+			idx := y*s.W + x
+			total := pos[idx] + neg[idx]
+			switch {
+			case total == 0:
+				b.WriteString("  ")
+			case pos[idx] >= neg[idx]:
+				b.WriteString(density(total, maxC, "+"))
+			default:
+				b.WriteString(density(total, maxC, "-"))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func density(c, maxC int, glyph string) string {
+	if c*3 >= maxC*2 {
+		return strings.ToUpper(glyph) + glyph // dense
+	}
+	return glyph + " "
+}
+
+// Raster renders per-step spike counts of one layer as a bar chart, one
+// row per time step.
+func Raster(countsPerStep []float64, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	maxV := 0.0
+	for _, v := range countsPerStep {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	var b strings.Builder
+	for t, v := range countsPerStep {
+		n := int(v / maxV * float64(width))
+		fmt.Fprintf(&b, "t=%3d |%-*s| %.0f\n", t, width, strings.Repeat("#", n), v)
+	}
+	return b.String()
+}
+
+// Curve renders a simple accuracy-vs-x line plot with height rows.
+func Curve(xs, ys []float64, height int) string {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return "viz: empty or mismatched series\n"
+	}
+	if height <= 0 {
+		height = 10
+	}
+	var b strings.Builder
+	for row := height; row >= 0; row-- {
+		lo := float64(row) / float64(height)
+		fmt.Fprintf(&b, "%5.2f |", lo)
+		for _, y := range ys {
+			if y >= lo {
+				b.WriteString(" *")
+			} else {
+				b.WriteString("  ")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("       ")
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%2.0f", x*10)
+	}
+	b.WriteString("  (x·10)\n")
+	return b.String()
+}

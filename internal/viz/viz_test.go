@@ -1,0 +1,104 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/dvs"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+func TestImageDimensionsAndRamp(t *testing.T) {
+	img := tensor.New(1, 4, 6)
+	img.Data[0] = 1 // top-left fully bright
+	s := Image(img)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 rows, got %d", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) != 12 { // double-width cells
+			t.Fatalf("row width %d, want 12", len(l))
+		}
+	}
+	if !strings.HasPrefix(lines[0], "@@") {
+		t.Fatalf("bright pixel not rendered: %q", lines[0])
+	}
+	if !strings.HasSuffix(lines[3], "  ") {
+		t.Fatalf("dark pixel not blank: %q", lines[3])
+	}
+}
+
+func TestImageAcceptsRank2AndClamps(t *testing.T) {
+	img := tensor.FromSlice([]float32{-1, 2}, 1, 2)
+	s := Image(img)
+	if !strings.Contains(s, " ") || !strings.Contains(s, "@") {
+		t.Fatalf("clamping broken: %q", s)
+	}
+	bad := tensor.New(2, 2, 2, 2)
+	if !strings.Contains(Image(bad), "unsupported") {
+		t.Fatal("rank-4 must be rejected gracefully")
+	}
+}
+
+func TestImageRendersDigit(t *testing.T) {
+	img := dataset.RenderDigit(0, dataset.DefaultSynthConfig(), rng.New(1))
+	s := Image(img)
+	if strings.Count(s, "@") < 5 {
+		t.Fatal("digit render suspiciously empty")
+	}
+}
+
+func TestEventsPolarities(t *testing.T) {
+	s := &dvs.Stream{W: 3, H: 2, Duration: 10, Events: []dvs.Event{
+		{X: 0, Y: 0, P: 1, T: 1},
+		{X: 2, Y: 1, P: -1, T: 2},
+	}}
+	out := Events(s)
+	if !strings.Contains(out, "+") || !strings.Contains(out, "-") {
+		t.Fatalf("polarities missing: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(lines))
+	}
+}
+
+func TestEventsEmptyStream(t *testing.T) {
+	s := &dvs.Stream{W: 2, H: 2, Duration: 10}
+	out := Events(s)
+	if strings.TrimSpace(out) != "" {
+		t.Fatalf("empty stream must render blank: %q", out)
+	}
+}
+
+func TestRaster(t *testing.T) {
+	out := Raster([]float64{0, 5, 10}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(lines))
+	}
+	if strings.Count(lines[2], "#") != 10 {
+		t.Fatalf("max row must fill the width: %q", lines[2])
+	}
+	if strings.Count(lines[0], "#") != 0 {
+		t.Fatalf("zero row must be empty: %q", lines[0])
+	}
+	// All-zero input must not divide by zero.
+	_ = Raster([]float64{0, 0}, 5)
+}
+
+func TestCurve(t *testing.T) {
+	out := Curve([]float64{0, 0.5, 1}, []float64{1, 0.5, 0}, 4)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("no points plotted: %q", out)
+	}
+	if !strings.Contains(Curve(nil, nil, 4), "empty") {
+		t.Fatal("empty input must be reported")
+	}
+	if !strings.Contains(Curve([]float64{1}, []float64{1, 2}, 4), "mismatched") {
+		t.Fatal("mismatched input must be reported")
+	}
+}
