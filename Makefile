@@ -1,0 +1,25 @@
+# Tier-1 verification and benchmark smoke for the repro module.
+
+GO ?= go
+
+.PHONY: check fmt vet build test bench
+
+check: fmt vet build test
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# One iteration of the hot-path benchmarks: keeps perf regressions
+# visible without burning CI minutes.
+bench:
+	$(GO) test -run '^$$' -bench 'SNNInference|SNNTrainStep|GEMM|PGDCraft' -benchtime=1x .

@@ -21,6 +21,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/rng"
 	"repro/internal/snn"
+	"repro/internal/tensor"
 )
 
 var benchOpts = exp.Options{Scale: exp.Tiny, Seed: 7}
@@ -139,6 +140,29 @@ func BenchmarkSNNInference(b *testing.B) {
 	}
 }
 
+// BenchmarkSNNInferenceBatch measures batched inference throughput:
+// one PredictBatch over 32 samples per iteration, reporting the
+// per-sample latency. Compare against BenchmarkSNNInference to see what
+// the batched data path and the shared kernel pool buy.
+func BenchmarkSNNInferenceBatch(b *testing.B) {
+	const batch = 32
+	r := rng.New(1)
+	cfg := snn.DefaultConfig(0.5, 8)
+	net := snn.MNISTNet(cfg, 1, 16, 16, true, r)
+	dcfg := dataset.DefaultSynthConfig()
+	samples := make([][]*tensor.Tensor, batch)
+	for i := range samples {
+		img := dataset.RenderDigit(i%10, dcfg, r)
+		samples[i] = encoding.Rate{}.Encode(img, cfg.Steps, r)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = net.PredictBatch(samples)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/sample")
+}
+
 // BenchmarkSNNTrainStep measures one BPTT forward+backward pass.
 func BenchmarkSNNTrainStep(b *testing.B) {
 	r := rng.New(2)
@@ -154,6 +178,57 @@ func BenchmarkSNNTrainStep(b *testing.B) {
 		_, grad := snn.SoftmaxCrossEntropy(logits, 5)
 		net.Backward(grad)
 		net.ZeroGrads()
+	}
+}
+
+// BenchmarkSNNTrainStepBatch measures one batched BPTT pass over a
+// 16-sample minibatch (the snn.Train hot loop), reporting per-sample
+// latency.
+func BenchmarkSNNTrainStepBatch(b *testing.B) {
+	const batch = 16
+	r := rng.New(2)
+	cfg := snn.DefaultConfig(0.5, 8)
+	net := snn.MNISTNet(cfg, 1, 16, 16, true, r)
+	dcfg := dataset.DefaultSynthConfig()
+	samples := make([][]*tensor.Tensor, batch)
+	labels := make([]int, batch)
+	for i := range samples {
+		labels[i] = i % 10
+		img := dataset.RenderDigit(labels[i], dcfg, r)
+		samples[i] = encoding.Rate{}.Encode(img, cfg.Steps, r)
+	}
+	frames := snn.StackFrames(samples, cfg.Steps)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		logits := net.ForwardBatch(frames, true)
+		_, grad := snn.SoftmaxCrossEntropyBatch(logits, labels)
+		net.BackwardBatch(grad)
+		net.ZeroGrads()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/sample")
+}
+
+// BenchmarkGEMM measures the blocked parallel MatMul on a panel shaped
+// like a batched convolution lowering — the kernel every hot path above
+// funnels into. Worker scaling shows up here first on multi-core
+// machines.
+func BenchmarkGEMM(b *testing.B) {
+	r := rng.New(3)
+	w := tensor.New(32, 288)
+	for i := range w.Data {
+		w.Data[i] = r.NormFloat32()
+	}
+	cols := tensor.New(288, 2048)
+	for i := range cols.Data {
+		if r.Float64() < 0.3 {
+			cols.Data[i] = 1
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tensor.MatMul(w, cols)
 	}
 }
 

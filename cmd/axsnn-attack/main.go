@@ -107,12 +107,7 @@ func main() {
 			log.Fatalf("unknown attack %q", *atkName)
 		}
 		atk.Encoder = encoding.Rate{}
-		adv := test.Clone()
-		ar := rng.New(*seed + 5)
-		for i := range adv.Samples {
-			s := &adv.Samples[i]
-			s.Image = atk.Perturb(sur, s.Image, s.Label, ar)
-		}
+		adv := atk.PerturbSet(sur, test, rng.New(*seed+5))
 		acc := snn.Accuracy(victim, adv, encoding.Rate{}, *seed+4)
 		fmt.Printf("%s eps=%.2f: accuracy %.1f%% (robustness loss %.1f%%)\n",
 			strings.ToUpper(*atkName), eps, 100*acc, 100*(clean-acc))

@@ -10,6 +10,7 @@
 package attack
 
 import (
+	"repro/internal/dataset"
 	"repro/internal/encoding"
 	"repro/internal/rng"
 	"repro/internal/snn"
@@ -114,6 +115,112 @@ func (g *Gradient) Perturb(model *snn.Network, img *tensor.Tensor, label int, r 
 		adv.AddScaled(dir, grad)
 		projectLinf(adv, img, g.Eps)
 		adv.Clamp(0, 1)
+	}
+	return adv
+}
+
+// PerturbBatch crafts adversarial images for a whole batch in lockstep:
+// every PGD/BIM iteration encodes all samples, runs one batched BPTT
+// pass for the input gradients, and steps every image at once. The
+// result is deterministic and independent of batch partitioning — the
+// encoding RNG is split per sample up front — but the stream differs
+// from calling Perturb sample-by-sample with a shared RNG.
+func (g *Gradient) PerturbBatch(model *snn.Network, imgs []*tensor.Tensor, labels []int, r *rng.RNG) []*tensor.Tensor {
+	batch := len(imgs)
+	if batch == 0 {
+		return nil
+	}
+	rngs := make([]*rng.RNG, batch)
+	for i := range rngs {
+		rngs[i] = r.Split()
+	}
+	advs := make([]*tensor.Tensor, batch)
+	if g.Eps <= 0 {
+		for i, img := range imgs {
+			advs[i] = img.Clone()
+		}
+		return advs
+	}
+	if !model.Batchable() {
+		for i, img := range imgs {
+			advs[i] = g.Perturb(model, img, labels[i], rngs[i])
+		}
+		return advs
+	}
+
+	alpha := g.Alpha
+	if alpha == 0 {
+		if g.RandomStart {
+			alpha = 2.5 * g.Eps / float64(g.Steps)
+		} else {
+			alpha = g.Eps / float64(g.Steps)
+		}
+	}
+	for i, img := range imgs {
+		advs[i] = img.Clone()
+		if g.RandomStart {
+			start := alpha
+			if g.Eps < start {
+				start = g.Eps
+			}
+			for j := range advs[i].Data {
+				advs[i].Data[j] += float32((2*rngs[i].Float64() - 1) * start)
+			}
+			projectLinf(advs[i], img, g.Eps)
+			advs[i].Clamp(0, 1)
+		}
+	}
+
+	lossLabels := make([]int, batch)
+	samples := make([][]*tensor.Tensor, batch)
+	per := imgs[0].Len()
+	for it := 0; it < g.Steps; it++ {
+		for i := range advs {
+			samples[i] = g.Encoder.Encode(advs[i], model.Cfg.Steps, rngs[i])
+		}
+		dir := float32(alpha)
+		if g.Target >= 0 {
+			// Targeted: descend the loss towards the target class.
+			dir = float32(-alpha)
+			for i := range lossLabels {
+				lossLabels[i] = g.Target
+			}
+		} else {
+			copy(lossLabels, labels)
+		}
+		frames := snn.StackFrames(samples, model.Cfg.Steps)
+		frameGrads := snn.InputGradientBatch(model, frames, lossLabels)
+		grad := encoding.SumFrameGradients(frameGrads) // (B, image shape...)
+		for i, adv := range advs {
+			gi := tensor.FromSlice(grad.Data[i*per:(i+1)*per], adv.Shape...)
+			gi.Sign()
+			adv.AddScaled(dir, gi)
+			projectLinf(adv, imgs[i], g.Eps)
+			adv.Clamp(0, 1)
+		}
+	}
+	return advs
+}
+
+// PerturbSet crafts an adversarial copy of a whole dataset against
+// model, processing chunks through the batched path.
+func (g *Gradient) PerturbSet(model *snn.Network, set *dataset.Set, r *rng.RNG) *dataset.Set {
+	adv := set.Clone()
+	const chunk = 32
+	for b := 0; b < len(adv.Samples); b += chunk {
+		end := b + chunk
+		if end > len(adv.Samples) {
+			end = len(adv.Samples)
+		}
+		imgs := make([]*tensor.Tensor, end-b)
+		labels := make([]int, end-b)
+		for i := b; i < end; i++ {
+			imgs[i-b] = adv.Samples[i].Image
+			labels[i-b] = adv.Samples[i].Label
+		}
+		for i, a := range g.PerturbBatch(model, imgs, labels, r) {
+			adv.Samples[b+i].Image = a
+		}
 	}
 	return adv
 }

@@ -109,13 +109,7 @@ func (d *Designer) CalibrationFrames(net *snn.Network) [][]*tensor.Tensor {
 // CraftAdversarial perturbs the whole test set against the surrogate
 // model with the given attack, returning a new set.
 func (d *Designer) CraftAdversarial(surrogate *snn.Network, atk *attack.Gradient, seed uint64) *dataset.Set {
-	adv := d.cfg.Test.Clone()
-	r := rng.New(seed)
-	for i := range adv.Samples {
-		s := &adv.Samples[i]
-		s.Image = atk.Perturb(surrogate, s.Image, s.Label, r)
-	}
-	return adv
+	return atk.PerturbSet(surrogate, d.cfg.Test, rng.New(seed))
 }
 
 // EvaluateSet returns a network's accuracy on a (possibly adversarial)

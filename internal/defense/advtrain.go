@@ -5,6 +5,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/rng"
 	"repro/internal/snn"
+	"repro/internal/tensor"
 )
 
 // AdversarialTrainOptions configures PGD adversarial training (Madry et
@@ -32,14 +33,30 @@ func AdversarialTrain(n *snn.Network, train *dataset.Set, opt AdversarialTrainOp
 	r := rng.New(opt.Base.Seed + 77)
 	for epoch := 0; epoch < opt.Base.Epochs; epoch++ {
 		// Craft a fresh adversarial copy of a subset against the
-		// *current* model, then take one clean+adversarial epoch.
+		// *current* model (batched), then take one clean+adversarial
+		// epoch.
 		mixed := train.Clone()
+		var picked []int
 		for i := range mixed.Samples {
-			if !r.Bernoulli(opt.Mix) {
-				continue
+			if r.Bernoulli(opt.Mix) {
+				picked = append(picked, i)
 			}
-			s := &mixed.Samples[i]
-			s.Image = opt.Attack.Perturb(n, s.Image, s.Label, r)
+		}
+		const chunk = 32
+		for b := 0; b < len(picked); b += chunk {
+			end := b + chunk
+			if end > len(picked) {
+				end = len(picked)
+			}
+			imgs := make([]*tensor.Tensor, end-b)
+			labels := make([]int, end-b)
+			for k, i := range picked[b:end] {
+				imgs[k] = mixed.Samples[i].Image
+				labels[k] = mixed.Samples[i].Label
+			}
+			for k, adv := range opt.Attack.PerturbBatch(n, imgs, labels, r) {
+				mixed.Samples[picked[b+k]].Image = adv
+			}
 		}
 		one := opt.Base
 		one.Epochs = 1

@@ -2,7 +2,6 @@ package defense
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"repro/internal/approx"
@@ -107,9 +106,12 @@ func PrecisionScalingSearch(cfg SearchConfig) SearchResult {
 		}
 	}
 
+	// The structural grid shares the kernel pool's worker budget:
+	// training cells fan out up to that many goroutines, and the
+	// batched kernels inside each cell fill whatever capacity remains.
 	workers := cfg.Workers
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = tensor.Workers()
 	}
 	sem := make(chan struct{}, workers)
 	outs := make([]cellOut, len(cells))
@@ -178,12 +180,7 @@ func searchCell(cfg SearchConfig, vth float32, ts int) []Candidate {
 	snn.Train(sur, cfg.Train, surOpts)
 
 	atk := cfg.AttackFor(cfg.Eps)
-	advSet := cfg.Test.Clone()
-	ar := rng.New(seed + 3)
-	for i := range advSet.Samples {
-		s := &advSet.Samples[i]
-		s.Image = atk.Perturb(sur, s.Image, s.Label, ar)
-	}
+	advSet := atk.PerturbSet(sur, cfg.Test, rng.New(seed+3))
 
 	// Calibration frames for Eq. 1.
 	calib := calibFrames(cfg, acc, seed+4)

@@ -2,7 +2,6 @@ package exp
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 
 	"repro/internal/approx"
@@ -14,6 +13,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/quant"
 	"repro/internal/snn"
+	"repro/internal/tensor"
 )
 
 // tuneAttack applies the experiment-level attack calibration. The
@@ -193,7 +193,7 @@ func runSweep(o Options) *sweepOut {
 		s.clean = make([][]float64, len(p.stepAxis))
 		workers := o.Workers
 		if workers <= 0 {
-			workers = runtime.GOMAXPROCS(0)
+			workers = tensor.Workers()
 		}
 		sem := make(chan struct{}, workers)
 		var wg sync.WaitGroup
@@ -226,7 +226,7 @@ func gridFor(o Options, s *sweepOut, level float64, qs quant.Scale, adv *dataset
 	g.Acc = make([][]float64, len(p.stepAxis))
 	workers := o.Workers
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = tensor.Workers()
 	}
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup

@@ -1,0 +1,154 @@
+package snn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// The batched execution path: a whole minibatch advances through every
+// layer in one kernel call per step, instead of per-sample Go loops.
+// Tensors carry the batch on the leading axis — frames are
+// (B,C,H,W), dense activations (B,F), logits (B,classes). Results are
+// numerically identical to running the per-sample path on each sample:
+// every kernel preserves the per-element accumulation order; only the
+// order in which *gradient sums across samples* accumulate differs.
+
+// Batchable reports whether every layer implements BatchLayer (all
+// built-in layers do). Helpers fall back to the per-sample path when it
+// is false, so custom layers keep working unbatched.
+func (n *Network) Batchable() bool {
+	for _, l := range n.Layers {
+		if _, ok := l.(BatchLayer); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// StepForwardBatch runs one batched time step through all layers.
+func (n *Network) StepForwardBatch(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range n.Layers {
+		bl, ok := l.(BatchLayer)
+		if !ok {
+			panic(fmt.Sprintf("snn: layer %s does not implement BatchLayer", l.Name()))
+		}
+		x = bl.ForwardBatch(x, train)
+	}
+	return x
+}
+
+// StepBackwardBatch runs one reverse batched time step.
+func (n *Network) StepBackwardBatch(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].(BatchLayer).BackwardBatch(grad)
+	}
+	return grad
+}
+
+// ForwardBatch processes a batch of samples: frames[t] is the batched
+// input at step t, shape (B, sample shape...); if fewer frames than
+// Steps are supplied the last frame repeats. It returns the accumulated
+// readout logits, shape (B, classes). Requires Batchable().
+func (n *Network) ForwardBatch(frames []*tensor.Tensor, train bool) *tensor.Tensor {
+	if len(frames) == 0 {
+		panic("snn: ForwardBatch with no input frames")
+	}
+	n.Reset()
+	var logits *tensor.Tensor
+	for t := 0; t < n.Cfg.Steps; t++ {
+		f := frames[min(t, len(frames)-1)]
+		out := n.StepForwardBatch(f, train)
+		if logits == nil {
+			logits = tensor.New(out.Shape...)
+		}
+		logits.Add(out)
+	}
+	return logits
+}
+
+// BackwardBatch completes BPTT after a training ForwardBatch:
+// gradLogits is dL/d(accumulated logits), shape (B, classes). It
+// returns per-step batched input gradients in forward order.
+func (n *Network) BackwardBatch(gradLogits *tensor.Tensor) []*tensor.Tensor {
+	grads := make([]*tensor.Tensor, n.Cfg.Steps)
+	for t := n.Cfg.Steps - 1; t >= 0; t-- {
+		grads[t] = n.StepBackwardBatch(gradLogits.Clone())
+	}
+	return grads
+}
+
+// ForwardSamples stacks per-sample frame sequences and runs one batched
+// forward, returning (B, classes) logits. When the network is not
+// batchable it falls back to per-sample Forward calls.
+func (n *Network) ForwardSamples(samples [][]*tensor.Tensor, train bool) *tensor.Tensor {
+	if !n.Batchable() {
+		var logits *tensor.Tensor
+		for b, fr := range samples {
+			out := n.Forward(fr, train)
+			if logits == nil {
+				logits = tensor.New(len(samples), out.Len())
+			}
+			copy(logits.Data[b*out.Len():(b+1)*out.Len()], out.Data)
+		}
+		return logits
+	}
+	return n.ForwardBatch(StackFrames(samples, n.Cfg.Steps), train)
+}
+
+// PredictBatch returns the argmax class of every sample in one batched
+// pass.
+func (n *Network) PredictBatch(samples [][]*tensor.Tensor) []int {
+	if len(samples) == 0 {
+		return nil
+	}
+	logits := n.ForwardSamples(samples, false)
+	batch := len(samples)
+	per := logits.Len() / batch
+	out := make([]int, batch)
+	for b := range out {
+		row := tensor.FromSlice(logits.Data[b*per:(b+1)*per], per)
+		out[b] = row.Argmax()
+	}
+	return out
+}
+
+// StackFrames assembles per-sample frame sequences into per-step
+// batched tensors: out[t] has shape (B, frame shape...). A sample with
+// fewer frames than steps contributes its last frame to the remaining
+// steps (the same repeat rule as Network.Forward); a sample with a
+// single frame is a static image presented every step.
+func StackFrames(samples [][]*tensor.Tensor, steps int) []*tensor.Tensor {
+	if len(samples) == 0 {
+		panic("snn: StackFrames with no samples")
+	}
+	batch := len(samples)
+	shape := samples[0][0].Shape
+	per := samples[0][0].Len()
+	out := make([]*tensor.Tensor, steps)
+	for t := 0; t < steps; t++ {
+		f := tensor.New(append([]int{batch}, shape...)...)
+		for b, fr := range samples {
+			src := fr[min(t, len(fr)-1)]
+			if src.Len() != per {
+				panic(fmt.Sprintf("snn: StackFrames sample %d frame size %d, want %d", b, src.Len(), per))
+			}
+			copy(f.Data[b*per:(b+1)*per], src.Data)
+		}
+		out[t] = f
+	}
+	return out
+}
+
+// InputGradientBatch computes dL/dframe_t for a batch of samples in one
+// batched BPTT pass — the attack-crafting hot path. Like InputGradient
+// it runs on a weight-sharing evaluation clone, so dropout stays
+// disabled and the caller's network keeps clean state. frames[t] is
+// (B, sample shape...); labels[b] is the loss label of sample b. The
+// returned grads[t] is the batched gradient at step t.
+func InputGradientBatch(n *Network, frames []*tensor.Tensor, labels []int) []*tensor.Tensor {
+	clone := n.CloneArchitecture()
+	logits := clone.ForwardBatch(frames, true)
+	_, grad := SoftmaxCrossEntropyBatch(logits, labels)
+	return clone.BackwardBatch(grad)
+}

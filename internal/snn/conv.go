@@ -8,8 +8,15 @@ import (
 )
 
 // Conv2D is a 2-D convolution over (C,H,W) inputs, lowered to matrix
-// multiplication via im2col. Weights are stored as (OutC, InC·KH·KW) plus
-// a per-output-channel bias.
+// multiplication via im2row. Weights are stored as (OutC, InC·KH·KW)
+// plus a per-output-channel bias.
+//
+// Both the single-sample and the batched path share one kernel: the
+// input lowers to receptive-field rows (B·OutH·OutW, InC·KH·KW), one
+// MatMul against the transposed weights computes every output position
+// of every sample, and spike-sparse rows ride the GEMM skip-zero fast
+// path. Per-forward caches (the transposed and mask-applied weights)
+// live until Reset, which every network-level pass calls first.
 type Conv2D struct {
 	Geom tensor.Conv2DGeom
 	OutC int
@@ -24,7 +31,21 @@ type Conv2D struct {
 	dW *tensor.Tensor
 	dB *tensor.Tensor
 
-	cols []*tensor.Tensor // cached im2col per step (training)
+	rows []*tensor.Tensor // cached lowering matrices per step (training)
+
+	effW       *tensor.Tensor // mask-applied weights, valid until Reset
+	wT         *tensor.Tensor // transposed effective weights, valid until Reset
+	lowScratch *tensor.Tensor // inference-mode lowering buffer, reused across steps
+}
+
+// rowsOrient selects the GEMM orientation. When the filter bank is wide
+// or the receptive field large, lowering to im2row rows lets
+// spike-sparse rows ride the GEMM skip-zero fast path; tiny banks over
+// tiny receptive fields keep the classic im2col panel, whose long
+// contiguous inner loops beat the sparse win when the per-spike work is
+// only a handful of output channels.
+func (c *Conv2D) rowsOrient() bool {
+	return c.OutC >= 16 || c.Geom.InC*c.Geom.KH*c.Geom.KW >= 32
 }
 
 // NewConv2D creates a convolution with Kaiming-uniform-ish Gaussian init.
@@ -60,67 +81,189 @@ func sqrt32(x float32) float32 {
 // Name implements Layer.
 func (c *Conv2D) Name() string { return "conv2d" }
 
-// effectiveW returns the weight matrix with the prune mask applied.
+// effectiveW returns the weight matrix with the prune mask applied,
+// cached until the next Reset.
 func (c *Conv2D) effectiveW() *tensor.Tensor {
 	if c.Mask == nil {
 		return c.W
 	}
-	w := c.W.Clone()
-	w.Mul(c.Mask)
-	return w
+	if c.effW == nil {
+		c.effW = c.W.Clone()
+		c.effW.Mul(c.Mask)
+	}
+	return c.effW
 }
 
-// Forward implements Layer.
+// transposedW returns effectiveW transposed to (InC·KH·KW, OutC),
+// cached until the next Reset.
+func (c *Conv2D) transposedW() *tensor.Tensor {
+	if c.wT == nil {
+		c.wT = tensor.Transpose(c.effectiveW())
+	}
+	return c.wT
+}
+
+// Forward implements Layer (single sample, (C,H,W)).
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Rank() != 3 {
 		panic(fmt.Sprintf("snn: Conv2D input rank %d (shape %s)", x.Rank(), shapeStr(x.Shape)))
 	}
-	cols := tensor.Im2Col(x, c.Geom)
-	out := tensor.MatMul(c.effectiveW(), cols) // (OutC, oh*ow)
-	oh, ow := c.Geom.OutH(), c.Geom.OutW()
-	for oc := 0; oc < c.OutC; oc++ {
-		b := c.B.Data[oc]
-		row := out.Data[oc*oh*ow : (oc+1)*oh*ow]
-		for i := range row {
-			row[i] += b
+	g := c.Geom
+	out := c.forwardBatch(x.Reshape(1, g.InC, g.InH, g.InW), train)
+	return out.Reshape(c.OutC, g.OutH(), g.OutW())
+}
+
+// ForwardBatch implements BatchLayer ((B,C,H,W) → (B,OutC,OutH,OutW)).
+func (c *Conv2D) ForwardBatch(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("snn: Conv2D batch input rank %d (shape %s)", x.Rank(), shapeStr(x.Shape)))
+	}
+	return c.forwardBatch(x, train)
+}
+
+func (c *Conv2D) forwardBatch(x *tensor.Tensor, train bool) *tensor.Tensor {
+	g := c.Geom
+	batch := x.Shape[0]
+	oh, ow := g.OutH(), g.OutW()
+	n := oh * ow
+	ckk := g.InC * g.KH * g.KW
+	chw := g.InC * g.InH * g.InW
+
+	var low *tensor.Tensor // lowering: (B·N, CKK) rows or (CKK, B·N) cols
+	if train {
+		low = tensor.New(batch * n * ckk)
+	} else {
+		if c.lowScratch == nil || c.lowScratch.Len() != batch*n*ckk {
+			c.lowScratch = tensor.New(batch * n * ckk)
+		}
+		low = c.lowScratch
+	}
+
+	var out *tensor.Tensor
+	if !train && c.rowsOrient() {
+		rows := low.Reshape(batch*n, ckk)
+		for b := 0; b < batch; b++ {
+			sample := tensor.FromSlice(x.Data[b*chw:(b+1)*chw], g.InC, g.InH, g.InW)
+			tensor.Im2RowInto(rows.Data[b*n*ckk:(b+1)*n*ckk], sample, g)
+		}
+		// (B·N, CKK) · (CKK, OutC): sparse receptive-field rows skip.
+		outT := tensor.MatMul(rows, c.transposedW())
+		out = tensor.New(batch, c.OutC, oh, ow)
+		for b := 0; b < batch; b++ {
+			for j := 0; j < n; j++ {
+				src := outT.Data[(b*n+j)*c.OutC : (b*n+j+1)*c.OutC]
+				for oc, v := range src {
+					out.Data[(b*c.OutC+oc)*n+j] = v + c.B.Data[oc]
+				}
+			}
+		}
+	} else {
+		cols := low.Reshape(ckk, batch*n)
+		for b := 0; b < batch; b++ {
+			sample := tensor.FromSlice(x.Data[b*chw:(b+1)*chw], g.InC, g.InH, g.InW)
+			tensor.Im2ColStripeInto(cols.Data, batch*n, b*n, sample, g)
+		}
+		// (OutC, CKK) · (CKK, B·N): one panel GEMM for the batch.
+		big := tensor.MatMul(c.effectiveW(), cols)
+		if batch == 1 {
+			for oc := 0; oc < c.OutC; oc++ {
+				row := big.Data[oc*n : (oc+1)*n]
+				bias := c.B.Data[oc]
+				for j := range row {
+					row[j] += bias
+				}
+			}
+			out = big.Reshape(1, c.OutC, oh, ow)
+		} else {
+			out = tensor.New(batch, c.OutC, oh, ow)
+			for b := 0; b < batch; b++ {
+				for oc := 0; oc < c.OutC; oc++ {
+					src := big.Data[oc*batch*n+b*n : oc*batch*n+(b+1)*n]
+					dst := out.Data[(b*c.OutC+oc)*n : (b*c.OutC+oc+1)*n]
+					bias := c.B.Data[oc]
+					for j, v := range src {
+						dst[j] = v + bias
+					}
+				}
+			}
 		}
 	}
 	if train {
-		c.cols = append(c.cols, cols)
+		c.rows = append(c.rows, low)
 	}
-	return out.Reshape(c.OutC, oh, ow)
+	return out
 }
 
 // Backward implements Layer.
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	n := len(c.cols)
-	if n == 0 {
+	g := c.Geom
+	dx := c.backwardBatch(grad.Reshape(1, c.OutC, g.OutH(), g.OutW()))
+	return dx.Reshape(g.InC, g.InH, g.InW)
+}
+
+// BackwardBatch implements BatchLayer.
+func (c *Conv2D) BackwardBatch(grad *tensor.Tensor) *tensor.Tensor {
+	return c.backwardBatch(grad)
+}
+
+func (c *Conv2D) backwardBatch(grad *tensor.Tensor) *tensor.Tensor {
+	nc := len(c.rows)
+	if nc == 0 {
 		panic("snn: Conv2D.Backward without cached forward step")
 	}
-	cols := c.cols[n-1]
-	c.cols = c.cols[:n-1]
+	low := c.rows[nc-1]
+	c.rows = c.rows[:nc-1]
 
-	oh, ow := c.Geom.OutH(), c.Geom.OutW()
-	g2 := grad.Reshape(c.OutC, oh*ow)
+	g := c.Geom
+	batch := grad.Shape[0]
+	oh, ow := g.OutH(), g.OutW()
+	n := oh * ow
+	ckk := g.InC * g.KH * g.KW
+	chw := g.InC * g.InH * g.InW
+	dx := tensor.New(batch, g.InC, g.InH, g.InW)
 
-	// dW += g2 · colsᵀ ; dB += row sums of g2.
-	c.dW.Add(tensor.MatMulT(g2, cols))
+	// Training forwards always cache the im2col panel (the im2row
+	// orientation only serves inference), so the backward kernels are
+	// the classic panel forms.
+	cols := low.Reshape(ckk, batch*n)
+	// g2B[oc, b·N+j] = grad[b, oc, j]; for a single sample the gradient
+	// already is that matrix.
+	var g2B *tensor.Tensor
+	if batch == 1 {
+		g2B = grad.Reshape(c.OutC, n)
+	} else {
+		g2B = tensor.New(c.OutC, batch*n)
+		for b := 0; b < batch; b++ {
+			for oc := 0; oc < c.OutC; oc++ {
+				copy(g2B.Data[oc*batch*n+b*n:oc*batch*n+(b+1)*n],
+					grad.Data[(b*c.OutC+oc)*n:(b*c.OutC+oc+1)*n])
+			}
+		}
+	}
 	for oc := 0; oc < c.OutC; oc++ {
+		row := g2B.Data[oc*batch*n : (oc+1)*batch*n]
 		var s float32
-		row := g2.Data[oc*oh*ow : (oc+1)*oh*ow]
 		for _, v := range row {
 			s += v
 		}
 		c.dB.Data[oc] += s
 	}
-
-	// dX = col2im(Wᵀ · g2).
-	dcols := tensor.TMatMul(c.effectiveW(), g2)
-	return tensor.Col2Im(dcols, c.Geom)
+	// dW += g2B·colsᵀ ; dX = col2im(Wᵀ·g2B) per sample.
+	tensor.MatMulTAcc(c.dW, g2B, cols)
+	dcols := tensor.TMatMul(c.effectiveW(), g2B)
+	for b := 0; b < batch; b++ {
+		sample := tensor.FromSlice(dx.Data[b*chw:(b+1)*chw], g.InC, g.InH, g.InW)
+		tensor.Col2ImStripeInto(sample, dcols.Data, batch*n, b*n, g)
+	}
+	return dx
 }
 
 // Reset implements Layer.
-func (c *Conv2D) Reset() { c.cols = c.cols[:0] }
+func (c *Conv2D) Reset() {
+	c.rows = c.rows[:0]
+	c.effW = nil
+	c.wT = nil
+}
 
 // Params implements ParamLayer.
 func (c *Conv2D) Params() []*tensor.Tensor { return []*tensor.Tensor{c.W, c.B} }
@@ -128,7 +271,8 @@ func (c *Conv2D) Params() []*tensor.Tensor { return []*tensor.Tensor{c.W, c.B} }
 // Grads implements ParamLayer.
 func (c *Conv2D) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.dW, c.dB} }
 
-// Dense is a fully connected layer y = Wx + b over rank-1 inputs.
+// Dense is a fully connected layer y = Wx + b over rank-1 inputs (or
+// (B,In) batches).
 type Dense struct {
 	In, Out int
 
@@ -142,6 +286,10 @@ type Dense struct {
 	dB *tensor.Tensor
 
 	xs []*tensor.Tensor // cached inputs per step (training)
+
+	effW *tensor.Tensor // mask-applied weights, valid until Reset
+	wT   *tensor.Tensor // transposed effective weights, valid until Reset
+	idx  []int          // scratch: nonzero input indices (spike fast path)
 }
 
 // NewDense creates a dense layer with Gaussian init scaled by fan-in.
@@ -165,25 +313,80 @@ func (d *Dense) effectiveW() *tensor.Tensor {
 	if d.Mask == nil {
 		return d.W
 	}
-	w := d.W.Clone()
-	w.Mul(d.Mask)
-	return w
+	if d.effW == nil {
+		d.effW = d.W.Clone()
+		d.effW.Mul(d.Mask)
+	}
+	return d.effW
 }
 
-// Forward implements Layer.
+func (d *Dense) transposedW() *tensor.Tensor {
+	if d.wT == nil {
+		d.wT = tensor.Transpose(d.effectiveW())
+	}
+	return d.wT
+}
+
+// nonzero fills d.idx with the indices of nonzero elements of x.
+func (d *Dense) nonzero(x []float32) []int {
+	idx := d.idx[:0]
+	for i, v := range x {
+		if v != 0 {
+			idx = append(idx, i)
+		}
+	}
+	d.idx = idx
+	return idx
+}
+
+// Forward implements Layer (single sample). Spiking inputs are mostly
+// zeros, so the dot products gather only the nonzero indices; dense
+// inputs fall back to the straight loops.
 func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Len() != d.In {
 		panic(fmt.Sprintf("snn: Dense input %d, want %d", x.Len(), d.In))
 	}
 	w := d.effectiveW()
 	out := tensor.New(d.Out)
-	for o := 0; o < d.Out; o++ {
-		row := w.Data[o*d.In : (o+1)*d.In]
-		var s float32
-		for i, xv := range x.Data {
-			s += row[i] * xv
+	idx := d.nonzero(x.Data)
+	if 2*len(idx) <= d.In {
+		for o := 0; o < d.Out; o++ {
+			row := w.Data[o*d.In : (o+1)*d.In]
+			var s float32
+			for _, i := range idx {
+				s += row[i] * x.Data[i]
+			}
+			out.Data[o] = s + d.B.Data[o]
 		}
-		out.Data[o] = s + d.B.Data[o]
+	} else {
+		for o := 0; o < d.Out; o++ {
+			row := w.Data[o*d.In : (o+1)*d.In]
+			var s float32
+			for i, xv := range x.Data {
+				s += row[i] * xv
+			}
+			out.Data[o] = s + d.B.Data[o]
+		}
+	}
+	if train {
+		d.xs = append(d.xs, x.Clone())
+	}
+	return out
+}
+
+// ForwardBatch implements BatchLayer ((B,In) → (B,Out)): one GEMM
+// against the transposed weights, sparse input rows skipping wholesale.
+func (d *Dense) ForwardBatch(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 2 || x.Shape[1] != d.In {
+		panic(fmt.Sprintf("snn: Dense batch input %s, want (B,%d)", shapeStr(x.Shape), d.In))
+	}
+	out := tensor.MatMul(x, d.transposedW())
+	batch := x.Shape[0]
+	for b := 0; b < batch; b++ {
+		row := out.Data[b*d.Out : (b+1)*d.Out]
+		for o := range row {
+			row[o] += d.B.Data[o]
+		}
 	}
 	if train {
 		d.xs = append(d.xs, x.Clone())
@@ -200,14 +403,22 @@ func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	x := d.xs[n-1]
 	d.xs = d.xs[:n-1]
 
+	idx := d.nonzero(x.Data)
+	sparse := 2*len(idx) <= d.In
 	for o := 0; o < d.Out; o++ {
 		g := grad.Data[o]
 		if g == 0 {
 			continue
 		}
 		drow := d.dW.Data[o*d.In : (o+1)*d.In]
-		for i, xv := range x.Data {
-			drow[i] += g * xv
+		if sparse {
+			for _, i := range idx {
+				drow[i] += g * x.Data[i]
+			}
+		} else {
+			for i, xv := range x.Data {
+				drow[i] += g * xv
+			}
 		}
 		d.dB.Data[o] += g
 	}
@@ -227,8 +438,35 @@ func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	return dx
 }
 
+// BackwardBatch implements BatchLayer.
+func (d *Dense) BackwardBatch(grad *tensor.Tensor) *tensor.Tensor {
+	n := len(d.xs)
+	if n == 0 {
+		panic("snn: Dense.Backward without cached forward step")
+	}
+	x := d.xs[n-1]
+	d.xs = d.xs[:n-1]
+
+	// dWᵀ = xᵀ·grad with the spike-sparse x rows driving the skip
+	// path; the transposed add is O(In·Out) against the O(B·In·Out)
+	// GEMM it avoids.
+	d.dW.AddTransposed(tensor.TMatMul(x, grad))
+	batch := grad.Shape[0]
+	for b := 0; b < batch; b++ {
+		row := grad.Data[b*d.Out : (b+1)*d.Out]
+		for o, g := range row {
+			d.dB.Data[o] += g
+		}
+	}
+	return tensor.MatMul(grad, d.effectiveW())
+}
+
 // Reset implements Layer.
-func (d *Dense) Reset() { d.xs = d.xs[:0] }
+func (d *Dense) Reset() {
+	d.xs = d.xs[:0]
+	d.effW = nil
+	d.wT = nil
+}
 
 // Params implements ParamLayer.
 func (d *Dense) Params() []*tensor.Tensor { return []*tensor.Tensor{d.W, d.B} }

@@ -172,8 +172,8 @@ func TestCacheDisciplineAcrossSamples(t *testing.T) {
 	}
 	// If caches leaked, the conv layers would have grown `cols` slices.
 	for _, l := range n.Layers {
-		if c, ok := l.(*Conv2D); ok && len(c.cols) != 0 {
-			t.Fatalf("conv cache leaked: %d entries", len(c.cols))
+		if c, ok := l.(*Conv2D); ok && len(c.rows) != 0 {
+			t.Fatalf("conv cache leaked: %d entries", len(c.rows))
 		}
 		if d, ok := l.(*Dense); ok && len(d.xs) != 0 {
 			t.Fatalf("dense cache leaked: %d entries", len(d.xs))

@@ -40,6 +40,17 @@ type ParamLayer interface {
 	Grads() []*tensor.Tensor
 }
 
+// BatchLayer is a Layer that can advance a whole minibatch per call:
+// the leading axis of the tensors passed to ForwardBatch/BackwardBatch
+// is the batch dimension, and every sample advances one time step in a
+// single kernel invocation. All built-in layers implement it; a network
+// whose layers all do exposes Network.ForwardBatch/BackwardBatch.
+type BatchLayer interface {
+	Layer
+	ForwardBatch(x *tensor.Tensor, train bool) *tensor.Tensor
+	BackwardBatch(grad *tensor.Tensor) *tensor.Tensor
+}
+
 // LIF is a layer of leaky integrate-and-fire neurons applied elementwise
 // to its input current: V ← λV + I; spike where V ≥ Vth; soft reset
 // V ← V − Vth·spike.
@@ -71,6 +82,20 @@ func (l *LIF) Name() string { return "lif" }
 
 // Forward implements Layer.
 func (l *LIF) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return l.step(x, train, 1)
+}
+
+// ForwardBatch implements BatchLayer: the membrane state takes the
+// batch shape and every sample's neurons advance in one pass. Spike and
+// membrane statistics are normalized per sample so calibration is
+// batch-size invariant.
+func (l *LIF) ForwardBatch(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return l.step(x, train, x.Shape[0])
+}
+
+// step advances the LIF dynamics one time step over x holding batch
+// samples (batch=1 for the per-sample path).
+func (l *LIF) step(x *tensor.Tensor, train bool, batch int) *tensor.Tensor {
 	if l.v == nil || !tensor.SameShape(l.v, x) {
 		l.v = tensor.New(x.Shape...)
 	}
@@ -95,11 +120,18 @@ func (l *LIF) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		}
 		l.preVs = append(l.preVs, pre)
 	}
-	l.StatSpikes += spikes
+	l.StatSpikes += spikes / float64(batch)
 	l.StatVSum += vSum / float64(x.Len())
 	l.StatSteps++
-	l.StatUnits = x.Len()
+	l.StatUnits = x.Len() / batch
 	return out
+}
+
+// BackwardBatch implements BatchLayer: the surrogate gradient is
+// elementwise, so the batched pass is the per-sample pass over the
+// larger state.
+func (l *LIF) BackwardBatch(grad *tensor.Tensor) *tensor.Tensor {
+	return l.Backward(grad)
 }
 
 // Backward implements Layer: dL/dI_t = dL/dS_t · σ'(V_t − Vth) + λ·carry,
@@ -173,8 +205,19 @@ func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return x.Reshape(x.Len())
 }
 
+// ForwardBatch implements BatchLayer: (B, d...) reshapes to (B, Πd).
+func (f *Flatten) ForwardBatch(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f.inShape = append(f.inShape[:0], x.Shape...)
+	return x.Reshape(x.Shape[0], x.Len()/x.Shape[0])
+}
+
 // Backward implements Layer.
 func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(f.inShape...)
+}
+
+// BackwardBatch implements BatchLayer.
+func (f *Flatten) BackwardBatch(grad *tensor.Tensor) *tensor.Tensor {
 	return grad.Reshape(f.inShape...)
 }
 

@@ -17,6 +17,26 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, label int) (float64, *tensor.Ten
 	return loss, grad
 }
 
+// SoftmaxCrossEntropyBatch is the batched form: logits is (B, classes),
+// labels[b] the target of sample b. It returns the summed loss and the
+// per-sample gradient rows dL/dlogits (each row identical to what
+// SoftmaxCrossEntropy would return for that sample alone).
+func SoftmaxCrossEntropyBatch(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	if logits.Rank() != 2 || logits.Shape[0] != len(labels) {
+		panic("snn: SoftmaxCrossEntropyBatch logits/labels mismatch")
+	}
+	classes := logits.Shape[1]
+	grad := tensor.New(logits.Shape...)
+	total := 0.0
+	for b, label := range labels {
+		row := tensor.FromSlice(logits.Data[b*classes:(b+1)*classes], classes)
+		loss, g := SoftmaxCrossEntropy(row, label)
+		total += loss
+		copy(grad.Data[b*classes:(b+1)*classes], g.Data)
+	}
+	return total, grad
+}
+
 // NegTargetLoss returns a loss whose *descent* direction reduces the
 // target class probability — attacks maximize the true-class loss, which
 // is the same gradient with opposite sign. Provided for readability in

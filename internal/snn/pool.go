@@ -25,6 +25,21 @@ func (p *AvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return tensor.AvgPool2D(x, p.K)
 }
 
+// ForwardBatch implements BatchLayer: samples pool independently.
+func (p *AvgPool) ForwardBatch(x *tensor.Tensor, train bool) *tensor.Tensor {
+	batch, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if train {
+		p.inDims = append(p.inDims, [3]int{c, h, w})
+	}
+	oh, ow := (h+p.K-1)/p.K, (w+p.K-1)/p.K
+	out := tensor.New(batch, c, oh, ow)
+	for b := 0; b < batch; b++ {
+		po := tensor.AvgPool2D(sampleView(x, b), p.K)
+		copy(out.Data[b*c*oh*ow:(b+1)*c*oh*ow], po.Data)
+	}
+	return out
+}
+
 // Backward implements Layer.
 func (p *AvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n := len(p.inDims)
@@ -36,8 +51,33 @@ func (p *AvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	return tensor.AvgPool2DBackward(grad, p.K, d[1], d[2])
 }
 
+// BackwardBatch implements BatchLayer.
+func (p *AvgPool) BackwardBatch(grad *tensor.Tensor) *tensor.Tensor {
+	n := len(p.inDims)
+	if n == 0 {
+		panic("snn: AvgPool.Backward without cached forward step")
+	}
+	d := p.inDims[n-1]
+	p.inDims = p.inDims[:n-1]
+	batch := grad.Shape[0]
+	out := tensor.New(batch, d[0], d[1], d[2])
+	chw := d[0] * d[1] * d[2]
+	for b := 0; b < batch; b++ {
+		dx := tensor.AvgPool2DBackward(sampleView(grad, b), p.K, d[1], d[2])
+		copy(out.Data[b*chw:(b+1)*chw], dx.Data)
+	}
+	return out
+}
+
 // Reset implements Layer.
 func (p *AvgPool) Reset() { p.inDims = p.inDims[:0] }
+
+// sampleView returns sample b of a batched (B, d...) tensor as a view
+// with the batch axis stripped; no data is copied.
+func sampleView(x *tensor.Tensor, b int) *tensor.Tensor {
+	per := x.Len() / x.Shape[0]
+	return tensor.FromSlice(x.Data[b*per:(b+1)*per], x.Shape[1:]...)
+}
 
 // MaxPool is non-overlapping max pooling with window K.
 type MaxPool struct {
@@ -62,6 +102,30 @@ func (p *MaxPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return out
 }
 
+// ForwardBatch implements BatchLayer: per-sample argmax indices are
+// concatenated in batch order for the backward scatter.
+func (p *MaxPool) ForwardBatch(x *tensor.Tensor, train bool) *tensor.Tensor {
+	batch, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := (h+p.K-1)/p.K, (w+p.K-1)/p.K
+	out := tensor.New(batch, c, oh, ow)
+	var args []int
+	if train {
+		args = make([]int, 0, batch*c*oh*ow)
+	}
+	for b := 0; b < batch; b++ {
+		po, arg := tensor.MaxPool2D(sampleView(x, b), p.K)
+		copy(out.Data[b*c*oh*ow:(b+1)*c*oh*ow], po.Data)
+		if train {
+			args = append(args, arg...)
+		}
+	}
+	if train {
+		p.args = append(p.args, args)
+		p.inDims = append(p.inDims, [3]int{c, h, w})
+	}
+	return out
+}
+
 // Backward implements Layer.
 func (p *MaxPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n := len(p.args)
@@ -73,6 +137,27 @@ func (p *MaxPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	p.args = p.args[:n-1]
 	p.inDims = p.inDims[:n-1]
 	return tensor.MaxPool2DBackward(grad, arg, d[0], d[1], d[2])
+}
+
+// BackwardBatch implements BatchLayer.
+func (p *MaxPool) BackwardBatch(grad *tensor.Tensor) *tensor.Tensor {
+	n := len(p.args)
+	if n == 0 {
+		panic("snn: MaxPool.Backward without cached forward step")
+	}
+	arg := p.args[n-1]
+	d := p.inDims[n-1]
+	p.args = p.args[:n-1]
+	p.inDims = p.inDims[:n-1]
+	batch := grad.Shape[0]
+	out := tensor.New(batch, d[0], d[1], d[2])
+	chw := d[0] * d[1] * d[2]
+	per := grad.Len() / batch
+	for b := 0; b < batch; b++ {
+		dx := tensor.MaxPool2DBackward(sampleView(grad, b), arg[b*per:(b+1)*per], d[0], d[1], d[2])
+		copy(out.Data[b*chw:(b+1)*chw], dx.Data)
+	}
+	return out
 }
 
 // Reset implements Layer.
@@ -117,6 +202,12 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return out
 }
 
+// ForwardBatch implements BatchLayer: the mask matches the batched
+// shape, so every sample draws its own mask, once per network reset.
+func (d *Dropout) ForwardBatch(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return d.Forward(x, train)
+}
+
 // Backward implements Layer.
 func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if d.mask == nil {
@@ -125,6 +216,11 @@ func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	out := grad.Clone()
 	out.Mul(d.mask)
 	return out
+}
+
+// BackwardBatch implements BatchLayer.
+func (d *Dropout) BackwardBatch(grad *tensor.Tensor) *tensor.Tensor {
+	return d.Backward(grad)
 }
 
 // Reset implements Layer.

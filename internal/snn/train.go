@@ -1,7 +1,6 @@
 package snn
 
 import (
-	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -57,7 +56,30 @@ func sqrt64(x float64) float64 {
 	return y
 }
 
-// Train fits the network on a static image dataset with BPTT.
+// trainStep runs one minibatch (forward, loss, backward) and returns
+// the summed loss. Batchable networks take the batched path: one
+// ForwardBatch/BackwardBatch per minibatch instead of per-sample loops.
+// Gradients accumulate the same per-sample terms either way; only the
+// float32 summation order across samples differs.
+func trainStep(n *Network, samples [][]*tensor.Tensor, labels []int) float64 {
+	if n.Batchable() {
+		logits := n.ForwardBatch(StackFrames(samples, n.Cfg.Steps), true)
+		loss, grad := SoftmaxCrossEntropyBatch(logits, labels)
+		n.BackwardBatch(grad)
+		return loss
+	}
+	total := 0.0
+	for i, fr := range samples {
+		logits := n.Forward(fr, true)
+		loss, grad := SoftmaxCrossEntropy(logits, labels[i])
+		total += loss
+		n.Backward(grad)
+	}
+	return total
+}
+
+// Train fits the network on a static image dataset with BPTT, one
+// batched BPTT pass per minibatch.
 func Train(n *Network, train *dataset.Set, opt TrainOptions) {
 	if opt.BatchSize <= 0 {
 		opt.BatchSize = 16
@@ -67,6 +89,8 @@ func Train(n *Network, train *dataset.Set, opt TrainOptions) {
 	for i := range idx {
 		idx[i] = i
 	}
+	samples := make([][]*tensor.Tensor, 0, opt.BatchSize)
+	labels := make([]int, 0, opt.BatchSize)
 	for epoch := 0; epoch < opt.Epochs; epoch++ {
 		r.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		totalLoss := 0.0
@@ -75,15 +99,14 @@ func Train(n *Network, train *dataset.Set, opt TrainOptions) {
 			if end > len(idx) {
 				end = len(idx)
 			}
-			n.ZeroGrads()
+			samples, labels = samples[:0], labels[:0]
 			for _, i := range idx[b:end] {
 				s := train.Samples[i]
-				frames := opt.Encoder.Encode(s.Image, n.Cfg.Steps, r)
-				logits := n.Forward(frames, true)
-				loss, grad := SoftmaxCrossEntropy(logits, s.Label)
-				totalLoss += loss
-				n.Backward(grad)
+				samples = append(samples, opt.Encoder.Encode(s.Image, n.Cfg.Steps, r))
+				labels = append(labels, s.Label)
 			}
+			n.ZeroGrads()
+			totalLoss += trainStep(n, samples, labels)
 			clipGradients(n.Grads(), opt.ClipNorm)
 			opt.Optimizer.Step(n.Params(), n.Grads(), 1/float32(end-b))
 		}
@@ -104,6 +127,8 @@ func TrainFrames(n *Network, samples [][]*tensor.Tensor, labels []int, opt Train
 	for i := range idx {
 		idx[i] = i
 	}
+	batch := make([][]*tensor.Tensor, 0, opt.BatchSize)
+	blabels := make([]int, 0, opt.BatchSize)
 	for epoch := 0; epoch < opt.Epochs; epoch++ {
 		r.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		totalLoss := 0.0
@@ -112,13 +137,13 @@ func TrainFrames(n *Network, samples [][]*tensor.Tensor, labels []int, opt Train
 			if end > len(idx) {
 				end = len(idx)
 			}
-			n.ZeroGrads()
+			batch, blabels = batch[:0], blabels[:0]
 			for _, i := range idx[b:end] {
-				logits := n.Forward(samples[i], true)
-				loss, grad := SoftmaxCrossEntropy(logits, labels[i])
-				totalLoss += loss
-				n.Backward(grad)
+				batch = append(batch, samples[i])
+				blabels = append(blabels, labels[i])
 			}
+			n.ZeroGrads()
+			totalLoss += trainStep(n, batch, blabels)
 			clipGradients(n.Grads(), opt.ClipNorm)
 			opt.Optimizer.Step(n.Params(), n.Grads(), 1/float32(end-b))
 		}
@@ -128,52 +153,83 @@ func TrainFrames(n *Network, samples [][]*tensor.Tensor, labels []int, opt Train
 	}
 }
 
+// evalChunk is the number of samples evaluated per batched forward:
+// large enough to amortize per-batch weight transposes, small enough to
+// keep the stacked frames cache-resident.
+const evalChunk = 32
+
 // Accuracy evaluates classification accuracy on a static image dataset.
-// Encoding randomness is reseeded per call so repeated evaluations of the
-// same model agree.
+// Encoding randomness is reseeded per call so repeated evaluations of
+// the same model agree. Samples are evaluated in batched chunks; the
+// encoding stream and the per-sample predictions are identical to the
+// per-sample path.
 func Accuracy(n *Network, test *dataset.Set, enc encoding.Encoder, seed uint64) float64 {
 	if test.Len() == 0 {
 		return 0
 	}
 	r := rng.New(seed)
 	correct := 0
-	for _, s := range test.Samples {
-		frames := enc.Encode(s.Image, n.Cfg.Steps, r)
-		if n.Predict(frames) == s.Label {
-			correct++
+	samples := make([][]*tensor.Tensor, 0, evalChunk)
+	labels := make([]int, 0, evalChunk)
+	flush := func() {
+		for i, p := range n.PredictBatch(samples) {
+			if p == labels[i] {
+				correct++
+			}
 		}
+		samples, labels = samples[:0], labels[:0]
+	}
+	for _, s := range test.Samples {
+		samples = append(samples, enc.Encode(s.Image, n.Cfg.Steps, r))
+		labels = append(labels, s.Label)
+		if len(samples) == evalChunk {
+			flush()
+		}
+	}
+	if len(samples) > 0 {
+		flush()
 	}
 	return float64(correct) / float64(test.Len())
 }
 
-// AccuracyFrames evaluates accuracy on pre-voxelized frame samples.
+// AccuracyFrames evaluates accuracy on pre-voxelized frame samples,
+// batching chunks through the network.
 func AccuracyFrames(n *Network, samples [][]*tensor.Tensor, labels []int) float64 {
 	if len(samples) == 0 {
 		return 0
 	}
 	correct := 0
-	for i, fr := range samples {
-		if n.Predict(fr) == labels[i] {
-			correct++
+	for b := 0; b < len(samples); b += evalChunk {
+		end := b + evalChunk
+		if end > len(samples) {
+			end = len(samples)
+		}
+		for i, p := range n.PredictBatch(samples[b:end]) {
+			if p == labels[b+i] {
+				correct++
+			}
 		}
 	}
 	return float64(correct) / float64(len(samples))
 }
 
-// AccuracyParallel evaluates accuracy like Accuracy but fans samples out
-// over workers goroutines (0 = GOMAXPROCS), each with a weight-sharing
-// evaluation clone. The result is deterministic given seed and does not
-// depend on the worker count: the encoding RNG is split per sample
-// index up front. (It differs from Accuracy's stream for the same seed.)
+// AccuracyParallel evaluates accuracy like Accuracy but fans batched
+// chunks out over workers goroutines (<= 0 takes the shared kernel
+// pool's budget, i.e. GOMAXPROCS unless tensor.SetWorkers overrode it),
+// each with a weight-sharing evaluation clone. The result is
+// deterministic given seed and does not depend on the worker count: the
+// encoding RNG is split per sample index up front and chunk boundaries
+// are fixed. (It differs from Accuracy's stream for the same seed.)
 func AccuracyParallel(n *Network, test *dataset.Set, enc encoding.Encoder, seed uint64, workers int) float64 {
 	if test.Len() == 0 {
 		return 0
 	}
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = tensor.Workers()
 	}
-	if workers > test.Len() {
-		workers = test.Len()
+	chunks := (test.Len() + evalChunk - 1) / evalChunk
+	if workers > chunks {
+		workers = chunks
 	}
 	// Pre-split one RNG per sample so parallel order cannot matter.
 	base := rng.New(seed)
@@ -189,17 +245,29 @@ func AccuracyParallel(n *Network, test *dataset.Set, enc encoding.Encoder, seed 
 		go func() {
 			defer wg.Done()
 			clone := n.CloneArchitecture()
-			for i := range work {
-				s := test.Samples[i]
-				frames := enc.Encode(s.Image, clone.Cfg.Steps, rngs[i])
-				if clone.Predict(frames) == s.Label {
-					atomic.AddInt64(&correct, 1)
+			for ci := range work {
+				lo := ci * evalChunk
+				hi := lo + evalChunk
+				if hi > test.Len() {
+					hi = test.Len()
+				}
+				samples := make([][]*tensor.Tensor, 0, hi-lo)
+				labels := make([]int, 0, hi-lo)
+				for i := lo; i < hi; i++ {
+					s := test.Samples[i]
+					samples = append(samples, enc.Encode(s.Image, clone.Cfg.Steps, rngs[i]))
+					labels = append(labels, s.Label)
+				}
+				for i, p := range clone.PredictBatch(samples) {
+					if p == labels[i] {
+						atomic.AddInt64(&correct, 1)
+					}
 				}
 			}
 		}()
 	}
-	for i := 0; i < test.Len(); i++ {
-		work <- i
+	for ci := 0; ci < chunks; ci++ {
+		work <- ci
 	}
 	close(work)
 	wg.Wait()

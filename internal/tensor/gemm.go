@@ -1,0 +1,344 @@
+// Blocked, pool-parallel GEMM kernels. Three layouts cover every use in
+// the SNN substrate:
+//
+//	MatMul  C = A·B    (m×k)·(k×n)
+//	MatMulT C = A·Bᵀ   (m×k)·(n×k)
+//	TMatMul C = Aᵀ·B   (k×m)·(k×n)
+//
+// All three keep the skip-zero fast paths of the original serial
+// kernels (spike activity is mostly zeros, so entire inner loops
+// vanish), block the loops for cache locality, and split the output
+// into row blocks claimed from the shared worker pool. MatMul and
+// MatMulT preserve the exact per-element accumulation order of the
+// serial kernels at any worker count; TMatMul reduces per-k-block
+// partial sums in deterministic block order when parallel, and runs the
+// exact serial kernel under SetWorkers(1).
+package tensor
+
+import "fmt"
+
+const (
+	// gemmKC / gemmNC block the k and n loops so a (gemmKC × gemmNC)
+	// panel of B stays cache-resident while a row block of C streams.
+	gemmKC = 240
+	gemmNC = 1024
+	// gemmSerialOps is the multiply-add count below which the pool
+	// costs more than it saves and kernels stay serial.
+	gemmSerialOps = 1 << 15
+	// gemmGrainOps is the approximate per-task work target when
+	// splitting rows across the pool.
+	gemmGrainOps = 1 << 16
+)
+
+func checkGEMM(op string, a, b *Tensor) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: %s wants rank-2, got %v × %v", op, a.Shape, b.Shape))
+	}
+}
+
+func gemmGrain(rows, opsPerRow int) int {
+	if opsPerRow < 1 {
+		opsPerRow = 1
+	}
+	g := gemmGrainOps / opsPerRow
+	if g < 1 {
+		g = 1
+	}
+	if g > rows {
+		g = rows
+	}
+	return g
+}
+
+// MatMul computes C = A·B for A (m×k) and B (k×n), returning an m×n
+// tensor. Zero elements of A skip their whole inner loop, which makes
+// spike-matrix products cost O(nnz·n) instead of O(m·k·n).
+func MatMul(a, b *Tensor) *Tensor {
+	checkGEMM("MatMul", a, b)
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2))
+	}
+	c := New(m, n)
+	w := Workers()
+	if m*k*n < gemmSerialOps || w == 1 {
+		matMulRows(c.Data, a.Data, b.Data, 0, m, k, n)
+		return c
+	}
+	if m >= 2*w {
+		parallelFor(m, gemmGrain(m, k*n), func(lo, hi int) {
+			matMulRows(c.Data, a.Data, b.Data, lo, hi, k, n)
+		})
+		return c
+	}
+	// Few output rows (e.g. a narrow conv filter bank against a wide
+	// batched im2col panel): split the columns instead. Stripes write
+	// disjoint column ranges and keep the per-element accumulation
+	// order, so this stays bit-identical too.
+	parallelFor(n, gemmGrain(n, k*m), func(jlo, jhi int) {
+		matMulStripe(c.Data, a.Data, b.Data, m, k, n, jlo, jhi)
+	})
+	return c
+}
+
+// matMulStripe computes columns [jlo,jhi) of C = A·B.
+func matMulStripe(cd, ad, bd []float32, m, k, n, jlo, jhi int) {
+	for i := 0; i < m; i++ {
+		arow := ad[i*k : (i+1)*k]
+		crow := cd[i*n+jlo : i*n+jhi]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := bd[p*n+jlo : p*n+jhi]
+			for jj, bv := range brow {
+				crow[jj] += av * bv
+			}
+		}
+	}
+}
+
+// matMulRows computes rows [i0,i1) of C = A·B with k/n blocking. For
+// every output element the k terms accumulate in ascending order, so
+// the result is bit-identical to the naive ikj kernel regardless of
+// blocking or row partitioning. Matrices that fit a single cache block
+// take the tight unblocked loop: the blocked form's sub-slice
+// arithmetic costs ~1.5× on small shapes.
+func matMulRows(cd, ad, bd []float32, i0, i1, k, n int) {
+	if k <= gemmKC && n <= gemmNC {
+		for i := i0; i < i1; i++ {
+			arow := ad[i*k : (i+1)*k]
+			crow := cd[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := bd[p*n : (p+1)*n]
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+		return
+	}
+	for kb := 0; kb < k; kb += gemmKC {
+		kEnd := kb + gemmKC
+		if kEnd > k {
+			kEnd = k
+		}
+		for jb := 0; jb < n; jb += gemmNC {
+			jEnd := jb + gemmNC
+			if jEnd > n {
+				jEnd = n
+			}
+			for i := i0; i < i1; i++ {
+				arow := ad[i*k+kb : i*k+kEnd]
+				crow := cd[i*n+jb : i*n+jEnd]
+				for pp, av := range arow {
+					if av == 0 {
+						continue
+					}
+					brow := bd[(kb+pp)*n+jb : (kb+pp)*n+jEnd]
+					for jj, bv := range brow {
+						crow[jj] += av * bv
+					}
+				}
+			}
+		}
+	}
+}
+
+// MatMulT computes C = A·Bᵀ for A (m×k) and B (n×k), returning m×n.
+func MatMulT(a, b *Tensor) *Tensor {
+	checkGEMM("MatMulT", a, b)
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulT inner dims %d vs %d", k, k2))
+	}
+	c := New(m, n)
+	if m*k*n < gemmSerialOps || Workers() == 1 {
+		matMulTRows(c.Data, a.Data, b.Data, 0, m, k, n)
+		return c
+	}
+	parallelFor(m, gemmGrain(m, k*n), func(lo, hi int) {
+		matMulTRows(c.Data, a.Data, b.Data, lo, hi, k, n)
+	})
+	return c
+}
+
+// matMulTRows computes rows [i0,i1) of C = A·Bᵀ. Each element is an
+// independent dot product accumulated in ascending k order, identical
+// to the serial kernel at any row partitioning.
+func matMulTRows(cd, ad, bd []float32, i0, i1, k, n int) {
+	for i := i0; i < i1; i++ {
+		arow := ad[i*k : (i+1)*k]
+		crow := cd[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := bd[j*k : (j+1)*k]
+			var s float32
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			crow[j] = s
+		}
+	}
+}
+
+// MatMulTAcc accumulates dst += A·Bᵀ — the weight-gradient kernel
+// (dst is accumulated across time steps, so no fresh tensor is
+// allocated per step). Each element adds one dot product, computed in
+// ascending k order exactly like MatMulT.
+func MatMulTAcc(dst, a, b *Tensor) {
+	checkGEMM("MatMulT", a, b)
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulT inner dims %d vs %d", k, k2))
+	}
+	if dst.Rank() != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTAcc dst %v, want [%d %d]", dst.Shape, m, n))
+	}
+	if m*k*n < gemmSerialOps || Workers() == 1 {
+		matMulTAccRows(dst.Data, a.Data, b.Data, 0, m, k, n)
+		return
+	}
+	parallelFor(m, gemmGrain(m, k*n), func(lo, hi int) {
+		matMulTAccRows(dst.Data, a.Data, b.Data, lo, hi, k, n)
+	})
+}
+
+func matMulTAccRows(cd, ad, bd []float32, i0, i1, k, n int) {
+	for i := i0; i < i1; i++ {
+		arow := ad[i*k : (i+1)*k]
+		crow := cd[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := bd[j*k : (j+1)*k]
+			var s float32
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			crow[j] += s
+		}
+	}
+}
+
+// TMatMul computes C = Aᵀ·B for A (k×m) and B (k×n), returning m×n.
+// Zero elements of A skip their inner loop (the spike fast path). When
+// parallel, the k range is split into blocks whose partial products are
+// reduced in deterministic block order; with SetWorkers(1) the exact
+// serial kernel runs.
+func TMatMul(a, b *Tensor) *Tensor {
+	checkGEMM("TMatMul", a, b)
+	k, m := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: TMatMul inner dims %d vs %d", k, k2))
+	}
+	c := New(m, n)
+	TMatMulAcc(c, a, b)
+	return c
+}
+
+// TMatMulAcc accumulates dst += Aᵀ·B, the layout gradient kernels need
+// (dst is a weight-gradient buffer accumulated across time steps).
+func TMatMulAcc(dst, a, b *Tensor) {
+	checkGEMM("TMatMul", a, b)
+	k, m := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: TMatMul inner dims %d vs %d", k, k2))
+	}
+	if dst.Rank() != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: TMatMulAcc dst %v, want [%d %d]", dst.Shape, m, n))
+	}
+	w := Workers()
+	if w == 1 || k*m*n < gemmSerialOps {
+		tMatMulRange(dst.Data, a.Data, b.Data, 0, k, m, n)
+		return
+	}
+	if n >= 4*w {
+		// Wide output (e.g. input gradients of a batched conv panel):
+		// stripe the columns. Each stripe re-scans A but writes a
+		// disjoint column range in the serial accumulation order, so
+		// the result is bit-identical to the serial kernel.
+		parallelFor(n, gemmGrain(n, k*m/4+1), func(jlo, jhi int) {
+			tMatMulStripe(dst.Data, a.Data, b.Data, k, m, n, jlo, jhi)
+		})
+		return
+	}
+	// Narrow output: split k into ~4 blocks per worker for stealing
+	// balance; each block accumulates into a private partial, reduced
+	// in block order so the result never depends on scheduling.
+	grain := (k + 4*w - 1) / (4 * w)
+	if grain < 1 {
+		grain = 1
+	}
+	blocks := (k + grain - 1) / grain
+	partials := make([][]float32, blocks)
+	parallelFor(k, grain, func(lo, hi int) {
+		buf := make([]float32, m*n)
+		tMatMulRange(buf, a.Data, b.Data, lo, hi, m, n)
+		partials[lo/grain] = buf
+	})
+	for _, p := range partials {
+		for i, v := range p {
+			dst.Data[i] += v
+		}
+	}
+}
+
+// tMatMulStripe accumulates columns [jlo,jhi) of C += Aᵀ·B.
+func tMatMulStripe(cd, ad, bd []float32, k, m, n, jlo, jhi int) {
+	for p := 0; p < k; p++ {
+		arow := ad[p*m : (p+1)*m]
+		brow := bd[p*n+jlo : p*n+jhi]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := cd[i*n+jlo : i*n+jhi]
+			for jj, bv := range brow {
+				crow[jj] += av * bv
+			}
+		}
+	}
+}
+
+// tMatMulRange accumulates rows [p0,p1) of A into C = Aᵀ·B. A rows
+// stream contiguously, so the skip-zero check touches each element of
+// the (typically sparse) A block exactly once.
+func tMatMulRange(cd, ad, bd []float32, p0, p1, m, n int) {
+	for p := p0; p < p1; p++ {
+		arow := ad[p*m : (p+1)*m]
+		brow := bd[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := cd[i*n : (i+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// AddTransposed accumulates t += oᵀ for rank-2 tensors, the cheap final
+// hop when a gradient was computed in transposed layout to exploit
+// sparsity (e.g. dWᵀ = Xᵀ·G with spike-sparse X).
+func (t *Tensor) AddTransposed(o *Tensor) *Tensor {
+	if t.Rank() != 2 || o.Rank() != 2 || t.Shape[0] != o.Shape[1] || t.Shape[1] != o.Shape[0] {
+		panic(fmt.Sprintf("tensor: AddTransposed %v += %vᵀ", t.Shape, o.Shape))
+	}
+	m, n := t.Shape[0], t.Shape[1]
+	for i := 0; i < m; i++ {
+		row := t.Data[i*n : (i+1)*n]
+		for j := range row {
+			row[j] += o.Data[j*m+i]
+		}
+	}
+	return t
+}

@@ -1,0 +1,270 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// Naive reference kernels: the textbook triple loops, no blocking, no
+// skip-zero fast paths, float64 accumulation. The production kernels
+// must match these within tolerance across every shape and sparsity.
+
+func refMatMul(a, b *Tensor) *Tensor {
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += float64(a.Data[i*k+p]) * float64(b.Data[p*n+j])
+			}
+			c.Data[i*n+j] = float32(s)
+		}
+	}
+	return c
+}
+
+func refMatMulT(a, b *Tensor) *Tensor {
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += float64(a.Data[i*k+p]) * float64(b.Data[j*k+p])
+			}
+			c.Data[i*n+j] = float32(s)
+		}
+	}
+	return c
+}
+
+func refTMatMul(a, b *Tensor) *Tensor {
+	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += float64(a.Data[p*m+i]) * float64(b.Data[p*n+j])
+			}
+			c.Data[i*n+j] = float32(s)
+		}
+	}
+	return c
+}
+
+// randSparse fills a tensor with N(0,1) values at the given density
+// (density 0 gives the all-zero tensor, exercising pure skip paths).
+func randSparse(r *rng.RNG, density float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		if r.Float64() < density {
+			t.Data[i] = r.NormFloat32()
+		}
+	}
+	return t
+}
+
+func maxAbsDiff(a, b *Tensor) float64 {
+	d := 0.0
+	for i := range a.Data {
+		v := math.Abs(float64(a.Data[i] - b.Data[i]))
+		if v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// gemmCases covers the shape corners the kernels special-case: m=1,
+// k=1, n=1, tiny panels below the parallel threshold, panels above it,
+// and panels wider/taller than the cache blocks.
+var gemmCases = []struct{ m, k, n int }{
+	{1, 1, 1},
+	{1, 7, 5},
+	{3, 1, 9},
+	{5, 4, 1},
+	{2, 300, 3},
+	{64, 54, 12},
+	{12, 54, 64},
+	{17, 260, 40},   // k beyond gemmKC
+	{9, 33, 1100},   // n beyond gemmNC
+	{130, 257, 70},  // k beyond gemmKC with many rows
+	{200, 16, 1200}, // n beyond gemmNC with many rows
+}
+
+var densities = []float64{0, 0.05, 0.4, 1}
+
+func TestMatMulMatchesReference(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		SetWorkers(workers)
+		r := rng.New(11)
+		for _, cs := range gemmCases {
+			for _, d := range densities {
+				a := randSparse(r, d, cs.m, cs.k)
+				b := randSparse(r, 0.7, cs.k, cs.n)
+				got := MatMul(a, b)
+				want := refMatMul(a, b)
+				if diff := maxAbsDiff(got, want); diff > 1e-5*float64(cs.k) {
+					t.Fatalf("workers=%d %v d=%.2f: MatMul diff %g", workers, cs, d, diff)
+				}
+			}
+		}
+	}
+	SetWorkers(0)
+}
+
+func TestMatMulTMatchesReference(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		SetWorkers(workers)
+		r := rng.New(12)
+		for _, cs := range gemmCases {
+			for _, d := range densities {
+				a := randSparse(r, d, cs.m, cs.k)
+				b := randSparse(r, 0.7, cs.n, cs.k)
+				got := MatMulT(a, b)
+				want := refMatMulT(a, b)
+				if diff := maxAbsDiff(got, want); diff > 1e-5*float64(cs.k) {
+					t.Fatalf("workers=%d %v d=%.2f: MatMulT diff %g", workers, cs, d, diff)
+				}
+			}
+		}
+	}
+	SetWorkers(0)
+}
+
+func TestTMatMulMatchesReference(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		SetWorkers(workers)
+		r := rng.New(13)
+		for _, cs := range gemmCases {
+			for _, d := range densities {
+				a := randSparse(r, d, cs.k, cs.m)
+				b := randSparse(r, 0.7, cs.k, cs.n)
+				got := TMatMul(a, b)
+				want := refTMatMul(a, b)
+				if diff := maxAbsDiff(got, want); diff > 1e-5*float64(cs.k) {
+					t.Fatalf("workers=%d %v d=%.2f: TMatMul diff %g", workers, cs, d, diff)
+				}
+			}
+		}
+	}
+	SetWorkers(0)
+}
+
+func TestAccVariantsAccumulate(t *testing.T) {
+	r := rng.New(14)
+	a := randSparse(r, 0.5, 23, 17)
+	b := randSparse(r, 0.5, 23, 31)
+	dst := randSparse(r, 1, 17, 31)
+	want := dst.Clone().Add(refTMatMul(a, b))
+	TMatMulAcc(dst, a, b)
+	if diff := maxAbsDiff(dst, want); diff > 1e-4 {
+		t.Fatalf("TMatMulAcc diff %g", diff)
+	}
+
+	a2 := randSparse(r, 0.5, 9, 40)
+	b2 := randSparse(r, 0.5, 13, 40)
+	dst2 := randSparse(r, 1, 9, 13)
+	want2 := dst2.Clone().Add(refMatMulT(a2, b2))
+	MatMulTAcc(dst2, a2, b2)
+	if diff := maxAbsDiff(dst2, want2); diff > 1e-4 {
+		t.Fatalf("MatMulTAcc diff %g", diff)
+	}
+}
+
+func TestAddTransposed(t *testing.T) {
+	r := rng.New(15)
+	o := randSparse(r, 1, 4, 6)
+	dst := New(6, 4)
+	dst.AddTransposed(o)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 4; j++ {
+			if dst.Data[i*4+j] != o.Data[j*6+i] {
+				t.Fatalf("AddTransposed mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// TestSingleWorkerBitIdentical pins the SetWorkers(1) determinism
+// contract: the parallel kernels at any worker count must produce
+// byte-for-byte the same MatMul/MatMulT results as single-worker mode
+// (their row/stripe partitioning preserves accumulation order).
+func TestSingleWorkerBitIdentical(t *testing.T) {
+	r := rng.New(16)
+	a := randSparse(r, 0.4, 37, 301)
+	b := randSparse(r, 0.6, 301, 43)
+	SetWorkers(1)
+	serial := MatMul(a, b)
+	serialT := MatMulT(a, Transpose(b))
+	SetWorkers(8)
+	parallel := MatMul(a, b)
+	parallelT := MatMulT(a, Transpose(b))
+	SetWorkers(0)
+	for i := range serial.Data {
+		if serial.Data[i] != parallel.Data[i] {
+			t.Fatalf("MatMul not bit-identical at %d: %v vs %v", i, serial.Data[i], parallel.Data[i])
+		}
+	}
+	for i := range serialT.Data {
+		if serialT.Data[i] != parallelT.Data[i] {
+			t.Fatalf("MatMulT not bit-identical at %d", i)
+		}
+	}
+}
+
+func TestIm2RowMatchesIm2Col(t *testing.T) {
+	r := rng.New(17)
+	geoms := []Conv2DGeom{
+		{InC: 1, InH: 8, InW: 8, KH: 3, KW: 3, Stride: 1, Pad: 1},
+		{InC: 3, InH: 9, InW: 7, KH: 3, KW: 3, Stride: 2, Pad: 1},
+		{InC: 2, InH: 6, InW: 6, KH: 2, KW: 2, Stride: 2, Pad: 0},
+	}
+	for _, g := range geoms {
+		for _, d := range []float64{0, 0.1, 0.9} {
+			x := randSparse(r, d, g.InC, g.InH, g.InW)
+			cols := Im2Col(x, g)
+			rows := Im2Row(x, g)
+			ckk := g.InC * g.KH * g.KW
+			n := g.OutH() * g.OutW()
+			for p := 0; p < ckk; p++ {
+				for j := 0; j < n; j++ {
+					if cols.Data[p*n+j] != rows.Data[j*ckk+p] {
+						t.Fatalf("geom %+v d=%.1f: im2row(%d,%d) != im2col(%d,%d)", g, d, j, p, p, j)
+					}
+				}
+			}
+			// The strided stripe form must agree with plain Im2Col.
+			stripe := make([]float32, ckk*n)
+			Im2ColStripeInto(stripe, n, 0, x, g)
+			for i := range stripe {
+				if stripe[i] != cols.Data[i] {
+					t.Fatalf("geom %+v: Im2ColStripeInto differs at %d", g, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCol2ImRowRoundTrip(t *testing.T) {
+	r := rng.New(18)
+	g := Conv2DGeom{InC: 2, InH: 7, InW: 5, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	rows := randSparse(r, 0.8, g.OutH()*g.OutW(), g.InC*g.KH*g.KW)
+	cols := New(g.InC*g.KH*g.KW, g.OutH()*g.OutW())
+	ckk := g.InC * g.KH * g.KW
+	n := g.OutH() * g.OutW()
+	for p := 0; p < ckk; p++ {
+		for j := 0; j < n; j++ {
+			cols.Data[p*n+j] = rows.Data[j*ckk+p]
+		}
+	}
+	a := Col2ImRow(rows, g)
+	b := Col2Im(cols, g)
+	if diff := maxAbsDiff(a, b); diff > 1e-5 {
+		t.Fatalf("Col2ImRow vs Col2Im diff %g", diff)
+	}
+}

@@ -1,0 +1,223 @@
+package tensor
+
+import "fmt"
+
+// Im2Row lowers a (C,H,W) input to an (OutH*OutW, C*KH*KW) matrix — the
+// transpose of Im2Col. Each row is one output position's receptive
+// field, so a convolution becomes rows·Wᵀ with the weight matrix
+// (OutC, C*KH*KW), and spike-sparse inputs give sparse *rows* that the
+// MatMul skip-zero fast path elides wholesale. Batched convolution
+// stacks the per-sample row blocks contiguously, which is why this
+// layout (and not im2col) is the batched path's native one.
+func Im2Row(x *Tensor, g Conv2DGeom) *Tensor {
+	out := New(g.OutH()*g.OutW(), g.InC*g.KH*g.KW)
+	Im2RowInto(out.Data, x, g)
+	return out
+}
+
+// Im2RowInto writes Im2Row(x, g) into dst, which must have exactly
+// OutH*OutW·C*KH*KW elements. When the input is mostly zeros (spike
+// frames), it clears dst and scatters only the nonzero pixels —
+// O(nnz·KH·KW) instead of O(C·KH·KW·OutH·OutW).
+func Im2RowInto(dst []float32, x *Tensor, g Conv2DGeom) {
+	if x.Rank() != 3 || x.Shape[0] != g.InC || x.Shape[1] != g.InH || x.Shape[2] != g.InW {
+		panic(fmt.Sprintf("tensor: Im2Row input %v does not match geom %+v", x.Shape, g))
+	}
+	oh, ow := g.OutH(), g.OutW()
+	ckk := g.InC * g.KH * g.KW
+	if len(dst) != oh*ow*ckk {
+		panic(fmt.Sprintf("tensor: Im2Row dst %d, want %d", len(dst), oh*ow*ckk))
+	}
+	nnz := 0
+	for _, v := range x.Data {
+		if v != 0 {
+			nnz++
+		}
+	}
+	// The dense path writes every dst element; the scatter path clears
+	// dst (cheap) then touches nnz·KH·KW cells at roughly twice the
+	// per-cell cost. Crossover sits near 40% density.
+	if nnz*5 < 2*len(x.Data) {
+		clear(dst)
+		im2RowScatter(dst, x, g, ckk)
+		return
+	}
+	im2RowDense(dst, x, g, oh, ow, ckk)
+}
+
+// im2RowScatter writes each nonzero input pixel into the receptive-field
+// rows it participates in.
+func im2RowScatter(dst []float32, x *Tensor, g Conv2DGeom, ckk int) {
+	oh, ow := g.OutH(), g.OutW()
+	idx := 0
+	for c := 0; c < g.InC; c++ {
+		base := c * g.KH * g.KW
+		for si := 0; si < g.InH; si++ {
+			for sj := 0; sj < g.InW; sj++ {
+				v := x.Data[idx]
+				idx++
+				if v == 0 {
+					continue
+				}
+				for ki := 0; ki < g.KH; ki++ {
+					ti := si + g.Pad - ki
+					if ti < 0 || ti%g.Stride != 0 {
+						continue
+					}
+					oi := ti / g.Stride
+					if oi >= oh {
+						continue
+					}
+					for kj := 0; kj < g.KW; kj++ {
+						tj := sj + g.Pad - kj
+						if tj < 0 || tj%g.Stride != 0 {
+							continue
+						}
+						oj := tj / g.Stride
+						if oj >= ow {
+							continue
+						}
+						dst[(oi*ow+oj)*ckk+base+ki*g.KW+kj] = v
+					}
+				}
+			}
+		}
+	}
+}
+
+// im2RowDense is the gather form: every output row is filled from its
+// receptive field, zero-padding out-of-range taps.
+func im2RowDense(dst []float32, x *Tensor, g Conv2DGeom, oh, ow, ckk int) {
+	for oi := 0; oi < oh; oi++ {
+		for oj := 0; oj < ow; oj++ {
+			row := dst[(oi*ow+oj)*ckk : (oi*ow+oj+1)*ckk]
+			r := 0
+			for c := 0; c < g.InC; c++ {
+				plane := x.Data[c*g.InH*g.InW:]
+				for ki := 0; ki < g.KH; ki++ {
+					si := oi*g.Stride + ki - g.Pad
+					for kj := 0; kj < g.KW; kj++ {
+						sj := oj*g.Stride + kj - g.Pad
+						if si >= 0 && si < g.InH && sj >= 0 && sj < g.InW {
+							row[r] = plane[si*g.InW+sj]
+						} else {
+							row[r] = 0
+						}
+						r++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Im2ColStripeInto lowers x into one sample's column stripe of a
+// batched im2col matrix: element (r, j) of the sample's (C*KH*KW,
+// OutH*OutW) lowering lands at dst[r*rowStride + colOff + j]. With
+// rowStride = OutH*OutW and colOff = 0 this is exactly Im2Col; batched
+// convolution uses rowStride = B·OutH*OutW and colOff = b·OutH*OutW so
+// one GEMM covers the whole batch.
+func Im2ColStripeInto(dst []float32, rowStride, colOff int, x *Tensor, g Conv2DGeom) {
+	if x.Rank() != 3 || x.Shape[0] != g.InC || x.Shape[1] != g.InH || x.Shape[2] != g.InW {
+		panic(fmt.Sprintf("tensor: Im2ColStripe input %v does not match geom %+v", x.Shape, g))
+	}
+	oh, ow := g.OutH(), g.OutW()
+	row := 0
+	for c := 0; c < g.InC; c++ {
+		plane := x.Data[c*g.InH*g.InW:]
+		for ki := 0; ki < g.KH; ki++ {
+			for kj := 0; kj < g.KW; kj++ {
+				out := dst[row*rowStride+colOff : row*rowStride+colOff+oh*ow]
+				idx := 0
+				for oi := 0; oi < oh; oi++ {
+					si := oi*g.Stride + ki - g.Pad
+					for oj := 0; oj < ow; oj++ {
+						sj := oj*g.Stride + kj - g.Pad
+						if si >= 0 && si < g.InH && sj >= 0 && sj < g.InW {
+							out[idx] = plane[si*g.InW+sj]
+						} else {
+							out[idx] = 0
+						}
+						idx++
+					}
+				}
+				row++
+			}
+		}
+	}
+}
+
+// Col2ImStripeInto is the transpose of Im2ColStripeInto: it
+// scatter-adds one sample's column stripe of a batched column-gradient
+// matrix into the (C,H,W) input-gradient tensor x.
+func Col2ImStripeInto(x *Tensor, src []float32, rowStride, colOff int, g Conv2DGeom) {
+	if x.Rank() != 3 || x.Shape[0] != g.InC || x.Shape[1] != g.InH || x.Shape[2] != g.InW {
+		panic(fmt.Sprintf("tensor: Col2ImStripe output %v does not match geom %+v", x.Shape, g))
+	}
+	oh, ow := g.OutH(), g.OutW()
+	row := 0
+	for c := 0; c < g.InC; c++ {
+		plane := x.Data[c*g.InH*g.InW:]
+		for ki := 0; ki < g.KH; ki++ {
+			for kj := 0; kj < g.KW; kj++ {
+				in := src[row*rowStride+colOff : row*rowStride+colOff+oh*ow]
+				idx := 0
+				for oi := 0; oi < oh; oi++ {
+					si := oi*g.Stride + ki - g.Pad
+					for oj := 0; oj < ow; oj++ {
+						sj := oj*g.Stride + kj - g.Pad
+						if si >= 0 && si < g.InH && sj >= 0 && sj < g.InW {
+							plane[si*g.InW+sj] += in[idx]
+						}
+						idx++
+					}
+				}
+				row++
+			}
+		}
+	}
+}
+
+// Col2ImRow is the transpose of Im2Row: it scatters an
+// (OutH*OutW, C*KH*KW) matrix of receptive-field gradients back into a
+// (C,H,W) input-gradient tensor. It completes the im2row lowering pair;
+// the conv backward currently runs on the im2col panel (training caches
+// that layout), so this is exercised by the equivalence tests and
+// reserved for a rows-layout backward.
+func Col2ImRow(rows *Tensor, g Conv2DGeom) *Tensor {
+	x := New(g.InC, g.InH, g.InW)
+	Col2ImRowInto(x, rows.Data, g)
+	return x
+}
+
+// Col2ImRowInto accumulates the scatter of rows (len OutH*OutW·C*KH*KW,
+// im2row layout) into x, which must be (C,H,W) matching g.
+func Col2ImRowInto(x *Tensor, rows []float32, g Conv2DGeom) {
+	if x.Rank() != 3 || x.Shape[0] != g.InC || x.Shape[1] != g.InH || x.Shape[2] != g.InW {
+		panic(fmt.Sprintf("tensor: Col2ImRow output %v does not match geom %+v", x.Shape, g))
+	}
+	oh, ow := g.OutH(), g.OutW()
+	ckk := g.InC * g.KH * g.KW
+	if len(rows) != oh*ow*ckk {
+		panic(fmt.Sprintf("tensor: Col2ImRow input %d, want %d", len(rows), oh*ow*ckk))
+	}
+	for oi := 0; oi < oh; oi++ {
+		for oj := 0; oj < ow; oj++ {
+			row := rows[(oi*ow+oj)*ckk : (oi*ow+oj+1)*ckk]
+			r := 0
+			for c := 0; c < g.InC; c++ {
+				plane := x.Data[c*g.InH*g.InW:]
+				for ki := 0; ki < g.KH; ki++ {
+					si := oi*g.Stride + ki - g.Pad
+					for kj := 0; kj < g.KW; kj++ {
+						sj := oj*g.Stride + kj - g.Pad
+						if si >= 0 && si < g.InH && sj >= 0 && sj < g.InW {
+							plane[si*g.InW+sj] += row[r]
+						}
+						r++
+					}
+				}
+			}
+		}
+	}
+}

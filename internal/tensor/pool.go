@@ -1,0 +1,145 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The package keeps one shared, lazily-started worker pool that every
+// parallel kernel draws from. Work is handed out as row blocks claimed
+// from an atomic counter, so fast workers steal the blocks slow workers
+// never reach, and a task's cost imbalance (e.g. the skip-zero fast
+// path making sparse rows nearly free) self-balances.
+//
+// SetWorkers(1) opts out of all parallelism: every kernel then runs its
+// serial code path, byte-for-byte identical to the pre-pool kernels, so
+// single-threaded runs stay deterministic and reproducible.
+
+var (
+	// workerTarget is the configured worker budget; <= 0 means "use
+	// runtime.GOMAXPROCS(0) at call time".
+	workerTarget atomic.Int32
+
+	poolOnce sync.Once
+	poolJobs chan *poolJob
+	poolCap  int // workers spawned by startPool, fixed at first use
+)
+
+// SetWorkers sets the kernel parallelism budget. n <= 0 restores the
+// default (GOMAXPROCS). SetWorkers(1) forces the deterministic serial
+// kernels. Targets above the pool size (GOMAXPROCS at first parallel
+// use) are clamped at dispatch — they cannot buy more CPU-bound
+// parallelism. Safe to call concurrently.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workerTarget.Store(int32(n))
+}
+
+// Workers reports the current kernel parallelism budget (>= 1).
+func Workers() int {
+	if w := workerTarget.Load(); w > 0 {
+		return int(w)
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// poolJob is one parallelFor invocation: blocks are claimed atomically
+// from next until exhausted.
+type poolJob struct {
+	next   atomic.Int64
+	blocks int
+	run    func(block int)
+	wg     sync.WaitGroup
+}
+
+// drain claims and runs blocks until none remain.
+func (j *poolJob) drain() {
+	for {
+		b := int(j.next.Add(1)) - 1
+		if b >= j.blocks {
+			return
+		}
+		j.run(b)
+	}
+}
+
+// startPool launches the persistent workers. They idle on an unbuffered
+// channel, so a job submission only ever reaches a worker that is ready
+// to run it; busy workers are simply not enlisted.
+func startPool() {
+	poolJobs = make(chan *poolJob)
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	poolCap = n
+	for i := 0; i < n; i++ {
+		go func() {
+			for j := range poolJobs {
+				j.drain()
+				j.wg.Done()
+			}
+		}()
+	}
+}
+
+// parallelFor splits [0, n) into blocks of ~grain elements and runs body
+// over them with up to Workers() goroutines. The caller always
+// participates, so the call never blocks on a saturated pool; nested
+// parallelFor calls degrade to serial instead of deadlocking. With one
+// worker (or one block) body runs inline as body(0, n).
+func parallelFor(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	w := Workers()
+	blocks := (n + grain - 1) / grain
+	if w <= 1 || blocks <= 1 {
+		body(0, n)
+		return
+	}
+	poolOnce.Do(startPool)
+	// The pool is sized once (GOMAXPROCS at first use); a larger
+	// SetWorkers target cannot buy more CPU-bound parallelism, so clamp
+	// the partitioning to what can actually run (helpers + caller).
+	if w > poolCap+1 {
+		w = poolCap + 1
+	}
+	job := &poolJob{blocks: blocks}
+	job.run = func(b int) {
+		lo := b * grain
+		hi := lo + grain
+		if hi > n {
+			hi = n
+		}
+		body(lo, hi)
+	}
+	if w > blocks {
+		w = blocks
+	}
+	// Enlist up to w-1 idle workers; the try-send only succeeds when a
+	// worker is parked on the channel, so a busy pool (nested kernels)
+	// costs nothing and the caller just drains alone.
+enlist:
+	for i := 0; i < w-1; i++ {
+		job.wg.Add(1)
+		select {
+		case poolJobs <- job:
+		default:
+			job.wg.Done()
+			break enlist // no idle worker left
+		}
+	}
+	job.drain()
+	job.wg.Wait()
+}

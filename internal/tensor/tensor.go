@@ -282,88 +282,6 @@ func (t *Tensor) Sign() *Tensor {
 	return t
 }
 
-// MatMul computes C = A·B for A (m×k) and B (k×n), returning an m×n tensor.
-// The kernel is a cache-friendly ikj loop; inputs must be rank 2.
-func MatMul(a, b *Tensor) *Tensor {
-	if a.Rank() != 2 || b.Rank() != 2 {
-		panic(fmt.Sprintf("tensor: MatMul wants rank-2, got %v × %v", a.Shape, b.Shape))
-	}
-	m, k := a.Shape[0], a.Shape[1]
-	k2, n := b.Shape[0], b.Shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2))
-	}
-	c := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		crow := c.Data[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[p*n : (p+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
-	}
-	return c
-}
-
-// MatMulT computes C = A·Bᵀ for A (m×k) and B (n×k), returning m×n.
-func MatMulT(a, b *Tensor) *Tensor {
-	if a.Rank() != 2 || b.Rank() != 2 {
-		panic(fmt.Sprintf("tensor: MatMulT wants rank-2, got %v × %v", a.Shape, b.Shape))
-	}
-	m, k := a.Shape[0], a.Shape[1]
-	n, k2 := b.Shape[0], b.Shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulT inner dims %d vs %d", k, k2))
-	}
-	c := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		crow := c.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.Data[j*k : (j+1)*k]
-			var s float32
-			for p, av := range arow {
-				s += av * brow[p]
-			}
-			crow[j] = s
-		}
-	}
-	return c
-}
-
-// TMatMul computes C = Aᵀ·B for A (k×m) and B (k×n), returning m×n.
-func TMatMul(a, b *Tensor) *Tensor {
-	if a.Rank() != 2 || b.Rank() != 2 {
-		panic(fmt.Sprintf("tensor: TMatMul wants rank-2, got %v × %v", a.Shape, b.Shape))
-	}
-	k, m := a.Shape[0], a.Shape[1]
-	k2, n := b.Shape[0], b.Shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: TMatMul inner dims %d vs %d", k, k2))
-	}
-	c := New(m, n)
-	for p := 0; p < k; p++ {
-		arow := a.Data[p*m : (p+1)*m]
-		brow := b.Data[p*n : (p+1)*n]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			crow := c.Data[i*n : (i+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
-		}
-	}
-	return c
-}
-
 // Transpose returns the transpose of a rank-2 tensor.
 func Transpose(a *Tensor) *Tensor {
 	if a.Rank() != 2 {
@@ -465,6 +383,23 @@ func AvgPool2D(x *Tensor, k int) *Tensor {
 	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
 	oh, ow := (h+k-1)/k, (w+k-1)/k
 	out := New(c, oh, ow)
+	if k == 2 && h%2 == 0 && w%2 == 0 {
+		// The common 2×2 window on even planes: no edge handling, no
+		// per-window division loop.
+		for ci := 0; ci < c; ci++ {
+			plane := x.Data[ci*h*w : (ci+1)*h*w]
+			dst := out.Data[ci*oh*ow : (ci+1)*oh*ow]
+			for oi := 0; oi < oh; oi++ {
+				top := plane[2*oi*w : (2*oi+1)*w]
+				bot := plane[(2*oi+1)*w : (2*oi+2)*w]
+				row := dst[oi*ow : (oi+1)*ow]
+				for oj := range row {
+					row[oj] = (top[2*oj] + top[2*oj+1] + bot[2*oj] + bot[2*oj+1]) * 0.25
+				}
+			}
+		}
+		return out
+	}
 	for ci := 0; ci < c; ci++ {
 		for oi := 0; oi < oh; oi++ {
 			for oj := 0; oj < ow; oj++ {
