@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test bench
+.PHONY: check fmt vet build test race bench bench-json
 
 check: fmt vet build test
 
@@ -19,7 +19,21 @@ build:
 test:
 	$(GO) test ./...
 
+# Whole suite under the race detector — the event-domain batch paths
+# (PerturbSet, FilterSet, ParallelFor fan-out) run concurrently and any
+# scheduling regression must fail loudly.
+race:
+	$(GO) test -race ./...
+
 # One iteration of the hot-path benchmarks: keeps perf regressions
 # visible without burning CI minutes.
 bench:
 	$(GO) test -run '^$$' -bench 'SNNInference|SNNTrainStep|GEMM|PGDCraft' -benchtime=1x .
+
+# The machine-readable benchmark artifact CI archives (inference arena +
+# event-domain attack/filter hot paths). Staged through a file so a
+# benchmark failure fails the target instead of hiding behind the pipe.
+bench-json:
+	$(GO) test -run '^$$' -bench 'Predict|NeuromorphicPerturbSet|AQFFilterSet|SNNInference|SNNTrainStep|GEMM' \
+		-benchtime=1x . > bench.txt
+	$(GO) run ./cmd/benchjson < bench.txt > BENCH_pr2.json

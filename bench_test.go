@@ -247,6 +247,76 @@ func BenchmarkPGDCraft(b *testing.B) {
 	}
 }
 
+// BenchmarkPredict measures the steady-state single-sample inference
+// hot path through the arena (Predict acquires/releases a pooled
+// Scratch internally). Compare allocs/op against BenchmarkPredictFresh
+// to see what the arena eliminates.
+func BenchmarkPredict(b *testing.B) {
+	r := rng.New(1)
+	cfg := snn.DefaultConfig(0.5, 8)
+	net := snn.MNISTNet(cfg, 1, 16, 16, true, r)
+	dcfg := dataset.DefaultSynthConfig()
+	img := dataset.RenderDigit(3, dcfg, r)
+	frames := encoding.Rate{}.Encode(img, cfg.Steps, r)
+	net.Predict(frames) // warm the arena
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = net.Predict(frames)
+	}
+}
+
+// BenchmarkPredictFresh is the pre-arena baseline: the same inference
+// through the allocating Forward path.
+func BenchmarkPredictFresh(b *testing.B) {
+	r := rng.New(1)
+	cfg := snn.DefaultConfig(0.5, 8)
+	net := snn.MNISTNet(cfg, 1, 16, 16, true, r)
+	dcfg := dataset.DefaultSynthConfig()
+	img := dataset.RenderDigit(3, dcfg, r)
+	frames := encoding.Rate{}.Encode(img, cfg.Steps, r)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = net.Forward(frames, false).Argmax()
+	}
+}
+
+// BenchmarkNeuromorphicPerturbSet measures the batched event-attack
+// path: one Sparse.PerturbSet over a small gesture set per iteration,
+// reporting per-stream latency. Worker scaling shows up here on
+// multi-core machines (per-stream crafting fans out over the pool).
+func BenchmarkNeuromorphicPerturbSet(b *testing.B) {
+	gcfg := dvs.DefaultGestureConfig()
+	gcfg.Duration = 400
+	set := dvs.GenerateGestureSet(8, gcfg, 5)
+	net := snn.DVSNet(snn.DefaultConfig(1.0, 8), 32, 32, 11, true, rng.New(6), nil)
+	atk := attack.NewSparse()
+	atk.MaxIter = 3
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = atk.PerturbSet(net, set)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*set.Len()), "ns/stream")
+}
+
+// BenchmarkAQFFilterSet measures batched AQF filtering: one FilterSet
+// over a set of streams per iteration, reporting per-stream latency.
+func BenchmarkAQFFilterSet(b *testing.B) {
+	streams := make([]*dvs.Stream, 8)
+	for i := range streams {
+		streams[i] = dvs.GenerateGesture(i%11, dvs.DefaultGestureConfig(), rng.New(uint64(40+i)))
+	}
+	p := defense.DefaultAQFParams(0.015)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = defense.FilterSet(streams, p)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(streams)), "ns/stream")
+}
+
 // BenchmarkAQFFilter measures AQF event-filtering throughput.
 func BenchmarkAQFFilter(b *testing.B) {
 	s := dvs.GenerateGesture(7, dvs.DefaultGestureConfig(), rng.New(4))

@@ -25,6 +25,7 @@ import (
 	"repro/internal/quant"
 	"repro/internal/rng"
 	"repro/internal/snn"
+	"repro/internal/tensor"
 )
 
 func main() {
@@ -40,7 +41,9 @@ func main() {
 	qt := flag.Float64("qt", 0.015, "AQF quantization step (seconds)")
 	dump := flag.String("dump", "", "directory to dump example .aedat streams")
 	seed := flag.Uint64("seed", 4, "seed")
+	workers := flag.Int("workers", 0, "worker budget for kernels, attack crafting and AQF filtering (0 = all cores, 1 = deterministic serial)")
 	flag.Parse()
+	tensor.SetWorkers(*workers)
 
 	gcfg := dvs.DefaultGestureConfig()
 	gcfg.Duration = 1000

@@ -1,0 +1,32 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// JSON benchmark artifact CI archives (BENCH_<pr>.json):
+//
+//	go test -run '^$' -bench 'Predict|PerturbSet' -benchtime=1x . | benchjson > BENCH_pr2.json
+package main
+
+import (
+	"log"
+	"os"
+
+	"repro/internal/eval"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	results, err := eval.ParseBench(os.Stdin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(results) == 0 {
+		log.Fatal("no benchmark lines on stdin")
+	}
+	blob, err := eval.BenchJSON(results)
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob = append(blob, '\n')
+	if _, err := os.Stdout.Write(blob); err != nil {
+		log.Fatal(err)
+	}
+}

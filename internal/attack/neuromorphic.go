@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dvs"
 	"repro/internal/snn"
+	"repro/internal/tensor"
 )
 
 // Neuromorphic attacks operate on raw event streams. Both follow
@@ -221,10 +222,70 @@ func (c *Corner) Perturb(model *snn.Network, stream *dvs.Stream, _ int) *dvs.Str
 	return adv
 }
 
-// StreamAttack abstracts the two neuromorphic attacks for the harness.
+// StreamAttack abstracts the neuromorphic attacks for the harness: a
+// per-stream Perturb and a whole-set PerturbSet that crafts every
+// stream concurrently on the shared tensor worker pool.
 type StreamAttack interface {
 	Name() string
 	Perturb(model *snn.Network, stream *dvs.Stream, label int) *dvs.Stream
+	PerturbSet(model *snn.Network, set *dvs.Set) *dvs.Set
+}
+
+// streamPerturber is the single-stream half of StreamAttack, what
+// PerturbStreams needs from an attack.
+type streamPerturber interface {
+	Perturb(model *snn.Network, stream *dvs.Stream, label int) *dvs.Stream
+}
+
+// PerturbStreams crafts an adversarial copy of every stream in a set,
+// fanning the per-stream work out over the shared tensor worker pool.
+// Each worker block crafts against a weight-sharing evaluation clone of
+// the model, so gradient probes never contend on membrane state. Every
+// stream's result depends only on (weights, stream, label) — the
+// attacks consume no shared RNG and worker scheduling never reorders
+// anything — so at a fixed worker budget the output is bit-identical
+// to looping Perturb serially. Across *different* worker counts the
+// event-injection attacks (Frame, Corner) are invariant outright;
+// Sparse inherits the GEMM contract of its gradient probes (TMatMul is
+// deterministic per worker count, so large conv shapes can differ in
+// the last ulp between budgets — see internal/tensor/gemm.go).
+func PerturbStreams(atk streamPerturber, model *snn.Network, set *dvs.Set) *dvs.Set {
+	out := &dvs.Set{Classes: set.Classes, W: set.W, H: set.H, Samples: make([]dvs.Sample, len(set.Samples))}
+	tensor.ParallelFor(len(set.Samples), cloneGrain(len(set.Samples)), func(lo, hi int) {
+		m := model.CloneArchitecture()
+		for i := lo; i < hi; i++ {
+			sm := set.Samples[i]
+			out.Samples[i] = dvs.Sample{Stream: atk.Perturb(m, sm.Stream, sm.Label), Label: sm.Label}
+		}
+	})
+	return out
+}
+
+// cloneGrain sizes ParallelFor blocks for loops that clone the model
+// per block: ~4 blocks per worker keeps work-stealing balance (stream
+// crafting cost varies wildly — Sparse exits early on fooled samples)
+// without paying one CloneArchitecture per stream.
+func cloneGrain(n int) int {
+	g := (n + 4*tensor.Workers() - 1) / (4 * tensor.Workers())
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// PerturbSet implements StreamAttack.
+func (s *Sparse) PerturbSet(model *snn.Network, set *dvs.Set) *dvs.Set {
+	return PerturbStreams(s, model, set)
+}
+
+// PerturbSet implements StreamAttack.
+func (f *Frame) PerturbSet(model *snn.Network, set *dvs.Set) *dvs.Set {
+	return PerturbStreams(f, model, set)
+}
+
+// PerturbSet implements StreamAttack.
+func (c *Corner) PerturbSet(model *snn.Network, set *dvs.Set) *dvs.Set {
+	return PerturbStreams(c, model, set)
 }
 
 var (

@@ -1,0 +1,202 @@
+package attack
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/dvs"
+	"repro/internal/encoding"
+	"repro/internal/rng"
+	"repro/internal/snn"
+	"repro/internal/tensor"
+)
+
+// gestureModelAndSet builds a random-weight DVS classifier and a small
+// gesture set — the gradient probes exercise the full pipeline without
+// training cost.
+func gestureModelAndSet(n int, seed uint64) (*snn.Network, *dvs.Set) {
+	gcfg := dvs.DefaultGestureConfig()
+	gcfg.Duration = 200 // keep the Sparse probes fast
+	set := dvs.GenerateGestureSet(n, gcfg, seed)
+	net := snn.DVSNet(snn.DefaultConfig(1.0, 6), gcfg.H, gcfg.W, dvs.GestureClasses, true, rng.New(seed+1), nil)
+	return net, set
+}
+
+// setAttacks returns the three neuromorphic attacks with budgets small
+// enough for tests.
+func setAttacks() []StreamAttack {
+	sparse := NewSparse()
+	sparse.MaxIter = 3
+	sparse.EventsPerIter = 16
+	frame := NewFrame()
+	frame.Thickness = 2
+	return []StreamAttack{sparse, frame, NewCorner()}
+}
+
+func streamsExactlyEqual(a, b *dvs.Stream) bool {
+	if a.W != b.W || a.H != b.H || a.Duration != b.Duration || len(a.Events) != len(b.Events) {
+		return false
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedEvents returns the stream's events in a canonical total order,
+// for order-insensitive comparison.
+func sortedEvents(s *dvs.Stream) []dvs.Event {
+	ev := append([]dvs.Event(nil), s.Events...)
+	sort.Slice(ev, func(i, j int) bool {
+		a, b := ev[i], ev[j]
+		if a.T != b.T {
+			return a.T < b.T
+		}
+		if a.Y != b.Y {
+			return a.Y < b.Y
+		}
+		if a.X != b.X {
+			return a.X < b.X
+		}
+		return a.P < b.P
+	})
+	return ev
+}
+
+func streamsSameEvents(a, b *dvs.Stream) bool {
+	if a.W != b.W || a.H != b.H || a.Duration != b.Duration || len(a.Events) != len(b.Events) {
+		return false
+	}
+	ea, eb := sortedEvents(a), sortedEvents(b)
+	for i := range ea {
+		if ea[i] != eb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPerturbSetMatchesLoopedSerial pins the batch APIs to the serial
+// reference: with one worker, PerturbSet must reproduce looping Perturb
+// bit-identically, events in the same order.
+func TestPerturbSetMatchesLoopedSerial(t *testing.T) {
+	tensor.SetWorkers(1)
+	defer tensor.SetWorkers(0)
+	net, set := gestureModelAndSet(5, 21)
+	for _, atk := range setAttacks() {
+		want := make([]*dvs.Stream, set.Len())
+		for i, sm := range set.Samples {
+			want[i] = atk.Perturb(net, sm.Stream, sm.Label)
+		}
+		got := atk.PerturbSet(net, set)
+		if got.Len() != set.Len() || got.W != set.W || got.H != set.H || got.Classes != set.Classes {
+			t.Fatalf("%s: set metadata mangled", atk.Name())
+		}
+		for i := range want {
+			if got.Samples[i].Label != set.Samples[i].Label {
+				t.Fatalf("%s sample %d: label changed", atk.Name(), i)
+			}
+			if !streamsExactlyEqual(want[i], got.Samples[i].Stream) {
+				t.Fatalf("%s sample %d: batched stream differs from serial Perturb", atk.Name(), i)
+			}
+		}
+	}
+}
+
+// TestPerturbSetWorkerEquivalence pins that fanning out over N workers
+// yields the same event sets as the single-worker run.
+func TestPerturbSetWorkerEquivalence(t *testing.T) {
+	defer tensor.SetWorkers(0)
+	net, set := gestureModelAndSet(6, 22)
+	for _, atk := range setAttacks() {
+		tensor.SetWorkers(1)
+		base := atk.PerturbSet(net, set)
+		for _, w := range []int{3, 8} {
+			tensor.SetWorkers(w)
+			got := atk.PerturbSet(net, set)
+			for i := range base.Samples {
+				if !streamsSameEvents(base.Samples[i].Stream, got.Samples[i].Stream) {
+					t.Fatalf("%s sample %d: %d workers changed the crafted events", atk.Name(), i, w)
+				}
+			}
+		}
+	}
+}
+
+// TestPerturbSetDoesNotMutateInput: crafting must leave the source set
+// untouched (the designer reuses it for clean evaluation).
+func TestPerturbSetDoesNotMutateInput(t *testing.T) {
+	net, set := gestureModelAndSet(3, 23)
+	orig := set.Clone()
+	for _, atk := range setAttacks() {
+		atk.PerturbSet(net, set)
+	}
+	for i := range orig.Samples {
+		if !streamsExactlyEqual(orig.Samples[i].Stream, set.Samples[i].Stream) {
+			t.Fatalf("sample %d mutated by PerturbSet", i)
+		}
+	}
+}
+
+// TestSparsePerturbDeterminism: the gradient-guided attack consumes no
+// RNG, so repeated runs — at any kernel worker count — must reproduce
+// the identical stream.
+func TestSparsePerturbDeterminism(t *testing.T) {
+	defer tensor.SetWorkers(0)
+	net, set := gestureModelAndSet(1, 24)
+	atk := NewSparse()
+	atk.MaxIter = 4
+	var base *dvs.Stream
+	for _, w := range []int{1, 1, 4, 4} {
+		tensor.SetWorkers(w)
+		adv := atk.Perturb(net, set.Samples[0].Stream, set.Samples[0].Label)
+		if base == nil {
+			base = adv
+			continue
+		}
+		if !streamsExactlyEqual(base, adv) {
+			t.Fatalf("Sparse.Perturb not reproducible at %d workers", w)
+		}
+	}
+}
+
+// TestUniversalComputeDeterminism: with a seeded RNG the universal
+// perturbation must be bit-identical across runs and worker counts,
+// both for deterministic and stochastic encoders (the per-sample RNG
+// pre-split is what worker scheduling must not reorder).
+func TestUniversalComputeDeterminism(t *testing.T) {
+	defer tensor.SetWorkers(0)
+	r := rng.New(31)
+	cfg := snn.DefaultConfig(0.5, 5)
+	net := snn.MNISTNet(cfg, 1, 12, 12, true, r)
+	dcfg := dataset.DefaultSynthConfig()
+	dcfg.H, dcfg.W = 12, 12
+	set := dataset.GenerateSynth(24, dcfg, 32)
+
+	for _, enc := range []encoding.Encoder{encoding.Direct{}, encoding.Rate{}} {
+		u := NewUniversal(0.3)
+		u.Epochs = 2
+		u.Encoder = enc
+		var base *tensor.Tensor
+		for _, w := range []int{1, 1, 4} {
+			tensor.SetWorkers(w)
+			delta := u.Compute(net, set, rng.New(9))
+			if base == nil {
+				base = delta
+				continue
+			}
+			for i := range base.Data {
+				if base.Data[i] != delta.Data[i] {
+					t.Fatalf("%s: delta[%d] differs at %d workers: %v vs %v",
+						enc.Name(), i, w, delta.Data[i], base.Data[i])
+				}
+			}
+		}
+		if base.LInfNorm() == 0 {
+			t.Fatalf("%s: determinism test vacuous, delta identically zero", enc.Name())
+		}
+	}
+}

@@ -32,6 +32,21 @@ func (u *Universal) Name() string { return "UAP" }
 
 // Compute crafts the universal perturbation against model using the
 // given crafting set. The returned tensor has the sample image shape.
+//
+// Each epoch splits into two phases. The misclassification scan —
+// which samples the current delta already fools, i.e. where budget
+// should not be spent — evaluates every sample against the delta
+// frozen at epoch start, fanned out over the shared tensor worker pool
+// on weight-sharing model clones. The gradient ascent then walks the
+// still-correct samples serially, because each delta update feeds the
+// next sample's gradient (the algorithm's sequential core). Freezing
+// the scan at the epoch boundary is what makes the scan parallel; it
+// only defers "already fooled" credit by at most one epoch. Encoder
+// randomness is pre-split per (epoch, sample, phase), so the result is
+// deterministic for a given seed; across worker budgets it inherits
+// the gradient kernels' contract (TMatMul is deterministic per worker
+// count — large conv backward shapes can differ in the last ulp
+// between budgets; everything else is invariant).
 func (u *Universal) Compute(model *snn.Network, set *dataset.Set, r *rng.RNG) *tensor.Tensor {
 	if set.Len() == 0 {
 		return nil
@@ -40,15 +55,34 @@ func (u *Universal) Compute(model *snn.Network, set *dataset.Set, r *rng.RNG) *t
 	if alpha == 0 {
 		alpha = u.Eps / 8
 	}
+	n := set.Len()
 	delta := tensor.New(set.Samples[0].Image.Shape...)
+	still := make([]bool, n)
+	scanR := make([]*rng.RNG, n)
+	stepR := make([]*rng.RNG, n)
 	for epoch := 0; epoch < u.Epochs; epoch++ {
-		for _, s := range set.Samples {
+		for i := 0; i < n; i++ {
+			scanR[i] = r.Split()
+			stepR[i] = r.Split()
+		}
+		frozen := delta.Clone()
+		tensor.ParallelFor(n, cloneGrain(n), func(lo, hi int) {
+			m := model.CloneArchitecture()
+			for i := lo; i < hi; i++ {
+				s := set.Samples[i]
+				x := s.Image.Clone().Add(frozen)
+				x.Clamp(0, 1)
+				frames := u.Encoder.Encode(x, m.Cfg.Steps, scanR[i])
+				still[i] = m.Predict(frames) == s.Label
+			}
+		})
+		for i, s := range set.Samples {
+			if !still[i] {
+				continue // already fooled at epoch start; spend budget elsewhere
+			}
 			x := s.Image.Clone().Add(delta)
 			x.Clamp(0, 1)
-			frames := u.Encoder.Encode(x, model.Cfg.Steps, r)
-			if model.Predict(frames) != s.Label {
-				continue // already fooled; spend budget elsewhere
-			}
+			frames := u.Encoder.Encode(x, model.Cfg.Steps, stepR[i])
 			frameGrads := snn.InputGradient(model, frames, s.Label)
 			g := encoding.SumFrameGradients(frameGrads)
 			g.Sign()

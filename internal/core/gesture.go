@@ -42,14 +42,18 @@ func NewGestureDesigner(cfg GestureConfig) *GestureDesigner {
 	return &GestureDesigner{cfg: cfg}
 }
 
-// voxelize converts a set into frame sequences + labels for steps bins.
+// voxelize converts a set into frame sequences + labels for steps bins,
+// fanning the per-stream binning out over the shared tensor worker pool
+// (streams voxelize independently, so the result is order-exact).
 func voxelize(set *dvs.Set, steps int) ([][]*tensor.Tensor, []int) {
 	frames := make([][]*tensor.Tensor, set.Len())
 	labels := make([]int, set.Len())
-	for i, s := range set.Samples {
-		frames[i] = s.Stream.Voxelize(steps)
-		labels[i] = s.Label
-	}
+	tensor.ParallelFor(set.Len(), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			frames[i] = set.Samples[i].Stream.Voxelize(steps)
+			labels[i] = set.Samples[i].Label
+		}
+	})
 	return frames, labels
 }
 
@@ -89,14 +93,10 @@ func (d *GestureDesigner) Approximate(net *snn.Network, level float64, scale qua
 }
 
 // CraftAdversarial perturbs every test stream with a neuromorphic attack
-// crafted against the surrogate, returning a new set.
+// crafted against the surrogate, returning a new set. Streams are
+// crafted concurrently through the attack's PerturbSet batch API.
 func (d *GestureDesigner) CraftAdversarial(surrogate *snn.Network, atk attack.StreamAttack) *dvs.Set {
-	adv := d.cfg.Test.Clone()
-	for i := range adv.Samples {
-		s := &adv.Samples[i]
-		s.Stream = atk.Perturb(surrogate, s.Stream, s.Label)
-	}
-	return adv
+	return atk.PerturbSet(surrogate, d.cfg.Test)
 }
 
 // Evaluate returns accuracy of net on a set, optionally AQF-filtered

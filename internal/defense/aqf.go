@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"repro/internal/dvs"
+	"repro/internal/tensor"
 )
 
 // AQFParams are Algorithm 2's constants. The paper fixes s=2, T1=5,
@@ -178,11 +179,30 @@ func AQF(s *dvs.Stream, p AQFParams) *dvs.Stream {
 	return out
 }
 
-// AQFSet filters every stream of a gesture set, returning a new set.
+// FilterSet runs AQF over a batch of streams concurrently on the shared
+// tensor worker pool, returning the filtered copies in order. Streams
+// are filtered independently (AQF keeps no cross-stream state), so the
+// result is bit-identical to filtering serially, at any worker count.
+func FilterSet(streams []*dvs.Stream, p AQFParams) []*dvs.Stream {
+	out := make([]*dvs.Stream, len(streams))
+	tensor.ParallelFor(len(streams), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = AQF(streams[i], p)
+		}
+	})
+	return out
+}
+
+// AQFSet filters every stream of a gesture set through FilterSet,
+// returning a new set.
 func AQFSet(set *dvs.Set, p AQFParams) *dvs.Set {
+	streams := make([]*dvs.Stream, len(set.Samples))
+	for i := range set.Samples {
+		streams[i] = set.Samples[i].Stream
+	}
 	out := &dvs.Set{Classes: set.Classes, W: set.W, H: set.H, Samples: make([]dvs.Sample, len(set.Samples))}
-	for i, sm := range set.Samples {
-		out.Samples[i] = dvs.Sample{Stream: AQF(sm.Stream, p), Label: sm.Label}
+	for i, f := range FilterSet(streams, p) {
+		out.Samples[i] = dvs.Sample{Stream: f, Label: set.Samples[i].Label}
 	}
 	return out
 }

@@ -1,6 +1,9 @@
 package defense
 
-import "repro/internal/dvs"
+import (
+	"repro/internal/dvs"
+	"repro/internal/tensor"
+)
 
 // BackgroundActivityFilter is the classic DVS denoiser (Delbruck's
 // background-activity filter, the baseline the R-SNN line of work builds
@@ -50,11 +53,16 @@ func (f *BackgroundActivityFilter) Filter(s *dvs.Stream) *dvs.Stream {
 	return out
 }
 
-// FilterSet applies the filter to every stream of a set.
+// FilterSet applies the filter to every stream of a set, fanning the
+// per-stream work out over the shared tensor worker pool like the AQF
+// FilterSet; streams filter independently, so the result is identical
+// at any worker count.
 func (f *BackgroundActivityFilter) FilterSet(set *dvs.Set) *dvs.Set {
 	out := &dvs.Set{Classes: set.Classes, W: set.W, H: set.H, Samples: make([]dvs.Sample, len(set.Samples))}
-	for i, sm := range set.Samples {
-		out.Samples[i] = dvs.Sample{Stream: f.Filter(sm.Stream), Label: sm.Label}
-	}
+	tensor.ParallelFor(len(set.Samples), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Samples[i] = dvs.Sample{Stream: f.Filter(set.Samples[i].Stream), Label: set.Samples[i].Label}
+		}
+	})
 	return out
 }

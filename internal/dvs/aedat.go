@@ -91,6 +91,13 @@ func ReadAEDAT(r io.Reader) (*Stream, error) {
 		}
 		s.Events[i] = Event{X: int(rec.X), Y: int(rec.Y), P: int8(rec.P), T: rec.T}
 	}
+	// A parsed stream must be internally consistent before it reaches
+	// the batch pipelines: coordinates on the declared sensor, polarity
+	// ±1, finite in-window timestamps. Hostile or corrupt files fail
+	// here instead of panicking a voxelization worker later.
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("dvs: invalid stream: %w", err)
+	}
 	return s, nil
 }
 

@@ -11,6 +11,7 @@ package dvs
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/tensor"
@@ -42,9 +43,19 @@ func (s *Stream) Sort() {
 	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].T < s.Events[j].T })
 }
 
-// Validate checks that every event lies on the sensor and inside the
-// recording window, with polarity ±1.
+// Validate checks that the recording window is finite and that every
+// event lies on the sensor and inside the window, with polarity ±1.
+// Timestamps must be finite: NaN compares false against every bound, so
+// without the explicit checks a hostile stream could smuggle NaN times
+// through the range tests (and then poison every voxel-bin division
+// downstream).
 func (s *Stream) Validate() error {
+	if s.W <= 0 || s.H <= 0 {
+		return fmt.Errorf("dvs: invalid sensor size %dx%d", s.W, s.H)
+	}
+	if math.IsNaN(s.Duration) || math.IsInf(s.Duration, 0) || s.Duration < 0 {
+		return fmt.Errorf("dvs: invalid duration %v", s.Duration)
+	}
 	for i, e := range s.Events {
 		if e.X < 0 || e.X >= s.W || e.Y < 0 || e.Y >= s.H {
 			return fmt.Errorf("dvs: event %d at (%d,%d) off the %dx%d sensor", i, e.X, e.Y, s.W, s.H)
@@ -52,7 +63,7 @@ func (s *Stream) Validate() error {
 		if e.P != 1 && e.P != -1 {
 			return fmt.Errorf("dvs: event %d polarity %d", i, e.P)
 		}
-		if e.T < 0 || e.T > s.Duration {
+		if math.IsNaN(e.T) || e.T < 0 || e.T > s.Duration {
 			return fmt.Errorf("dvs: event %d time %v outside [0,%v]", i, e.T, s.Duration)
 		}
 	}
@@ -73,6 +84,9 @@ func (s *Stream) Voxelize(steps int) []*tensor.Tensor {
 	}
 	binW := s.Duration / float64(steps)
 	for _, e := range s.Events {
+		if e.X < 0 || e.X >= s.W || e.Y < 0 || e.Y >= s.H {
+			continue // defense in depth: off-sensor events cannot index a frame
+		}
 		b := int(e.T / binW)
 		if b >= steps {
 			b = steps - 1
@@ -94,6 +108,9 @@ func (s *Stream) Voxelize(steps int) []*tensor.Tensor {
 func (s *Stream) EventCountGrid() *tensor.Tensor {
 	g := tensor.New(s.H, s.W)
 	for _, e := range s.Events {
+		if e.X < 0 || e.X >= s.W || e.Y < 0 || e.Y >= s.H {
+			continue // defense in depth, mirroring Voxelize
+		}
 		g.Data[e.Y*s.W+e.X]++
 	}
 	return g

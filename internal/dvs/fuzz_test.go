@@ -1,0 +1,117 @@
+package dvs
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// FuzzReadAEDAT throws arbitrary bytes at the stream parser. The
+// contract the batch pipelines rely on: ReadAEDAT either returns an
+// error or a fully valid stream — one that Validate accepts and that
+// voxelization and counting can process without panicking, whatever the
+// bytes claimed (out-of-bounds coordinates, NaN/negative timestamps,
+// bogus polarities, absurd counts).
+func FuzzReadAEDAT(f *testing.F) {
+	// Seed with a genuine (short) recording...
+	cfg := DefaultGestureConfig()
+	cfg.Duration = 50 // keep the corpus entry small so mutation stays fast
+	s := GenerateGesture(3, cfg, rng.New(1))
+	var buf bytes.Buffer
+	if err := WriteAEDAT(&buf, s); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	// ...a truncation, a corrupted header and a corrupted event record.
+	f.Add(valid[:len(valid)/2])
+	hdr := append([]byte(nil), valid...)
+	hdr[9] = 0xff // width
+	f.Add(hdr)
+	rec := append([]byte(nil), valid...)
+	for i := 32; i < 48 && i < len(rec); i++ {
+		rec[i] = 0xee // first event record
+	}
+	f.Add(rec)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := ReadAEDAT(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := st.Validate(); verr != nil {
+			t.Fatalf("ReadAEDAT accepted a stream Validate rejects: %v", verr)
+		}
+		// The event-domain batch paths must be able to consume any
+		// accepted stream.
+		frames := st.Voxelize(4)
+		for _, fr := range frames {
+			for _, v := range fr.Data {
+				if v != 0 && v != 1 {
+					t.Fatalf("voxel value %v outside {0,1}", v)
+				}
+			}
+		}
+		st.EventCountGrid()
+		st.Sort()
+
+		// Round-trip: a valid stream serializes and re-parses intact.
+		var out bytes.Buffer
+		if err := WriteAEDAT(&out, st); err != nil {
+			t.Fatalf("re-serializing a valid stream: %v", err)
+		}
+		back, err := ReadAEDAT(&out)
+		if err != nil {
+			t.Fatalf("re-parsing a valid stream: %v", err)
+		}
+		if len(back.Events) != len(st.Events) || back.W != st.W || back.H != st.H {
+			t.Fatal("round-trip changed the stream")
+		}
+	})
+}
+
+// FuzzStreamConstruction builds streams directly from hostile field
+// values and checks the Validate / processing contract: whatever the
+// fields, Voxelize and EventCountGrid never panic, and Validate's
+// verdict is consistent with the event actually landing in a frame.
+func FuzzStreamConstruction(f *testing.F) {
+	f.Add(uint16(32), uint16(32), int32(5), int32(5), int8(1), 10.0, 100.0)
+	f.Add(uint16(1), uint16(1), int32(-1), int32(70000), int8(0), math.NaN(), math.Inf(1))
+	f.Add(uint16(8), uint16(8), int32(7), int32(0), int8(-1), -3.0, 0.0)
+	f.Fuzz(func(t *testing.T, w, h uint16, x, y int32, p int8, tm, dur float64) {
+		s := &Stream{
+			// Sensor dims bounded so frames stay allocatable; event
+			// fields arrive raw (off-sensor, NaN, bogus polarity).
+			W: int(w%128) + 1, H: int(h%128) + 1, Duration: dur,
+			Events: []Event{{X: int(x), Y: int(y), P: p, T: tm}},
+		}
+		err := s.Validate()
+		// Processing must be total regardless of validity (defense in
+		// depth for streams assembled in memory, e.g. by attacks).
+		frames := s.Voxelize(3)
+		s.EventCountGrid()
+		if err != nil {
+			return
+		}
+		// A validated event lies on the sensor and lands in exactly one
+		// voxel cell (none when the recording window is empty, which
+		// Voxelize treats as "no time axis").
+		want := 1
+		if s.Duration <= 0 {
+			want = 0
+		}
+		lit := 0
+		for _, fr := range frames {
+			for _, v := range fr.Data {
+				if v == 1 {
+					lit++
+				}
+			}
+		}
+		if lit != want {
+			t.Fatalf("valid event lit %d voxel cells, want %d", lit, want)
+		}
+	})
+}

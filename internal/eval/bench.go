@@ -1,0 +1,73 @@
+package eval
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Benchmark-output parsing: CI's bench-smoke step pipes `go test -bench`
+// output through this to emit a machine-readable BENCH_<pr>.json, so
+// the performance trajectory of the hot paths (inference arena, event
+// attacks, GEMM) is tracked artifact-to-artifact instead of scraped
+// from logs.
+
+// BenchResult is one parsed benchmark line. Metrics holds every
+// value/unit pair the line reported (ns/op, B/op, allocs/op and any
+// custom ReportMetric units like ns/stream or accuracy percentages).
+type BenchResult struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int                `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// ParseBench reads `go test -bench` output and returns the benchmark
+// lines in order, ignoring everything else (headers, PASS/ok trailers).
+func ParseBench(r io.Reader) ([]BenchResult, error) {
+	var out []BenchResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		name := fields[0]
+		procs := 0
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if p, err := strconv.Atoi(name[i+1:]); err == nil {
+				name, procs = name[:i], p
+			}
+		}
+		iters, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue // a test line that happens to start with "Benchmark"
+		}
+		b := BenchResult{Name: name, Procs: procs, Iterations: iters, Metrics: map[string]float64{}}
+		// The remainder alternates value, unit.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		out = append(out, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// BenchJSON renders parsed benchmark results as indented JSON.
+func BenchJSON(results []BenchResult) ([]byte, error) {
+	return json.MarshalIndent(results, "", "  ")
+}

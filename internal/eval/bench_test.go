@@ -1,0 +1,73 @@
+package eval
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const benchSample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPredict                	     100	    707104 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNeuromorphicPerturbSet-4 	       2	  17037998 ns/op	   2129675 ns/stream	10130912 B/op	    5259 allocs/op
+BenchmarkFig7b	       1	123 ns/op	 92.0 accsnn_clean_%
+PASS
+ok  	repro	0.088s
+`
+
+func TestParseBench(t *testing.T) {
+	rs, err := ParseBench(strings.NewReader(benchSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(rs))
+	}
+	p := rs[0]
+	if p.Name != "BenchmarkPredict" || p.Iterations != 100 || p.Procs != 0 {
+		t.Fatalf("bad first result: %+v", p)
+	}
+	if p.Metrics["ns/op"] != 707104 || p.Metrics["allocs/op"] != 0 {
+		t.Fatalf("bad metrics: %v", p.Metrics)
+	}
+	n := rs[1]
+	if n.Name != "BenchmarkNeuromorphicPerturbSet" || n.Procs != 4 {
+		t.Fatalf("GOMAXPROCS suffix not split: %+v", n)
+	}
+	if n.Metrics["ns/stream"] != 2129675 {
+		t.Fatalf("custom metric lost: %v", n.Metrics)
+	}
+	if rs[2].Metrics["accsnn_clean_%"] != 92.0 {
+		t.Fatalf("experiment metric lost: %v", rs[2].Metrics)
+	}
+}
+
+func TestParseBenchIgnoresNoise(t *testing.T) {
+	rs, err := ParseBench(strings.NewReader("BenchmarkBroken abc\nnothing here\nBenchmarkOK 5 10 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].Name != "BenchmarkOK" {
+		t.Fatalf("noise not ignored: %+v", rs)
+	}
+}
+
+func TestBenchJSONRoundTrip(t *testing.T) {
+	rs, err := ParseBench(strings.NewReader(benchSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := BenchJSON(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []BenchResult
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(rs) || back[0].Metrics["ns/op"] != rs[0].Metrics["ns/op"] {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}

@@ -151,9 +151,7 @@ func evalFiltered(f *gestureFixture, net *snn.Network, set *dvs.Set, baf *defens
 func AblationFilters(o Options) Result {
 	f := runGestureFixture(o)
 	ax, _ := f.d.Approximate(f.acc, 0.01, quant.FP32)
-
-	corner := attack.NewCorner()
-	advCorner := f.d.CraftAdversarial(f.acc, corner)
+	advCorner := f.advCorner
 
 	aqf := defense.DefaultAQFParams(0.015)
 	baf := defense.NewBackgroundActivityFilter()

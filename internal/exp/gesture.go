@@ -29,6 +29,7 @@ type gestureFixture struct {
 	cleanAcc  float64
 	advSparse *dvs.Set
 	advFrame  *dvs.Set
+	advCorner *dvs.Set
 }
 
 func runGestureFixture(o Options) *gestureFixture {
@@ -59,6 +60,9 @@ func runGestureFixture(o Options) *gestureFixture {
 		f := &gestureFixture{p: p, d: d, train: train, test: test, acc: acc}
 		f.cleanAcc = d.Evaluate(acc, test, nil)
 
+		// All three attacked sets are crafted here (concurrently, via
+		// the PerturbSet batch APIs) and cached with the fixture, so
+		// every experiment sharing the fixture reuses them.
 		sparse := attack.NewSparse()
 		f.advSparse = d.CraftAdversarial(acc, sparse)
 		// Border thickness 4 on the 32×32 sensor corresponds to the
@@ -67,6 +71,7 @@ func runGestureFixture(o Options) *gestureFixture {
 		frame := attack.NewFrame()
 		frame.Thickness = 4
 		f.advFrame = d.CraftAdversarial(acc, frame)
+		f.advCorner = d.CraftAdversarial(acc, attack.NewCorner())
 		return f
 	})
 }

@@ -97,20 +97,42 @@ func (n *Network) ForwardSamples(samples [][]*tensor.Tensor, train bool) *tensor
 }
 
 // PredictBatch returns the argmax class of every sample in one batched
-// pass.
+// pass. Batchable built-in networks run against the inference arena:
+// frames are stacked step by step into one reused buffer and every
+// layer draws its working memory from the network's scratch pool, so
+// the steady state allocates nothing but the result slice.
 func (n *Network) PredictBatch(samples [][]*tensor.Tensor) []int {
 	if len(samples) == 0 {
 		return nil
 	}
+	out := make([]int, len(samples))
+	n.PredictBatchInto(samples, out)
+	return out
+}
+
+// PredictBatchInto is PredictBatch writing the predicted classes into a
+// caller-owned slice (len(out) == len(samples)) — the fully
+// allocation-free form of the batched hot path.
+func (n *Network) PredictBatchInto(samples [][]*tensor.Tensor, out []int) {
+	if len(out) != len(samples) {
+		panic(fmt.Sprintf("snn: PredictBatchInto out length %d, want %d", len(out), len(samples)))
+	}
+	if len(samples) == 0 {
+		return
+	}
+	if n.arenaCapable() && n.Batchable() {
+		s := n.AcquireScratch()
+		n.predictBatchScratch(samples, s, out)
+		n.Release(s)
+		return
+	}
 	logits := n.ForwardSamples(samples, false)
 	batch := len(samples)
 	per := logits.Len() / batch
-	out := make([]int, batch)
 	for b := range out {
 		row := tensor.FromSlice(logits.Data[b*per:(b+1)*per], per)
 		out[b] = row.Argmax()
 	}
-	return out
 }
 
 // StackFrames assembles per-sample frame sequences into per-step

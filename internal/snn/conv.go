@@ -121,6 +121,35 @@ func (c *Conv2D) ForwardBatch(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return c.forwardBatch(x, train)
 }
 
+// scatterRowsBias de-interleaves a rows-orient GEMM result (B·N, OutC)
+// into (B, OutC, N) output layout, adding the channel bias. Shared by
+// the allocating and arena forwards so they stay bit-identical.
+func (c *Conv2D) scatterRowsBias(out, outT *tensor.Tensor, batch, n int) {
+	for b := 0; b < batch; b++ {
+		for j := 0; j < n; j++ {
+			src := outT.Data[(b*n+j)*c.OutC : (b*n+j+1)*c.OutC]
+			for oc, v := range src {
+				out.Data[(b*c.OutC+oc)*n+j] = v + c.B.Data[oc]
+			}
+		}
+	}
+}
+
+// scatterColsBias de-interleaves a cols-orient GEMM result (OutC, B·N)
+// into (B, OutC, N) output layout, adding the channel bias.
+func (c *Conv2D) scatterColsBias(out, big *tensor.Tensor, batch, n int) {
+	for b := 0; b < batch; b++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			src := big.Data[oc*batch*n+b*n : oc*batch*n+(b+1)*n]
+			dst := out.Data[(b*c.OutC+oc)*n : (b*c.OutC+oc+1)*n]
+			bias := c.B.Data[oc]
+			for j, v := range src {
+				dst[j] = v + bias
+			}
+		}
+	}
+}
+
 func (c *Conv2D) forwardBatch(x *tensor.Tensor, train bool) *tensor.Tensor {
 	g := c.Geom
 	batch := x.Shape[0]
@@ -149,14 +178,7 @@ func (c *Conv2D) forwardBatch(x *tensor.Tensor, train bool) *tensor.Tensor {
 		// (B·N, CKK) · (CKK, OutC): sparse receptive-field rows skip.
 		outT := tensor.MatMul(rows, c.transposedW())
 		out = tensor.New(batch, c.OutC, oh, ow)
-		for b := 0; b < batch; b++ {
-			for j := 0; j < n; j++ {
-				src := outT.Data[(b*n+j)*c.OutC : (b*n+j+1)*c.OutC]
-				for oc, v := range src {
-					out.Data[(b*c.OutC+oc)*n+j] = v + c.B.Data[oc]
-				}
-			}
-		}
+		c.scatterRowsBias(out, outT, batch, n)
 	} else {
 		cols := low.Reshape(ckk, batch*n)
 		for b := 0; b < batch; b++ {
@@ -176,20 +198,75 @@ func (c *Conv2D) forwardBatch(x *tensor.Tensor, train bool) *tensor.Tensor {
 			out = big.Reshape(1, c.OutC, oh, ow)
 		} else {
 			out = tensor.New(batch, c.OutC, oh, ow)
-			for b := 0; b < batch; b++ {
-				for oc := 0; oc < c.OutC; oc++ {
-					src := big.Data[oc*batch*n+b*n : oc*batch*n+(b+1)*n]
-					dst := out.Data[(b*c.OutC+oc)*n : (b*c.OutC+oc+1)*n]
-					bias := c.B.Data[oc]
-					for j, v := range src {
-						dst[j] = v + bias
-					}
-				}
-			}
+			c.scatterColsBias(out, big, batch, n)
 		}
 	}
 	if train {
 		c.rows = append(c.rows, low)
+	}
+	return out
+}
+
+// forwardArena implements arenaLayer: the same lowering + GEMM + bias
+// sequence as the allocating inference path, with the lowering panel,
+// GEMM result, output tensor and once-per-pass weight panels all drawn
+// from the arena.
+func (c *Conv2D) forwardArena(x *tensor.Tensor, s *Scratch, li, batch int) *tensor.Tensor {
+	g := c.Geom
+	b := batch
+	if b == 0 {
+		b = 1
+	}
+	oh, ow := g.OutH(), g.OutW()
+	n := oh * ow
+	ckk := g.InC * g.KH * g.KW
+	chw := g.InC * g.InH * g.InW
+	if x.Len() != b*chw {
+		panic(fmt.Sprintf("snn: Conv2D input %s does not match geom %+v (batch %d)", shapeStr(x.Shape), g, b))
+	}
+
+	// Effective weights, re-derived once per pass — the cadence the
+	// allocating path gets from Reset clearing its caches.
+	w := c.W
+	if c.Mask != nil {
+		effW, fresh := s.once2(li, slotEffW, c.OutC, ckk)
+		if fresh {
+			copy(effW.Data, c.W.Data)
+			effW.Mul(c.Mask)
+		}
+		w = effW
+	}
+
+	var out *tensor.Tensor
+	if batch == 0 {
+		out = s.buf3(li, slotOut, c.OutC, oh, ow)
+	} else {
+		out = s.buf4(li, slotOut, b, c.OutC, oh, ow)
+	}
+	if c.rowsOrient() {
+		wT, fresh := s.once2(li, slotWT, ckk, c.OutC)
+		if fresh {
+			tensor.TransposeInto(wT, w)
+		}
+		rows := s.buf2(li, slotLow, b*n, ckk)
+		for bi := 0; bi < b; bi++ {
+			sample := s.view3(li, slotInView, x.Data[bi*chw:(bi+1)*chw], g.InC, g.InH, g.InW)
+			tensor.Im2RowInto(rows.Data[bi*n*ckk:(bi+1)*n*ckk], sample, g)
+		}
+		// (B·N, CKK) · (CKK, OutC): sparse receptive-field rows skip.
+		outT := s.buf2(li, slotGemm, b*n, c.OutC)
+		tensor.MatMulInto(outT, rows, wT)
+		c.scatterRowsBias(out, outT, b, n)
+	} else {
+		cols := s.buf2(li, slotLow, ckk, b*n)
+		for bi := 0; bi < b; bi++ {
+			sample := s.view3(li, slotInView, x.Data[bi*chw:(bi+1)*chw], g.InC, g.InH, g.InW)
+			tensor.Im2ColStripeInto(cols.Data, b*n, bi*n, sample, g)
+		}
+		// (OutC, CKK) · (CKK, B·N): one panel GEMM for the batch.
+		big := s.buf2(li, slotGemm, c.OutC, b*n)
+		tensor.MatMulInto(big, w, cols)
+		c.scatterColsBias(out, big, b, n)
 	}
 	return out
 }
@@ -339,15 +416,11 @@ func (d *Dense) nonzero(x []float32) []int {
 	return idx
 }
 
-// Forward implements Layer (single sample). Spiking inputs are mostly
-// zeros, so the dot products gather only the nonzero indices; dense
-// inputs fall back to the straight loops.
-func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	if x.Len() != d.In {
-		panic(fmt.Sprintf("snn: Dense input %d, want %d", x.Len(), d.In))
-	}
-	w := d.effectiveW()
-	out := tensor.New(d.Out)
+// forwardInto computes out = w·x + b for one sample. Spiking inputs are
+// mostly zeros, so the dot products gather only the nonzero indices;
+// dense inputs fall back to the straight loops. Shared by Forward and
+// forwardArena so the arena stays bit-identical by construction.
+func (d *Dense) forwardInto(w, x, out *tensor.Tensor) {
 	idx := d.nonzero(x.Data)
 	if 2*len(idx) <= d.In {
 		for o := 0; o < d.Out; o++ {
@@ -368,6 +441,15 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			out.Data[o] = s + d.B.Data[o]
 		}
 	}
+}
+
+// Forward implements Layer (single sample).
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Len() != d.In {
+		panic(fmt.Sprintf("snn: Dense input %d, want %d", x.Len(), d.In))
+	}
+	out := tensor.New(d.Out)
+	d.forwardInto(d.effectiveW(), x, out)
 	if train {
 		d.xs = append(d.xs, x.Clone())
 	}
@@ -390,6 +472,42 @@ func (d *Dense) ForwardBatch(x *tensor.Tensor, train bool) *tensor.Tensor {
 	}
 	if train {
 		d.xs = append(d.xs, x.Clone())
+	}
+	return out
+}
+
+// forwardArena implements arenaLayer: the per-sample path keeps the
+// spike-sparse gather loops, the batched path the single GEMM; outputs
+// and weight panels live in the arena.
+func (d *Dense) forwardArena(x *tensor.Tensor, s *Scratch, li, batch int) *tensor.Tensor {
+	w := d.W
+	if d.Mask != nil {
+		effW, fresh := s.once2(li, slotEffW, d.Out, d.In)
+		if fresh {
+			copy(effW.Data, d.W.Data)
+			effW.Mul(d.Mask)
+		}
+		w = effW
+	}
+	if batch == 0 {
+		if x.Len() != d.In {
+			panic(fmt.Sprintf("snn: Dense input %d, want %d", x.Len(), d.In))
+		}
+		out := s.buf1(li, slotOut, d.Out)
+		d.forwardInto(w, x, out)
+		return out
+	}
+	wT, fresh := s.once2(li, slotWT, d.In, d.Out)
+	if fresh {
+		tensor.TransposeInto(wT, w)
+	}
+	out := s.buf2(li, slotOut, batch, d.Out)
+	tensor.MatMulInto(out, x, wT)
+	for b := 0; b < batch; b++ {
+		row := out.Data[b*d.Out : (b+1)*d.Out]
+		for o := range row {
+			row[o] += d.B.Data[o]
+		}
 	}
 	return out
 }

@@ -127,6 +127,38 @@ func (l *LIF) step(x *tensor.Tensor, train bool, batch int) *tensor.Tensor {
 	return out
 }
 
+// forwardArena implements arenaLayer: the membrane persists in the
+// arena (zeroed at pass start) and the spike output overwrites a
+// reusable buffer. The arithmetic is exactly step's, so outputs and
+// calibration statistics are bit-identical to the allocating path.
+func (l *LIF) forwardArena(x *tensor.Tensor, s *Scratch, li, batch int) *tensor.Tensor {
+	b := batch
+	if b == 0 {
+		b = 1
+	}
+	v := s.stateBufShape(li, slotState, x.Shape)
+	out := s.bufShape(li, slotOut, x.Shape)
+	var spikes float64
+	var vSum float64
+	for i, inp := range x.Data {
+		vv := l.Decay*v.Data[i] + inp
+		vSum += float64(vv)
+		var o float32
+		if vv >= l.VTh {
+			o = 1
+			spikes++
+			vv -= l.VTh
+		}
+		out.Data[i] = o
+		v.Data[i] = vv
+	}
+	l.StatSpikes += spikes / float64(b)
+	l.StatVSum += vSum / float64(x.Len())
+	l.StatSteps++
+	l.StatUnits = x.Len() / b
+	return out
+}
+
 // BackwardBatch implements BatchLayer: the surrogate gradient is
 // elementwise, so the batched pass is the per-sample pass over the
 // larger state.
@@ -209,6 +241,15 @@ func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 func (f *Flatten) ForwardBatch(x *tensor.Tensor, train bool) *tensor.Tensor {
 	f.inShape = append(f.inShape[:0], x.Shape...)
 	return x.Reshape(x.Shape[0], x.Len()/x.Shape[0])
+}
+
+// forwardArena implements arenaLayer: the flattened result is a cached
+// header view over the input data — no copy, no allocation.
+func (f *Flatten) forwardArena(x *tensor.Tensor, s *Scratch, li, batch int) *tensor.Tensor {
+	if batch == 0 {
+		return s.view1(li, slotOutView, x.Data, x.Len())
+	}
+	return s.view2(li, slotOutView, x.Data, batch, x.Len()/batch)
 }
 
 // Backward implements Layer.

@@ -28,6 +28,12 @@ func DefaultConfig(vth float32, steps int) Config {
 type Network struct {
 	Cfg    Config
 	Layers []Layer
+
+	// Inference-arena bookkeeping (arena.go): parked scratch arenas and
+	// the cached arena-capable layer view.
+	scratchFree []*Scratch
+	arenaLs     []arenaLayer
+	arenaInit   bool
 }
 
 // NewNetwork assembles a network from layers.
@@ -101,9 +107,25 @@ func (n *Network) Backward(gradLogits *tensor.Tensor) []*tensor.Tensor {
 	return grads
 }
 
-// Predict returns the argmax class for a sample.
+// Predict returns the argmax class for a sample. Built-in layer stacks
+// run against a reusable inference arena (see arena.go), which makes the
+// steady-state hot path allocation-free; networks with custom layers
+// fall back to the allocating Forward. Results are identical either way.
 func (n *Network) Predict(frames []*tensor.Tensor) int {
+	if n.arenaCapable() {
+		s := n.AcquireScratch()
+		p := n.forwardScratch(frames, s, 0).Argmax()
+		n.Release(s)
+		return p
+	}
 	return n.Forward(frames, false).Argmax()
+}
+
+// PredictScratch is Predict against a caller-held arena, for long
+// evaluation loops that want to amortize even the acquire/release pair.
+// The network must be arena-capable (all built-in layers are).
+func (n *Network) PredictScratch(frames []*tensor.Tensor, s *Scratch) int {
+	return n.forwardScratch(frames, s, 0).Argmax()
 }
 
 // ParamLayers returns the layers holding trainable parameters.

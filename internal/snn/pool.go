@@ -40,6 +40,26 @@ func (p *AvgPool) ForwardBatch(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return out
 }
 
+// forwardArena implements arenaLayer: samples pool directly into one
+// reused output tensor through cached sample views.
+func (p *AvgPool) forwardArena(x *tensor.Tensor, s *Scratch, li, batch int) *tensor.Tensor {
+	if batch == 0 {
+		c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+		out := s.buf3(li, slotOut, c, (h+p.K-1)/p.K, (w+p.K-1)/p.K)
+		tensor.AvgPool2DInto(out, x, p.K)
+		return out
+	}
+	b, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := (h+p.K-1)/p.K, (w+p.K-1)/p.K
+	out := s.buf4(li, slotOut, b, c, oh, ow)
+	for bi := 0; bi < b; bi++ {
+		sv := s.view3(li, slotInView, x.Data[bi*c*h*w:(bi+1)*c*h*w], c, h, w)
+		dv := s.view3(li, slotOutView, out.Data[bi*c*oh*ow:(bi+1)*c*oh*ow], c, oh, ow)
+		tensor.AvgPool2DInto(dv, sv, p.K)
+	}
+	return out
+}
+
 // Backward implements Layer.
 func (p *AvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n := len(p.inDims)
@@ -126,6 +146,26 @@ func (p *MaxPool) ForwardBatch(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return out
 }
 
+// forwardArena implements arenaLayer: inference needs no argmax
+// bookkeeping, so the arena path uses the Into kernel that skips it.
+func (p *MaxPool) forwardArena(x *tensor.Tensor, s *Scratch, li, batch int) *tensor.Tensor {
+	if batch == 0 {
+		c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+		out := s.buf3(li, slotOut, c, (h+p.K-1)/p.K, (w+p.K-1)/p.K)
+		tensor.MaxPool2DInto(out, x, p.K)
+		return out
+	}
+	b, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := (h+p.K-1)/p.K, (w+p.K-1)/p.K
+	out := s.buf4(li, slotOut, b, c, oh, ow)
+	for bi := 0; bi < b; bi++ {
+		sv := s.view3(li, slotInView, x.Data[bi*c*h*w:(bi+1)*c*h*w], c, h, w)
+		dv := s.view3(li, slotOutView, out.Data[bi*c*oh*ow:(bi+1)*c*oh*ow], c, oh, ow)
+		tensor.MaxPool2DInto(dv, sv, p.K)
+	}
+	return out
+}
+
 // Backward implements Layer.
 func (p *MaxPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n := len(p.args)
@@ -206,6 +246,11 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // shape, so every sample draws its own mask, once per network reset.
 func (d *Dropout) ForwardBatch(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return d.Forward(x, train)
+}
+
+// forwardArena implements arenaLayer: inference dropout is the identity.
+func (d *Dropout) forwardArena(x *tensor.Tensor, _ *Scratch, _, _ int) *tensor.Tensor {
+	return x
 }
 
 // Backward implements Layer.

@@ -61,16 +61,40 @@ func MatMul(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2))
 	}
 	c := New(m, n)
+	matMulInto(c, a, b, m, k, n)
+	return c
+}
+
+// MatMulInto computes dst = A·B into a caller-owned m×n tensor,
+// overwriting its contents — the allocation-free form the inference
+// arena uses. The kernels are exactly MatMul's, so the result is
+// bit-identical to MatMul at any worker count.
+func MatMulInto(dst, a, b *Tensor) {
+	checkGEMM("MatMul", a, b)
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2))
+	}
+	if dst.Rank() != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto dst %v, want [%d %d]", dst.Shape, m, n))
+	}
+	clear(dst.Data)
+	matMulInto(dst, a, b, m, k, n)
+}
+
+// matMulInto accumulates A·B into the zeroed dst.
+func matMulInto(c, a, b *Tensor, m, k, n int) {
 	w := Workers()
 	if m*k*n < gemmSerialOps || w == 1 {
 		matMulRows(c.Data, a.Data, b.Data, 0, m, k, n)
-		return c
+		return
 	}
 	if m >= 2*w {
 		parallelFor(m, gemmGrain(m, k*n), func(lo, hi int) {
 			matMulRows(c.Data, a.Data, b.Data, lo, hi, k, n)
 		})
-		return c
+		return
 	}
 	// Few output rows (e.g. a narrow conv filter bank against a wide
 	// batched im2col panel): split the columns instead. Stripes write
@@ -79,7 +103,6 @@ func MatMul(a, b *Tensor) *Tensor {
 	parallelFor(n, gemmGrain(n, k*m), func(jlo, jhi int) {
 		matMulStripe(c.Data, a.Data, b.Data, m, k, n, jlo, jhi)
 	})
-	return c
 }
 
 // matMulStripe computes columns [jlo,jhi) of C = A·B.

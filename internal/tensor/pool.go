@@ -90,6 +90,19 @@ func startPool() {
 	}
 }
 
+// ParallelFor splits [0, n) into blocks of ~grain elements and runs body
+// over them on the shared worker pool. It is the fan-out primitive the
+// GEMM kernels use internally, exported so higher layers (per-stream
+// event attacks, AQF set filtering, evaluation sweeps) can schedule
+// coarse-grained work on the same budget instead of spawning their own
+// goroutines. Blocks are claimed atomically, so cost imbalance between
+// items self-balances; body invocations may run concurrently and must
+// only write disjoint state. With SetWorkers(1) every block runs inline
+// on the caller, in order — the deterministic serial path.
+func ParallelFor(n, grain int, body func(lo, hi int)) {
+	parallelFor(n, grain, body)
+}
+
 // parallelFor splits [0, n) into blocks of ~grain elements and runs body
 // over them with up to Workers() goroutines. The caller always
 // participates, so the call never blocks on a saturated pool; nested

@@ -287,14 +287,24 @@ func Transpose(a *Tensor) *Tensor {
 	if a.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: Transpose wants rank-2, got %v", a.Shape))
 	}
+	t := New(a.Shape[1], a.Shape[0])
+	TransposeInto(t, a)
+	return t
+}
+
+// TransposeInto writes aᵀ into the caller-owned (n,m) tensor dst,
+// overwriting its contents (the allocation-free form).
+func TransposeInto(dst, a *Tensor) {
+	if a.Rank() != 2 || dst.Rank() != 2 || dst.Shape[0] != a.Shape[1] || dst.Shape[1] != a.Shape[0] {
+		panic(fmt.Sprintf("tensor: TransposeInto %v ← %vᵀ", dst.Shape, a.Shape))
+	}
 	m, n := a.Shape[0], a.Shape[1]
-	t := New(n, m)
 	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			t.Data[j*m+i] = a.Data[i*n+j]
+		row := a.Data[i*n : (i+1)*n]
+		for j, v := range row {
+			dst.Data[j*m+i] = v
 		}
 	}
-	return t
 }
 
 // Conv2DGeom describes a 2-D convolution geometry shared by the forward
@@ -381,8 +391,19 @@ func Col2Im(cols *Tensor, g Conv2DGeom) *Tensor {
 // (C,H,W) tensor. H and W need not be multiples of k; edge windows shrink.
 func AvgPool2D(x *Tensor, k int) *Tensor {
 	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	out := New(c, (h+k-1)/k, (w+k-1)/k)
+	AvgPool2DInto(out, x, k)
+	return out
+}
+
+// AvgPool2DInto pools x into the caller-owned (C,OutH,OutW) tensor dst,
+// overwriting every element (the allocation-free form).
+func AvgPool2DInto(out, x *Tensor, k int) {
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
 	oh, ow := (h+k-1)/k, (w+k-1)/k
-	out := New(c, oh, ow)
+	if out.Rank() != 3 || out.Shape[0] != c || out.Shape[1] != oh || out.Shape[2] != ow {
+		panic(fmt.Sprintf("tensor: AvgPool2DInto dst %v, want [%d %d %d]", out.Shape, c, oh, ow))
+	}
 	if k == 2 && h%2 == 0 && w%2 == 0 {
 		// The common 2×2 window on even planes: no edge handling, no
 		// per-window division loop.
@@ -398,7 +419,7 @@ func AvgPool2D(x *Tensor, k int) *Tensor {
 				}
 			}
 		}
-		return out
+		return
 	}
 	for ci := 0; ci < c; ci++ {
 		for oi := 0; oi < oh; oi++ {
@@ -418,7 +439,6 @@ func AvgPool2D(x *Tensor, k int) *Tensor {
 			}
 		}
 	}
-	return out
 }
 
 // AvgPool2DBackward scatters the pooled gradient back to input resolution.
@@ -481,6 +501,35 @@ func MaxPool2D(x *Tensor, k int) (*Tensor, []int) {
 		}
 	}
 	return out, arg
+}
+
+// MaxPool2DInto pools x into the caller-owned (C,OutH,OutW) tensor dst,
+// overwriting every element. It skips the argmax bookkeeping MaxPool2D
+// keeps for the backward pass — the inference-arena form.
+func MaxPool2DInto(out, x *Tensor, k int) {
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	oh, ow := (h+k-1)/k, (w+k-1)/k
+	if out.Rank() != 3 || out.Shape[0] != c || out.Shape[1] != oh || out.Shape[2] != ow {
+		panic(fmt.Sprintf("tensor: MaxPool2DInto dst %v, want [%d %d %d]", out.Shape, c, oh, ow))
+	}
+	for ci := 0; ci < c; ci++ {
+		for oi := 0; oi < oh; oi++ {
+			for oj := 0; oj < ow; oj++ {
+				best := float32(math.Inf(-1))
+				for di := 0; di < k; di++ {
+					for dj := 0; dj < k; dj++ {
+						i, j := oi*k+di, oj*k+dj
+						if i < h && j < w {
+							if v := x.Data[(ci*h+i)*w+j]; v > best {
+								best = v
+							}
+						}
+					}
+				}
+				out.Data[(ci*oh+oi)*ow+oj] = best
+			}
+		}
+	}
 }
 
 // MaxPool2DBackward routes the pooled gradient to the argmax positions.
