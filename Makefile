@@ -28,12 +28,14 @@ race:
 # One iteration of the hot-path benchmarks: keeps perf regressions
 # visible without burning CI minutes.
 bench:
-	$(GO) test -run '^$$' -bench 'SNNInference|SNNTrainStep|GEMM|PGDCraft' -benchtime=1x .
+	$(GO) test -run '^$$' -bench 'SNNInference|TrainStep|GEMM|PGDCraft' -benchtime=1x .
 
-# The machine-readable benchmark artifact CI archives (inference arena +
-# event-domain attack/filter hot paths). Staged through a file so a
-# benchmark failure fails the target instead of hiding behind the pipe.
+# The machine-readable benchmark artifact CI archives (inference +
+# training arenas, event-domain attack/filter hot paths). Staged through
+# a file so a benchmark failure fails the target instead of hiding
+# behind the pipe; the -zeroalloc gate fails it if the arena'd
+# benchmarks regress above 0 allocs/op.
 bench-json:
-	$(GO) test -run '^$$' -bench 'Predict|NeuromorphicPerturbSet|AQFFilterSet|SNNInference|SNNTrainStep|GEMM' \
+	$(GO) test -run '^$$' -bench 'Predict|NeuromorphicPerturbSet|AQFFilterSet|SNNInference|TrainStep|GEMM' \
 		-benchtime=1x . > bench.txt
-	$(GO) run ./cmd/benchjson < bench.txt > BENCH_pr2.json
+	$(GO) run ./cmd/benchjson -zeroalloc '^Benchmark(Predict|TrainStep)$$' < bench.txt > BENCH_pr3.json

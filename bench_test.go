@@ -209,6 +209,86 @@ func BenchmarkSNNTrainStepBatch(b *testing.B) {
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/sample")
 }
 
+// trainStepFixture builds the BenchmarkTrainStep/-Fresh workload: the
+// lite convolutional MNIST topology at T=8 with a 16-sample rate-coded
+// minibatch, the snn.Train hot loop's shape.
+func trainStepFixture() (*snn.Network, [][]*tensor.Tensor, []int) {
+	const batch = 16
+	r := rng.New(2)
+	cfg := snn.DefaultConfig(0.5, 8)
+	net := snn.MNISTNet(cfg, 1, 16, 16, true, r)
+	dcfg := dataset.DefaultSynthConfig()
+	samples := make([][]*tensor.Tensor, batch)
+	labels := make([]int, batch)
+	for i := range samples {
+		labels[i] = i % 10
+		img := dataset.RenderDigit(labels[i], dcfg, r)
+		samples[i] = encoding.Rate{}.Encode(img, cfg.Steps, r)
+	}
+	return net, samples, labels
+}
+
+// BenchmarkTrainStep measures the steady-state arena training step: one
+// minibatch cycle (zeroing, frame stacking, training forward, loss,
+// BPTT, optimizer step — gradient clipping is off here, as in the
+// default TrainOptions; the snn property test covers the clipped
+// cycle) against a TrainScratch. Runs in deterministic serial mode so
+// allocs/op stays 0 — the pool's parallel dispatch allocates job
+// descriptors; CI gates this benchmark (and BenchmarkPredict) at 0
+// allocs/op. Compare against BenchmarkTrainStepFresh for what the
+// arena eliminates.
+func BenchmarkTrainStep(b *testing.B) {
+	tensor.SetWorkers(1)
+	defer tensor.SetWorkers(0)
+	net, samples, labels := trainStepFixture()
+	ts := net.AcquireTrainScratch()
+	defer net.ReleaseTrain(ts)
+	opt := snn.NewAdam(2e-3)
+	scale := 1 / float32(len(samples))
+	step := func() {
+		ts.ZeroGrads()
+		net.TrainStepScratch(samples, labels, ts)
+		opt.Step(ts.Params(), ts.Grads(), scale)
+	}
+	step() // warm the arena and the optimizer state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+	// Stop before reporting: ReportMetric's bookkeeping must not count
+	// against the 0 allocs/op gate at -benchtime=1x.
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(samples)), "ns/sample")
+}
+
+// BenchmarkTrainStepFresh is the pre-arena baseline: the same minibatch
+// cycle through the allocating StackFrames/ForwardBatch/BackwardBatch
+// path, also in serial mode so the two benchmarks differ only in arena
+// use.
+func BenchmarkTrainStepFresh(b *testing.B) {
+	tensor.SetWorkers(1)
+	defer tensor.SetWorkers(0)
+	net, samples, labels := trainStepFixture()
+	opt := snn.NewAdam(2e-3)
+	scale := 1 / float32(len(samples))
+	step := func() {
+		net.ZeroGrads()
+		logits := net.ForwardBatch(snn.StackFrames(samples, net.Cfg.Steps), true)
+		_, grad := snn.SoftmaxCrossEntropyBatch(logits, labels)
+		net.BackwardBatch(grad)
+		opt.Step(net.Params(), net.Grads(), scale)
+	}
+	step()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(samples)), "ns/sample")
+}
+
 // BenchmarkGEMM measures the blocked parallel MatMul on a panel shaped
 // like a batched convolution lowering — the kernel every hot path above
 // funnels into. Worker scaling shows up here first on multi-core

@@ -6,6 +6,7 @@
 //
 //	axsnn-sweep [-vth 0.25,0.75] [-steps 8,12] [-levels 0.009,0.01,0.011]
 //	            [-attack pgd] [-eps 1.0] [-q 0.5] [-scale small] [-seed N]
+//	            [-workers N]
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"repro/internal/quant"
 	"repro/internal/rng"
 	"repro/internal/snn"
+	"repro/internal/tensor"
 )
 
 func parseFloats(s string) ([]float64, error) {
@@ -50,8 +52,12 @@ func main() {
 	testN := flag.Int("test", 120, "test samples")
 	size := flag.Int("size", 14, "image height/width")
 	seed := flag.Uint64("seed", 7, "seed")
-	workers := flag.Int("workers", 0, "parallel cells (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "worker budget for kernels and parallel grid cells (0 = all cores, 1 = deterministic serial)")
 	flag.Parse()
+
+	// Like axsnn-attack/-gesture, the budget governs both the shared
+	// kernel pool and the coarse-grained fan-out (here, grid cells).
+	tensor.SetWorkers(*workers)
 
 	vths64, err := parseFloats(*vthFlag)
 	if err != nil {

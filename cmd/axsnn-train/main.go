@@ -5,6 +5,7 @@
 //
 //	axsnn-train [-vth 0.25] [-steps 8] [-epochs 4] [-train 600] [-test 120]
 //	            [-arch dense|conv] [-mnist dir] [-o model.bin] [-seed N]
+//	            [-workers N]
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"repro/internal/encoding"
 	"repro/internal/rng"
 	"repro/internal/snn"
+	"repro/internal/tensor"
 )
 
 func main() {
@@ -32,7 +34,10 @@ func main() {
 	mnistDir := flag.String("mnist", "", "directory with real MNIST IDX files (optional)")
 	out := flag.String("o", "model.bin", "output model path")
 	seed := flag.Uint64("seed", 1, "seed")
+	workers := flag.Int("workers", 0, "worker budget for the training and evaluation kernels (0 = all cores, 1 = deterministic serial)")
 	flag.Parse()
+
+	tensor.SetWorkers(*workers)
 
 	scfg := dataset.DefaultSynthConfig()
 	scfg.H, scfg.W = *size, *size

@@ -1,12 +1,18 @@
 // Command benchjson converts `go test -bench` output on stdin into the
 // JSON benchmark artifact CI archives (BENCH_<pr>.json):
 //
-//	go test -run '^$' -bench 'Predict|PerturbSet' -benchtime=1x . | benchjson > BENCH_pr2.json
+//	go test -run '^$' -bench 'Predict|TrainStep' -benchtime=1x . | benchjson > BENCH_pr3.json
+//
+// With -zeroalloc REGEXP it additionally fails (exit 1) unless every
+// matching benchmark reported allocs/op == 0 — the CI gate on the
+// arena'd hot paths.
 package main
 
 import (
+	"flag"
 	"log"
 	"os"
+	"regexp"
 
 	"repro/internal/eval"
 )
@@ -14,12 +20,24 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
+	zeroAlloc := flag.String("zeroalloc", "", "fail unless benchmarks matching this regexp report 0 allocs/op")
+	flag.Parse()
+
 	results, err := eval.ParseBench(os.Stdin)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if len(results) == 0 {
 		log.Fatal("no benchmark lines on stdin")
+	}
+	if *zeroAlloc != "" {
+		re, err := regexp.Compile(*zeroAlloc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := eval.CheckZeroAllocs(results, re); err != nil {
+			log.Fatal(err)
+		}
 	}
 	blob, err := eval.BenchJSON(results)
 	if err != nil {

@@ -125,6 +125,12 @@ func (g *Gradient) Perturb(model *snn.Network, img *tensor.Tensor, label int, r 
 // result is deterministic and independent of batch partitioning — the
 // encoding RNG is split per sample up front — but the stream differs
 // from calling Perturb sample-by-sample with a shared RNG.
+//
+// The backward pass runs against a training arena on one weight-sharing
+// evaluation clone for the whole crafting session: frame stacking, the
+// forward caches and the BPTT buffers are all reused across iterations,
+// so the inner loop allocates only the encoded frames. Gradients are
+// bit-identical to the allocating InputGradientBatch chain.
 func (g *Gradient) PerturbBatch(model *snn.Network, imgs []*tensor.Tensor, labels []int, r *rng.RNG) []*tensor.Tensor {
 	batch := len(imgs)
 	if batch == 0 {
@@ -171,6 +177,16 @@ func (g *Gradient) PerturbBatch(model *snn.Network, imgs []*tensor.Tensor, label
 		}
 	}
 
+	// One evaluation clone + training arena serve every iteration:
+	// dropout stays disabled (clones carry no RNG) and the caller's
+	// network keeps clean state, exactly like InputGradientBatch.
+	clone := model.CloneArchitecture()
+	var ts *snn.TrainScratch
+	if clone.TrainArenaCapable() {
+		ts = clone.AcquireTrainScratch()
+		defer clone.ReleaseTrain(ts)
+	}
+
 	lossLabels := make([]int, batch)
 	samples := make([][]*tensor.Tensor, batch)
 	per := imgs[0].Len()
@@ -188,9 +204,13 @@ func (g *Gradient) PerturbBatch(model *snn.Network, imgs []*tensor.Tensor, label
 		} else {
 			copy(lossLabels, labels)
 		}
-		frames := snn.StackFrames(samples, model.Cfg.Steps)
-		frameGrads := snn.InputGradientBatch(model, frames, lossLabels)
-		grad := encoding.SumFrameGradients(frameGrads) // (B, image shape...)
+		var grad *tensor.Tensor // (B, image shape...)
+		if ts != nil {
+			grad = clone.InputGradSumScratch(ts.StackFramesInto(samples), lossLabels, ts)
+		} else {
+			frames := snn.StackFrames(samples, model.Cfg.Steps)
+			grad = encoding.SumFrameGradients(snn.InputGradientBatch(model, frames, lossLabels))
+		}
 		for i, adv := range advs {
 			gi := tensor.FromSlice(grad.Data[i*per:(i+1)*per], adv.Shape...)
 			gi.Sign()

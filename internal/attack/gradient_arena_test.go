@@ -1,0 +1,124 @@
+package attack
+
+import (
+	"testing"
+
+	"repro/internal/encoding"
+	"repro/internal/rng"
+	"repro/internal/snn"
+	"repro/internal/tensor"
+)
+
+// perturbBatchReference replicates the pre-arena PerturbBatch inner
+// loop — allocating StackFrames + InputGradientBatch +
+// SumFrameGradients per iteration — so the arena-backed implementation
+// can be pinned against the seed behaviour bit-for-bit.
+func perturbBatchReference(g *Gradient, model *snn.Network, imgs []*tensor.Tensor, labels []int, r *rng.RNG) []*tensor.Tensor {
+	batch := len(imgs)
+	rngs := make([]*rng.RNG, batch)
+	for i := range rngs {
+		rngs[i] = r.Split()
+	}
+	alpha := g.Alpha
+	if alpha == 0 {
+		if g.RandomStart {
+			alpha = 2.5 * g.Eps / float64(g.Steps)
+		} else {
+			alpha = g.Eps / float64(g.Steps)
+		}
+	}
+	advs := make([]*tensor.Tensor, batch)
+	for i, img := range imgs {
+		advs[i] = img.Clone()
+		if g.RandomStart {
+			start := alpha
+			if g.Eps < start {
+				start = g.Eps
+			}
+			for j := range advs[i].Data {
+				advs[i].Data[j] += float32((2*rngs[i].Float64() - 1) * start)
+			}
+			projectLinf(advs[i], img, g.Eps)
+			advs[i].Clamp(0, 1)
+		}
+	}
+	lossLabels := make([]int, batch)
+	samples := make([][]*tensor.Tensor, batch)
+	per := imgs[0].Len()
+	for it := 0; it < g.Steps; it++ {
+		for i := range advs {
+			samples[i] = g.Encoder.Encode(advs[i], model.Cfg.Steps, rngs[i])
+		}
+		dir := float32(alpha)
+		if g.Target >= 0 {
+			dir = float32(-alpha)
+			for i := range lossLabels {
+				lossLabels[i] = g.Target
+			}
+		} else {
+			copy(lossLabels, labels)
+		}
+		frames := snn.StackFrames(samples, model.Cfg.Steps)
+		grad := encoding.SumFrameGradients(snn.InputGradientBatch(model, frames, lossLabels))
+		for i, adv := range advs {
+			gi := tensor.FromSlice(grad.Data[i*per:(i+1)*per], adv.Shape...)
+			gi.Sign()
+			adv.AddScaled(dir, gi)
+			projectLinf(adv, imgs[i], g.Eps)
+			adv.Clamp(0, 1)
+		}
+	}
+	return advs
+}
+
+// TestPerturbBatchArenaMatchesReference pins the arena-backed
+// PerturbBatch to the allocating seed path for PGD, BIM and a targeted
+// variant, on both dense and convolutional surrogates.
+func TestPerturbBatchArenaMatchesReference(t *testing.T) {
+	cfg := snn.DefaultConfig(0.5, 5)
+	nets := map[string]*snn.Network{
+		"dense": snn.DenseNet(cfg, 144, 24, 10, rng.New(31)),
+		"conv":  snn.MNISTNet(cfg, 1, 12, 12, true, rng.New(32)),
+	}
+	attacks := map[string]*Gradient{
+		"pgd":      PGD(0.3),
+		"bim":      BIM(0.2),
+		"targeted": TargetedPGD(0.3, 4),
+	}
+	for _, a := range attacks {
+		a.Steps = 3
+		a.Encoder = encoding.Rate{}
+	}
+	r := rng.New(33)
+	imgs := make([]*tensor.Tensor, 5)
+	labels := make([]int, len(imgs))
+	for i := range imgs {
+		imgs[i] = tensor.New(1, 12, 12)
+		for j := range imgs[i].Data {
+			imgs[i].Data[j] = r.Float32()
+		}
+		labels[i] = i % 10
+	}
+	dense2d := make([]*tensor.Tensor, len(imgs))
+	for i, img := range imgs {
+		dense2d[i] = img.Reshape(12, 12)
+	}
+	for netName, net := range nets {
+		batch := imgs
+		if netName == "dense" {
+			batch = dense2d
+		}
+		for atkName, atk := range attacks {
+			want := perturbBatchReference(atk, net, batch, labels, rng.New(55))
+			got := atk.PerturbBatch(net, batch, labels, rng.New(55))
+			for i := range want {
+				for j := range want[i].Data {
+					if got[i].Data[j] != want[i].Data[j] {
+						t.Fatalf("%s/%s sample %d pixel %d: %v, want %v (arena crafting must be bit-identical)",
+							netName, atkName, i, j, got[i].Data[j], want[i].Data[j])
+					}
+				}
+			}
+		}
+	}
+}

@@ -24,35 +24,40 @@ type AdversarialTrainOptions struct {
 
 // AdversarialTrain fits the network with on-the-fly adversarial
 // examples. It is substantially slower than clean training (one PGD run
-// per selected sample per epoch).
+// per selected sample per epoch), but both halves of the loop now ride
+// the training arena: PerturbBatch reuses one crafting clone + arena
+// per chunk and snn.Train one arena per epoch, so the steady state
+// allocates only the adversarial copies themselves.
 func AdversarialTrain(n *snn.Network, train *dataset.Set, opt AdversarialTrainOptions) {
 	if opt.Mix <= 0 || opt.Attack == nil {
 		snn.Train(n, train, opt.Base)
 		return
 	}
 	r := rng.New(opt.Base.Seed + 77)
+	const chunk = 32
+	picked := make([]int, 0, train.Len())
+	imgs := make([]*tensor.Tensor, 0, chunk)
+	labels := make([]int, 0, chunk)
 	for epoch := 0; epoch < opt.Base.Epochs; epoch++ {
 		// Craft a fresh adversarial copy of a subset against the
 		// *current* model (batched), then take one clean+adversarial
 		// epoch.
 		mixed := train.Clone()
-		var picked []int
+		picked = picked[:0]
 		for i := range mixed.Samples {
 			if r.Bernoulli(opt.Mix) {
 				picked = append(picked, i)
 			}
 		}
-		const chunk = 32
 		for b := 0; b < len(picked); b += chunk {
 			end := b + chunk
 			if end > len(picked) {
 				end = len(picked)
 			}
-			imgs := make([]*tensor.Tensor, end-b)
-			labels := make([]int, end-b)
-			for k, i := range picked[b:end] {
-				imgs[k] = mixed.Samples[i].Image
-				labels[k] = mixed.Samples[i].Label
+			imgs, labels = imgs[:0], labels[:0]
+			for _, i := range picked[b:end] {
+				imgs = append(imgs, mixed.Samples[i].Image)
+				labels = append(labels, mixed.Samples[i].Label)
 			}
 			for k, adv := range opt.Attack.PerturbBatch(n, imgs, labels, r) {
 				mixed.Samples[picked[b+k]].Image = adv

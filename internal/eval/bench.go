@@ -3,7 +3,9 @@ package eval
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -70,4 +72,35 @@ func ParseBench(r io.Reader) ([]BenchResult, error) {
 // BenchJSON renders parsed benchmark results as indented JSON.
 func BenchJSON(results []BenchResult) ([]byte, error) {
 	return json.MarshalIndent(results, "", "  ")
+}
+
+// CheckZeroAllocs verifies that every benchmark whose name matches re
+// reported allocs/op == 0 — the CI gate keeping the arena'd hot paths
+// (inference Predict, the training step) from regressing back into the
+// allocator. A matching benchmark that did not report allocations (run
+// without -benchmem or ReportAllocs) fails too: a silent gate is no
+// gate. It returns an error naming every offender, or nil.
+func CheckZeroAllocs(results []BenchResult, re *regexp.Regexp) error {
+	var bad []string
+	matched := false
+	for _, r := range results {
+		if !re.MatchString(r.Name) {
+			continue
+		}
+		matched = true
+		allocs, ok := r.Metrics["allocs/op"]
+		switch {
+		case !ok:
+			bad = append(bad, fmt.Sprintf("%s reported no allocs/op", r.Name))
+		case allocs != 0:
+			bad = append(bad, fmt.Sprintf("%s allocates %g allocs/op, want 0", r.Name, allocs))
+		}
+	}
+	if !matched {
+		return fmt.Errorf("no benchmark matched %q", re)
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("zero-alloc gate failed: %s", strings.Join(bad, "; "))
+	}
+	return nil
 }

@@ -2,6 +2,7 @@ package eval
 
 import (
 	"encoding/json"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -69,5 +70,30 @@ func TestBenchJSONRoundTrip(t *testing.T) {
 	}
 	if len(back) != len(rs) || back[0].Metrics["ns/op"] != rs[0].Metrics["ns/op"] {
 		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+func TestCheckZeroAllocs(t *testing.T) {
+	rs, err := ParseBench(strings.NewReader(benchSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BenchmarkPredict reports 0 allocs/op: passes.
+	if err := CheckZeroAllocs(rs, regexp.MustCompile(`^BenchmarkPredict$`)); err != nil {
+		t.Fatalf("clean gate failed: %v", err)
+	}
+	// The neuromorphic set allocates: the gate must fail and name it.
+	err = CheckZeroAllocs(rs, regexp.MustCompile(`^BenchmarkNeuromorphicPerturbSet$`))
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkNeuromorphicPerturbSet") {
+		t.Fatalf("allocating benchmark must fail the gate, got %v", err)
+	}
+	// A benchmark without alloc metrics must fail too (silent gate).
+	err = CheckZeroAllocs(rs, regexp.MustCompile(`^BenchmarkFig7b$`))
+	if err == nil || !strings.Contains(err.Error(), "no allocs/op") {
+		t.Fatalf("metric-less benchmark must fail the gate, got %v", err)
+	}
+	// No match at all is an error, not a silent pass.
+	if err := CheckZeroAllocs(rs, regexp.MustCompile(`^BenchmarkNope$`)); err == nil {
+		t.Fatal("unmatched gate regexp must error")
 	}
 }

@@ -36,18 +36,36 @@ type slotKey struct {
 
 // slot numbers shared by the layer implementations. Buffers and views
 // may not collide on (layer, slot), so each layer type draws from this
-// single enumeration.
+// single enumeration. The training arena folds the time step into the
+// slot (see trainSlotStride in train_arena.go), so the enumeration must
+// stay below that stride.
 const (
-	slotOut     = iota // layer output buffer
-	slotState          // persistent per-pass state (LIF membrane)
-	slotLow            // conv lowering panel
-	slotGemm           // GEMM result panel
-	slotEffW           // mask-applied weights, once per pass
-	slotWT             // transposed weights, once per pass
-	slotInView         // view of one input sample
-	slotOutView        // view of one output sample
-	slotLogits         // accumulated readout (network-level)
-	slotFrame          // batched input frame (network-level)
+	slotOut      = iota // layer output buffer
+	slotState           // persistent per-pass state (LIF membrane)
+	slotLow             // conv lowering panel
+	slotGemm            // GEMM result panel
+	slotEffW            // mask-applied weights, once per pass
+	slotWT              // transposed weights, once per pass
+	slotInView          // view of one input sample
+	slotOutView         // view of one output sample
+	slotLogits          // accumulated readout (network-level)
+	slotFrame           // batched input frame (network-level)
+	slotPre             // LIF pre-reset potential, per step (training)
+	slotCarry           // LIF dL/dV carry across reverse steps (training)
+	slotXCache          // dense input cache, per step (training)
+	slotGrad            // layer input-gradient buffer (training)
+	slotGradView        // view of the gradient in another shape (training)
+	slotDW              // dense per-step weight-gradient panel (training)
+	slotMask            // dropout mask, once per pass (training)
+	slotArg             // maxpool argmax indices, per step (training)
+	slotDims            // pool input dims, per pass (training)
+	slotG2B             // conv gradient de-interleave panel (training)
+	slotDCols           // conv column-gradient panel (training)
+	slotGradStep        // per-step input-gradient copy (network-level)
+	slotGradSum         // summed input gradient (network-level)
+	slotLossGrad        // dL/dlogits buffer (network-level)
+	slotIdx             // nonzero-index scratch for col-skip GEMMs
+	slotCount           // number of slots; must stay <= trainSlotStride
 )
 
 // netLayer is the pseudo layer index for network-level buffers.
@@ -201,6 +219,17 @@ func (s *Scratch) once2(layer, slot, a, b int) (*tensor.Tensor, bool) {
 	return t, fresh
 }
 
+// onceShape is once2 for an arbitrary shape. The training arena also
+// uses the freshness bit for per-pass state whose first use must see it
+// uninitialized (the LIF backward carry, the dropout mask).
+func (s *Scratch) onceShape(layer, slot int, shape []int) (*tensor.Tensor, bool) {
+	t := s.bufShape(layer, slot, shape)
+	e := s.entry(layer, slot)
+	fresh := e.gen != s.gen
+	e.gen = s.gen
+	return t, fresh
+}
+
 // view1..3 return a cached tensor header wrapping caller data — the
 // allocation-free Reshape/FromSlice. The header is reused, so a view is
 // only valid until the slot's next use.
@@ -229,6 +258,16 @@ func (s *Scratch) view2(layer, slot int, data []float32, a, b int) *tensor.Tenso
 func (s *Scratch) view3(layer, slot int, data []float32, a, b, c int) *tensor.Tensor {
 	e := s.viewEntry(layer, slot, data)
 	setShape3(e.t, a, b, c)
+	return e.t
+}
+
+// viewShape is view1..3 for an arbitrary shape slice.
+func (s *Scratch) viewShape(layer, slot int, data []float32, shape []int) *tensor.Tensor {
+	e := s.viewEntry(layer, slot, data)
+	if len(e.t.Shape) != len(shape) {
+		e.t.Shape = make([]int, len(shape))
+	}
+	copy(e.t.Shape, shape)
 	return e.t
 }
 

@@ -271,6 +271,107 @@ func (c *Conv2D) forwardArena(x *tensor.Tensor, s *Scratch, li, batch int) *tens
 	return out
 }
 
+// trainEffW returns the weight matrix with the prune mask applied from
+// the arena's once-per-pass slot (the cadence Reset gives the
+// allocating path), or the raw weights when unmasked. Forward derives
+// it; the backward calls of the same pass reuse it.
+func (c *Conv2D) trainEffW(ts *TrainScratch, li int) *tensor.Tensor {
+	if c.Mask == nil {
+		return c.W
+	}
+	effW, fresh := ts.once2(li, slotEffW, c.OutC, c.Geom.InC*c.Geom.KH*c.Geom.KW)
+	if fresh {
+		copy(effW.Data, c.W.Data)
+		effW.Mul(c.Mask)
+	}
+	return effW
+}
+
+// ForwardBatchInto implements trainLayer: the training forward
+// (ForwardBatch(x, true)) with the per-step im2col panel cached in the
+// arena's step ring instead of freshly allocated, and the GEMM result,
+// output tensor and weight panels all reused.
+func (c *Conv2D) ForwardBatchInto(x *tensor.Tensor, ts *TrainScratch, li, t int) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("snn: Conv2D batch input rank %d (shape %s)", x.Rank(), shapeStr(x.Shape)))
+	}
+	g := c.Geom
+	batch := x.Shape[0]
+	oh, ow := g.OutH(), g.OutW()
+	n := oh * ow
+	ckk := g.InC * g.KH * g.KW
+	chw := g.InC * g.InH * g.InW
+	w := c.trainEffW(ts, li)
+
+	// Training always lowers to the im2col panel — the layout the
+	// backward kernels consume, matching forwardBatch's train branch.
+	cols := ts.buf2(li, slotLow, t, ckk, batch*n)
+	for b := 0; b < batch; b++ {
+		sample := ts.view3(li, slotInView, x.Data[b*chw:(b+1)*chw], g.InC, g.InH, g.InW)
+		tensor.Im2ColStripeInto(cols.Data, batch*n, b*n, sample, g)
+	}
+	big := ts.buf2(li, slotGemm, -1, c.OutC, batch*n)
+	tensor.MatMulInto(big, w, cols)
+	out := ts.buf4(li, slotOut, -1, batch, c.OutC, oh, ow)
+	c.scatterColsBias(out, big, batch, n)
+	return out
+}
+
+// BackwardBatchInto implements trainLayer: backwardBatch against the
+// arena's cached panel for this step. The weight-gradient GEMM runs the
+// spike-sparse column-skip kernel — the cached im2col panel is the
+// transposed operand and is mostly zero taps, so its dead columns skip
+// wholesale (bit-identical accumulation, see tensor.MatMulTColSkipAcc).
+// With needDX false (no parameter layer below) the input-gradient GEMM
+// and col2im scatter are skipped entirely.
+func (c *Conv2D) BackwardBatchInto(grad *tensor.Tensor, ts *TrainScratch, li, t int, needDX bool) *tensor.Tensor {
+	g := c.Geom
+	batch := grad.Shape[0]
+	oh, ow := g.OutH(), g.OutW()
+	n := oh * ow
+	ckk := g.InC * g.KH * g.KW
+	chw := g.InC * g.InH * g.InW
+	cols := ts.buf2(li, slotLow, t, ckk, batch*n)
+
+	// g2B[oc, b·N+j] = grad[b, oc, j]; for a single sample the gradient
+	// already is that matrix.
+	var g2B *tensor.Tensor
+	if batch == 1 {
+		g2B = ts.view2(li, slotGradView, grad.Data, c.OutC, n)
+	} else {
+		g2B = ts.buf2(li, slotG2B, -1, c.OutC, batch*n)
+		for b := 0; b < batch; b++ {
+			for oc := 0; oc < c.OutC; oc++ {
+				copy(g2B.Data[oc*batch*n+b*n:oc*batch*n+(b+1)*n],
+					grad.Data[(b*c.OutC+oc)*n:(b*c.OutC+oc)*n+n])
+			}
+		}
+	}
+	for oc := 0; oc < c.OutC; oc++ {
+		row := g2B.Data[oc*batch*n : (oc+1)*batch*n]
+		var s float32
+		for _, v := range row {
+			s += v
+		}
+		c.dB.Data[oc] += s
+	}
+	// dW += g2B·colsᵀ over the nonzero panel columns only.
+	tensor.MatMulTColSkipAcc(c.dW, g2B, cols, ts.ints(li, slotIdx, -1, batch*n))
+	if !needDX {
+		return nil
+	}
+	// dX = col2im(Wᵀ·g2B) per sample.
+	dcols := ts.buf2(li, slotDCols, -1, ckk, batch*n)
+	tensor.TMatMulInto(dcols, c.trainEffW(ts, li), g2B)
+	dx := ts.buf4(li, slotGrad, -1, batch, g.InC, g.InH, g.InW)
+	dx.Zero()
+	for b := 0; b < batch; b++ {
+		sample := ts.view3(li, slotOutView, dx.Data[b*chw:(b+1)*chw], g.InC, g.InH, g.InW)
+		tensor.Col2ImStripeInto(sample, dcols.Data, batch*n, b*n, g)
+	}
+	return dx
+}
+
 // Backward implements Layer.
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	g := c.Geom
@@ -510,6 +611,73 @@ func (d *Dense) forwardArena(x *tensor.Tensor, s *Scratch, li, batch int) *tenso
 		}
 	}
 	return out
+}
+
+// trainEffW is Conv2D.trainEffW for the dense layer.
+func (d *Dense) trainEffW(ts *TrainScratch, li int) *tensor.Tensor {
+	if d.Mask == nil {
+		return d.W
+	}
+	effW, fresh := ts.once2(li, slotEffW, d.Out, d.In)
+	if fresh {
+		copy(effW.Data, d.W.Data)
+		effW.Mul(d.Mask)
+	}
+	return effW
+}
+
+// ForwardBatchInto implements trainLayer: ForwardBatch(x, true) with
+// the GEMM output, weight panels and the per-step input cache (the
+// allocating path's Clone) drawn from the arena.
+func (d *Dense) ForwardBatchInto(x *tensor.Tensor, ts *TrainScratch, li, t int) *tensor.Tensor {
+	if x.Rank() != 2 || x.Shape[1] != d.In {
+		panic(fmt.Sprintf("snn: Dense batch input %s, want (B,%d)", shapeStr(x.Shape), d.In))
+	}
+	batch := x.Shape[0]
+	w := d.trainEffW(ts, li)
+	wT, fresh := ts.once2(li, slotWT, d.In, d.Out)
+	if fresh {
+		tensor.TransposeInto(wT, w)
+	}
+	out := ts.buf2(li, slotOut, -1, batch, d.Out)
+	tensor.MatMulInto(out, x, wT)
+	for b := 0; b < batch; b++ {
+		row := out.Data[b*d.Out : (b+1)*d.Out]
+		for o := range row {
+			row[o] += d.B.Data[o]
+		}
+	}
+	xc := ts.buf2(li, slotXCache, t, batch, d.In)
+	copy(xc.Data, x.Data)
+	return out
+}
+
+// BackwardBatchInto implements trainLayer: BackwardBatch against the
+// arena's per-step input cache, with the weight-gradient panel and the
+// input-gradient GEMM result reused. Kernels and accumulation order
+// match BackwardBatch exactly; with needDX false (no parameter layer
+// below) the input-gradient GEMM is skipped.
+func (d *Dense) BackwardBatchInto(grad *tensor.Tensor, ts *TrainScratch, li, t int, needDX bool) *tensor.Tensor {
+	batch := grad.Shape[0]
+	x := ts.buf2(li, slotXCache, t, batch, d.In)
+	// dWᵀ = xᵀ·grad with the spike-sparse x rows driving the skip path,
+	// then the cheap transposed add — BackwardBatch's kernels on a
+	// reusable panel.
+	dwT := ts.buf2(li, slotDW, -1, d.In, d.Out)
+	tensor.TMatMulInto(dwT, x, grad)
+	d.dW.AddTransposed(dwT)
+	for b := 0; b < batch; b++ {
+		row := grad.Data[b*d.Out : (b+1)*d.Out]
+		for o, g := range row {
+			d.dB.Data[o] += g
+		}
+	}
+	if !needDX {
+		return nil
+	}
+	dx := ts.buf2(li, slotGrad, -1, batch, d.In)
+	tensor.MatMulInto(dx, grad, d.trainEffW(ts, li))
+	return dx
 }
 
 // Backward implements Layer.

@@ -159,6 +159,67 @@ func (l *LIF) forwardArena(x *tensor.Tensor, s *Scratch, li, batch int) *tensor.
 	return out
 }
 
+// ForwardBatchInto implements trainLayer: ForwardBatch(x, true) with
+// the membrane, spike output and per-step pre-reset cache drawn from
+// the training arena. Arithmetic and statistics match step exactly.
+func (l *LIF) ForwardBatchInto(x *tensor.Tensor, ts *TrainScratch, li, t int) *tensor.Tensor {
+	batch := x.Shape[0]
+	v := ts.stateBufShape(li, slotState, x.Shape)
+	out := ts.bufShape(li, slotOut, -1, x.Shape)
+	var spikes float64
+	var vSum float64
+	for i, inp := range x.Data {
+		vv := l.Decay*v.Data[i] + inp
+		vSum += float64(vv)
+		var o float32
+		if vv >= l.VTh {
+			o = 1
+			spikes++
+			vv -= l.VTh
+		}
+		out.Data[i] = o
+		v.Data[i] = vv
+	}
+	// Cache pre-reset potential: reconstruct from post state, exactly
+	// like step does, into this step's ring buffer.
+	pre := ts.bufShape(li, slotPre, t, x.Shape)
+	for i := range pre.Data {
+		pre.Data[i] = v.Data[i] + out.Data[i]*l.VTh
+	}
+	l.StatSpikes += spikes / float64(batch)
+	l.StatVSum += vSum / float64(x.Len())
+	l.StatSteps++
+	l.StatUnits = x.Len() / batch
+	return out
+}
+
+// BackwardBatchInto implements trainLayer: Backward against the arena's
+// per-step pre-reset cache. The dL/dV carry updates in place — the
+// allocating path's fresh output plus Clone collapse into one buffer,
+// with identical values (dv reads the previous step's carry element
+// before overwriting it).
+func (l *LIF) BackwardBatchInto(grad *tensor.Tensor, ts *TrainScratch, li, t int, needDX bool) *tensor.Tensor {
+	if !needDX {
+		return nil
+	}
+	pre := ts.bufShape(li, slotPre, t, grad.Shape)
+	carry, fresh := ts.onceShape(li, slotCarry, grad.Shape)
+	for i, g := range grad.Data {
+		u := pre.Data[i] - l.VTh
+		if u < 0 {
+			u = -u
+		}
+		d := 1 + l.Beta*u
+		surr := l.Beta / (d * d)
+		dv := g * surr
+		if !fresh {
+			dv += l.Decay * carry.Data[i]
+		}
+		carry.Data[i] = dv
+	}
+	return carry
+}
+
 // BackwardBatch implements BatchLayer: the surrogate gradient is
 // elementwise, so the batched pass is the per-sample pass over the
 // larger state.
@@ -250,6 +311,22 @@ func (f *Flatten) forwardArena(x *tensor.Tensor, s *Scratch, li, batch int) *ten
 		return s.view1(li, slotOutView, x.Data, x.Len())
 	}
 	return s.view2(li, slotOutView, x.Data, batch, x.Len()/batch)
+}
+
+// ForwardBatchInto implements trainLayer: a cached header view over the
+// input data, like the inference arena's path.
+func (f *Flatten) ForwardBatchInto(x *tensor.Tensor, ts *TrainScratch, li, t int) *tensor.Tensor {
+	f.inShape = append(f.inShape[:0], x.Shape...)
+	return ts.view2(li, slotOutView, x.Data, x.Shape[0], x.Len()/x.Shape[0])
+}
+
+// BackwardBatchInto implements trainLayer: the gradient viewed in the
+// recorded input shape — no copy, no allocation.
+func (f *Flatten) BackwardBatchInto(grad *tensor.Tensor, ts *TrainScratch, li, t int, needDX bool) *tensor.Tensor {
+	if !needDX {
+		return nil
+	}
+	return ts.viewShape(li, slotGradView, grad.Data, f.inShape)
 }
 
 // Backward implements Layer.

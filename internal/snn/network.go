@@ -34,6 +34,14 @@ type Network struct {
 	scratchFree []*Scratch
 	arenaLs     []arenaLayer
 	arenaInit   bool
+
+	// Training-arena bookkeeping (train_arena.go): parked train arenas,
+	// the cached train-capable layer view, and the lowest parameter
+	// layer index (layers at or below it skip input-gradient work).
+	trainFree  []*TrainScratch
+	trainLs    []trainLayer
+	trainInit  bool
+	paramFloor int
 }
 
 // NewNetwork assembles a network from layers.

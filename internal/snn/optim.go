@@ -7,6 +7,12 @@ import (
 )
 
 // Optimizer updates parameters from accumulated gradients.
+//
+// Steps are in-place: implementations mutate the parameter tensors and
+// allocate at most once (lazily, for their moment state on the first
+// Step). The training arena's zero-allocation contract depends on this
+// — TestTrainStepScratchZeroAllocs runs the optimizer inside its
+// steady-state cycle.
 type Optimizer interface {
 	// Step applies one update. params and grads are aligned; scale is
 	// multiplied into every gradient (e.g. 1/batchSize).

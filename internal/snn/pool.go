@@ -60,6 +60,41 @@ func (p *AvgPool) forwardArena(x *tensor.Tensor, s *Scratch, li, batch int) *ten
 	return out
 }
 
+// ForwardBatchInto implements trainLayer: samples pool into one reused
+// output tensor; the input dims the backward needs live in the arena.
+func (p *AvgPool) ForwardBatchInto(x *tensor.Tensor, ts *TrainScratch, li, t int) *tensor.Tensor {
+	b, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	dims := ts.ints(li, slotDims, -1, 3)
+	dims[0], dims[1], dims[2] = c, h, w
+	oh, ow := (h+p.K-1)/p.K, (w+p.K-1)/p.K
+	out := ts.buf4(li, slotOut, -1, b, c, oh, ow)
+	for bi := 0; bi < b; bi++ {
+		sv := ts.view3(li, slotInView, x.Data[bi*c*h*w:(bi+1)*c*h*w], c, h, w)
+		dv := ts.view3(li, slotOutView, out.Data[bi*c*oh*ow:(bi+1)*c*oh*ow], c, oh, ow)
+		tensor.AvgPool2DInto(dv, sv, p.K)
+	}
+	return out
+}
+
+// BackwardBatchInto implements trainLayer: BackwardBatch scattering
+// directly into one reused input-shaped tensor.
+func (p *AvgPool) BackwardBatchInto(grad *tensor.Tensor, ts *TrainScratch, li, t int, needDX bool) *tensor.Tensor {
+	if !needDX {
+		return nil
+	}
+	dims := ts.ints(li, slotDims, -1, 3)
+	c, h, w := dims[0], dims[1], dims[2]
+	batch := grad.Shape[0]
+	oh, ow := grad.Shape[2], grad.Shape[3]
+	out := ts.buf4(li, slotGrad, -1, batch, c, h, w)
+	for bi := 0; bi < batch; bi++ {
+		gv := ts.view3(li, slotInView, grad.Data[bi*c*oh*ow:(bi+1)*c*oh*ow], c, oh, ow)
+		dv := ts.view3(li, slotOutView, out.Data[bi*c*h*w:(bi+1)*c*h*w], c, h, w)
+		tensor.AvgPool2DBackwardInto(dv, gv, p.K)
+	}
+	return out
+}
+
 // Backward implements Layer.
 func (p *AvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n := len(p.inDims)
@@ -166,6 +201,45 @@ func (p *MaxPool) forwardArena(x *tensor.Tensor, s *Scratch, li, batch int) *ten
 	return out
 }
 
+// ForwardBatchInto implements trainLayer: the per-sample argmax indices
+// land in the arena's per-step int ring instead of a fresh slice.
+func (p *MaxPool) ForwardBatchInto(x *tensor.Tensor, ts *TrainScratch, li, t int) *tensor.Tensor {
+	b, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	dims := ts.ints(li, slotDims, -1, 3)
+	dims[0], dims[1], dims[2] = c, h, w
+	oh, ow := (h+p.K-1)/p.K, (w+p.K-1)/p.K
+	per := c * oh * ow
+	arg := ts.ints(li, slotArg, t, b*per)
+	out := ts.buf4(li, slotOut, -1, b, c, oh, ow)
+	for bi := 0; bi < b; bi++ {
+		sv := ts.view3(li, slotInView, x.Data[bi*c*h*w:(bi+1)*c*h*w], c, h, w)
+		dv := ts.view3(li, slotOutView, out.Data[bi*per:(bi+1)*per], c, oh, ow)
+		tensor.MaxPool2DWithArgInto(dv, arg[bi*per:(bi+1)*per], sv, p.K)
+	}
+	return out
+}
+
+// BackwardBatchInto implements trainLayer: BackwardBatch routing the
+// gradient through the arena's per-step argmax ring into one reused
+// input-shaped tensor.
+func (p *MaxPool) BackwardBatchInto(grad *tensor.Tensor, ts *TrainScratch, li, t int, needDX bool) *tensor.Tensor {
+	if !needDX {
+		return nil
+	}
+	dims := ts.ints(li, slotDims, -1, 3)
+	c, h, w := dims[0], dims[1], dims[2]
+	batch := grad.Shape[0]
+	per := grad.Len() / batch
+	arg := ts.ints(li, slotArg, t, batch*per)
+	out := ts.buf4(li, slotGrad, -1, batch, c, h, w)
+	for bi := 0; bi < batch; bi++ {
+		gv := ts.view3(li, slotInView, grad.Data[bi*per:(bi+1)*per], c, grad.Shape[2], grad.Shape[3])
+		dv := ts.view3(li, slotOutView, out.Data[bi*c*h*w:(bi+1)*c*h*w], c, h, w)
+		tensor.MaxPool2DBackwardInto(dv, gv, arg[bi*per:(bi+1)*per])
+	}
+	return out
+}
+
 // Backward implements Layer.
 func (p *MaxPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n := len(p.args)
@@ -251,6 +325,50 @@ func (d *Dropout) ForwardBatch(x *tensor.Tensor, train bool) *tensor.Tensor {
 // forwardArena implements arenaLayer: inference dropout is the identity.
 func (d *Dropout) forwardArena(x *tensor.Tensor, _ *Scratch, _, _ int) *tensor.Tensor {
 	return x
+}
+
+// ForwardBatchInto implements trainLayer: the mask is drawn once per
+// pass into an arena buffer (consuming the RNG stream exactly like the
+// allocating path) and applied into a reused output tensor. Evaluation
+// clones carry no RNG, so they pass through like Forward does.
+func (d *Dropout) ForwardBatchInto(x *tensor.Tensor, ts *TrainScratch, li, t int) *tensor.Tensor {
+	if d.P <= 0 || d.r == nil {
+		return x
+	}
+	mask, fresh := ts.onceShape(li, slotMask, x.Shape)
+	if fresh {
+		keep := 1 - d.P
+		inv := 1 / keep
+		for i := range mask.Data {
+			if d.r.Float32() >= d.P {
+				mask.Data[i] = inv
+			} else {
+				mask.Data[i] = 0
+			}
+		}
+	}
+	out := ts.bufShape(li, slotOut, -1, x.Shape)
+	for i, v := range x.Data {
+		out.Data[i] = v * mask.Data[i]
+	}
+	return out
+}
+
+// BackwardBatchInto implements trainLayer: the pass's mask gates the
+// gradient into a reused buffer.
+func (d *Dropout) BackwardBatchInto(grad *tensor.Tensor, ts *TrainScratch, li, t int, needDX bool) *tensor.Tensor {
+	if !needDX {
+		return nil
+	}
+	if d.P <= 0 || d.r == nil {
+		return grad
+	}
+	mask := ts.bufShape(li, slotMask, -1, grad.Shape)
+	out := ts.bufShape(li, slotGrad, -1, grad.Shape)
+	for i, g := range grad.Data {
+		out.Data[i] = g * mask.Data[i]
+	}
+	return out
 }
 
 // Backward implements Layer.

@@ -1,6 +1,7 @@
 package snn
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -60,7 +61,7 @@ func TestClipGradients(t *testing.T) {
 		v := g.L2Norm()
 		n += v * v
 	}
-	if got := sqrt64(n); got > 1.0001 || got < 0.999 {
+	if got := math.Sqrt(n); got > 1.0001 || got < 0.999 {
 		t.Fatalf("clipped norm %v, want 1", got)
 	}
 	// Below the threshold: untouched.

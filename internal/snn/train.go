@@ -1,6 +1,7 @@
 package snn
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -35,7 +36,7 @@ func clipGradients(grads []*tensor.Tensor, clip float64) {
 		n := g.L2Norm()
 		total += n * n
 	}
-	norm := sqrt64(total)
+	norm := math.Sqrt(total)
 	if norm <= clip {
 		return
 	}
@@ -45,23 +46,23 @@ func clipGradients(grads []*tensor.Tensor, clip float64) {
 	}
 }
 
-func sqrt64(x float64) float64 {
-	if x <= 0 {
-		return 0
-	}
-	y := x
-	for i := 0; i < 30; i++ {
-		y = 0.5 * (y + x/y)
-	}
-	return y
-}
+// disableTrainArena is a test hook: when set, Train/TrainFrames run the
+// allocating minibatch path even on arena-capable networks, which the
+// equivalence tests use as the bit-identity reference.
+var disableTrainArena bool
 
 // trainStep runs one minibatch (forward, loss, backward) and returns
-// the summed loss. Batchable networks take the batched path: one
-// ForwardBatch/BackwardBatch per minibatch instead of per-sample loops.
-// Gradients accumulate the same per-sample terms either way; only the
-// float32 summation order across samples differs.
-func trainStep(n *Network, samples [][]*tensor.Tensor, labels []int) float64 {
+// the summed loss. With a training arena the whole step draws from
+// reusable buffers (zero steady-state allocations); otherwise batchable
+// networks take the allocating batched path: one ForwardBatch/
+// BackwardBatch per minibatch instead of per-sample loops. Gradients
+// accumulate the same per-sample terms every way; only the float32
+// summation order across samples differs between batched and
+// per-sample (arena and allocating batched are bit-identical).
+func trainStep(n *Network, samples [][]*tensor.Tensor, labels []int, ts *TrainScratch) float64 {
+	if ts != nil {
+		return n.TrainStepScratch(samples, labels, ts)
+	}
 	if n.Batchable() {
 		logits := n.ForwardBatch(StackFrames(samples, n.Cfg.Steps), true)
 		loss, grad := SoftmaxCrossEntropyBatch(logits, labels)
@@ -78,12 +79,50 @@ func trainStep(n *Network, samples [][]*tensor.Tensor, labels []int) float64 {
 	return total
 }
 
+// acquireTrainArena returns the training arena Train/TrainFrames use,
+// or nil when the network cannot run on it (custom layers) or the test
+// hook forces the allocating reference path.
+func acquireTrainArena(n *Network) *TrainScratch {
+	if disableTrainArena || !n.TrainArenaCapable() {
+		return nil
+	}
+	return n.AcquireTrainScratch()
+}
+
+// minibatchUpdate applies the post-step bookkeeping shared by Train and
+// TrainFrames: gradient clipping and one optimizer step, via the
+// arena's cached tensor lists when one is in play.
+func minibatchUpdate(n *Network, ts *TrainScratch, opt TrainOptions, batch int) {
+	if ts != nil {
+		clipGradients(ts.Grads(), opt.ClipNorm)
+		opt.Optimizer.Step(ts.Params(), ts.Grads(), 1/float32(batch))
+		return
+	}
+	clipGradients(n.Grads(), opt.ClipNorm)
+	opt.Optimizer.Step(n.Params(), n.Grads(), 1/float32(batch))
+}
+
+// zeroGrads clears the gradients through the arena's cached list when
+// available.
+func zeroGrads(n *Network, ts *TrainScratch) {
+	if ts != nil {
+		ts.ZeroGrads()
+		return
+	}
+	n.ZeroGrads()
+}
+
 // Train fits the network on a static image dataset with BPTT, one
-// batched BPTT pass per minibatch.
+// batched BPTT pass per minibatch. Built-in layer stacks run against a
+// training arena acquired for the whole fit, so the per-minibatch
+// steady state (stacking, forward, loss, backward, clipping, optimizer
+// step) allocates no tensors; only the per-sample encoding still does.
 func Train(n *Network, train *dataset.Set, opt TrainOptions) {
 	if opt.BatchSize <= 0 {
 		opt.BatchSize = 16
 	}
+	ts := acquireTrainArena(n)
+	defer n.ReleaseTrain(ts)
 	r := rng.New(opt.Seed)
 	idx := make([]int, train.Len())
 	for i := range idx {
@@ -105,10 +144,9 @@ func Train(n *Network, train *dataset.Set, opt TrainOptions) {
 				samples = append(samples, opt.Encoder.Encode(s.Image, n.Cfg.Steps, r))
 				labels = append(labels, s.Label)
 			}
-			n.ZeroGrads()
-			totalLoss += trainStep(n, samples, labels)
-			clipGradients(n.Grads(), opt.ClipNorm)
-			opt.Optimizer.Step(n.Params(), n.Grads(), 1/float32(end-b))
+			zeroGrads(n, ts)
+			totalLoss += trainStep(n, samples, labels, ts)
+			minibatchUpdate(n, ts, opt, end-b)
 		}
 		if opt.OnEpoch != nil {
 			opt.OnEpoch(epoch, totalLoss/float64(len(idx)))
@@ -117,11 +155,15 @@ func Train(n *Network, train *dataset.Set, opt TrainOptions) {
 }
 
 // TrainFrames fits the network on a pre-voxelized frame dataset (the DVS
-// path): samples[i] is the frame sequence, labels[i] the class.
+// path): samples[i] is the frame sequence, labels[i] the class. Like
+// Train, built-in layer stacks run the whole fit against one training
+// arena, making the steady-state minibatch cycle allocation-free.
 func TrainFrames(n *Network, samples [][]*tensor.Tensor, labels []int, opt TrainOptions) {
 	if opt.BatchSize <= 0 {
 		opt.BatchSize = 8
 	}
+	ts := acquireTrainArena(n)
+	defer n.ReleaseTrain(ts)
 	r := rng.New(opt.Seed)
 	idx := make([]int, len(samples))
 	for i := range idx {
@@ -142,10 +184,9 @@ func TrainFrames(n *Network, samples [][]*tensor.Tensor, labels []int, opt Train
 				batch = append(batch, samples[i])
 				blabels = append(blabels, labels[i])
 			}
-			n.ZeroGrads()
-			totalLoss += trainStep(n, batch, blabels)
-			clipGradients(n.Grads(), opt.ClipNorm)
-			opt.Optimizer.Step(n.Params(), n.Grads(), 1/float32(end-b))
+			zeroGrads(n, ts)
+			totalLoss += trainStep(n, batch, blabels, ts)
+			minibatchUpdate(n, ts, opt, end-b)
 		}
 		if opt.OnEpoch != nil {
 			opt.OnEpoch(epoch, totalLoss/float64(len(idx)))

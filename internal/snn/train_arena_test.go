@@ -1,0 +1,288 @@
+package snn
+
+import (
+	"testing"
+
+	"repro/internal/encoding"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// trainCase builds numerically identical network instances on demand so
+// the arena and the allocating reference path can train twins.
+type trainCase struct {
+	name    string
+	build   func() *Network
+	shape   []int
+	classes int
+}
+
+func trainCases() []trainCase {
+	cfg := DefaultConfig(0.5, 6)
+	return []trainCase{
+		{"dense", func() *Network { return DenseNet(cfg, 144, 32, 10, rng.New(1)) }, []int{12, 12}, 10},
+		{"mnist-conv", func() *Network { return MNISTNet(cfg, 1, 12, 12, true, rng.New(2)) }, []int{1, 12, 12}, 10},
+		// Dropout layers own an RNG, so twin builds draw identical masks.
+		{"dvs-dropout", func() *Network {
+			return DVSNet(DefaultConfig(1.0, 6), 16, 16, 11, true, rng.New(3), rng.New(99))
+		}, []int{2, 16, 16}, 11},
+	}
+}
+
+// mustMatchTensors compares aligned tensor lists bit-for-bit.
+func mustMatchTensors(t *testing.T, label string, want, got []*tensor.Tensor) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d tensors vs %d", label, len(want), len(got))
+	}
+	for k := range want {
+		for i := range want[k].Data {
+			if want[k].Data[i] != got[k].Data[i] {
+				t.Fatalf("%s: tensor %d element %d = %v, want %v (must be bit-identical)",
+					label, k, i, got[k].Data[i], want[k].Data[i])
+			}
+		}
+	}
+}
+
+// TestTrainStepScratchMatchesBatch pins the arena minibatch step —
+// loss, accumulated gradients and optimizer-updated weights — to the
+// allocating ForwardBatch/BackwardBatch path, across changing batch
+// sizes and at 1..N workers.
+func TestTrainStepScratchMatchesBatch(t *testing.T) {
+	defer tensor.SetWorkers(0)
+	for _, workers := range []int{1, 3} {
+		tensor.SetWorkers(workers)
+		for _, tc := range trainCases() {
+			ref, arena := tc.build(), tc.build()
+			ts := arena.AcquireTrainScratch()
+			optR, optA := NewAdam(2e-3), NewAdam(2e-3)
+			r := rng.New(21)
+			for step := 0; step < 4; step++ {
+				batch := 2 + step // exercise buffer resizing
+				samples := make([][]*tensor.Tensor, batch)
+				labels := make([]int, batch)
+				for b := range samples {
+					samples[b] = spikeFrames(r, ref.Cfg.Steps, tc.shape)
+					labels[b] = b % tc.classes
+				}
+				ref.ZeroGrads()
+				logits := ref.ForwardBatch(StackFrames(samples, ref.Cfg.Steps), true)
+				lossR, grad := SoftmaxCrossEntropyBatch(logits, labels)
+				ref.BackwardBatch(grad)
+
+				ts.ZeroGrads()
+				lossA := arena.TrainStepScratch(samples, labels, ts)
+
+				if lossR != lossA {
+					t.Fatalf("%s w%d step %d: loss %v, want %v", tc.name, workers, step, lossA, lossR)
+				}
+				mustMatchTensors(t, tc.name+" grads", ref.Grads(), arena.Grads())
+
+				optR.Step(ref.Params(), ref.Grads(), 1/float32(batch))
+				optA.Step(ts.Params(), ts.Grads(), 1/float32(batch))
+				mustMatchTensors(t, tc.name+" params", ref.Params(), arena.Params())
+			}
+			arena.ReleaseTrain(ts)
+		}
+	}
+}
+
+// TestTrainMatchesAllocatingPath trains twin networks over several
+// epochs — one through the arena, one through the seed allocating path
+// (the disableTrainArena hook) — and requires bit-identical weights, at
+// 1..N workers.
+func TestTrainMatchesAllocatingPath(t *testing.T) {
+	defer tensor.SetWorkers(0)
+	set := tinyTrainSet(48, 31)
+	for _, workers := range []int{1, 3} {
+		tensor.SetWorkers(workers)
+		opt := TrainOptions{
+			Epochs: 3, BatchSize: 8,
+			Encoder:  encoding.Rate{},
+			Seed:     7,
+			ClipNorm: 1.0,
+		}
+		ref := DenseNet(DefaultConfig(0.5, 5), set.H*set.W, 24, 10, rng.New(4))
+		arena := DenseNet(DefaultConfig(0.5, 5), set.H*set.W, 24, 10, rng.New(4))
+
+		disableTrainArena = true
+		refOpt := opt
+		refOpt.Optimizer = NewAdam(2e-3)
+		Train(ref, set, refOpt)
+		disableTrainArena = false
+
+		arenaOpt := opt
+		arenaOpt.Optimizer = NewAdam(2e-3)
+		Train(arena, set, arenaOpt)
+
+		mustMatchTensors(t, "trained weights", ref.Params(), arena.Params())
+	}
+}
+
+// TestTrainFramesMatchesAllocatingPath is the DVS-path variant of the
+// epoch-level equivalence, covering dropout and the pool-bottomed
+// topology whose input gradients the arena elides.
+func TestTrainFramesMatchesAllocatingPath(t *testing.T) {
+	tensor.SetWorkers(1)
+	defer tensor.SetWorkers(0)
+	r := rng.New(41)
+	samples := make([][]*tensor.Tensor, 20)
+	labels := make([]int, len(samples))
+	for i := range samples {
+		samples[i] = spikeFrames(r, 6, []int{2, 16, 16})
+		labels[i] = i % 11
+	}
+	build := func() *Network {
+		return DVSNet(DefaultConfig(1.0, 6), 16, 16, 11, true, rng.New(5), rng.New(77))
+	}
+	opt := TrainOptions{Epochs: 2, BatchSize: 4, Seed: 9}
+
+	ref := build()
+	disableTrainArena = true
+	refOpt := opt
+	refOpt.Optimizer = NewSGD(0.05, 0.9)
+	TrainFrames(ref, samples, labels, refOpt)
+	disableTrainArena = false
+
+	arena := build()
+	arenaOpt := opt
+	arenaOpt.Optimizer = NewSGD(0.05, 0.9)
+	TrainFrames(arena, samples, labels, arenaOpt)
+
+	mustMatchTensors(t, "trained weights", ref.Params(), arena.Params())
+}
+
+// TestInputGradSumScratchMatchesAllocating pins the attack-crafting
+// quantity — the summed per-step input gradients — to the allocating
+// InputGradientBatch + SumFrameGradients chain, at 1..N workers.
+func TestInputGradSumScratchMatchesAllocating(t *testing.T) {
+	defer tensor.SetWorkers(0)
+	for _, workers := range []int{1, 3} {
+		tensor.SetWorkers(workers)
+		for _, tc := range trainCases() {
+			net := tc.build()
+			r := rng.New(51)
+			samples := make([][]*tensor.Tensor, 4)
+			labels := make([]int, len(samples))
+			for b := range samples {
+				samples[b] = spikeFrames(r, net.Cfg.Steps, tc.shape)
+				labels[b] = (b + 1) % tc.classes
+			}
+			frames := StackFrames(samples, net.Cfg.Steps)
+			want := encoding.SumFrameGradients(InputGradientBatch(net, frames, labels))
+
+			clone := net.CloneArchitecture()
+			ts := clone.AcquireTrainScratch()
+			got := clone.InputGradSumScratch(ts.StackFramesInto(samples), labels, ts)
+			if !tensor.SameShape(want, got) {
+				t.Fatalf("%s w%d: shape %v vs %v", tc.name, workers, got.Shape, want.Shape)
+			}
+			for i := range want.Data {
+				if want.Data[i] != got.Data[i] {
+					t.Fatalf("%s w%d: grad %d = %v, want %v (must be bit-identical)",
+						tc.name, workers, i, got.Data[i], want.Data[i])
+				}
+			}
+			clone.ReleaseTrain(ts)
+		}
+	}
+}
+
+// TestTrainStepScratchZeroAllocs asserts the arena's headline property:
+// after warm-up, the whole steady-state minibatch cycle — zeroing,
+// frame stacking, training forward, loss, BPTT, clipping, optimizer
+// step — allocates nothing in the deterministic serial mode (parallel
+// dispatch allocates per-kernel job descriptors, as with the inference
+// arena).
+func TestTrainStepScratchZeroAllocs(t *testing.T) {
+	tensor.SetWorkers(1)
+	defer tensor.SetWorkers(0)
+	for _, tc := range trainCases() {
+		net := tc.build()
+		ts := net.AcquireTrainScratch()
+		r := rng.New(61)
+		samples := make([][]*tensor.Tensor, 4)
+		labels := make([]int, len(samples))
+		for b := range samples {
+			samples[b] = spikeFrames(r, net.Cfg.Steps, tc.shape)
+			labels[b] = b % tc.classes
+		}
+		opt := NewAdam(2e-3)
+		cycle := func() {
+			ts.ZeroGrads()
+			net.TrainStepScratch(samples, labels, ts)
+			clipGradients(ts.Grads(), 1.0)
+			opt.Step(ts.Params(), ts.Grads(), 0.25)
+		}
+		cycle() // warm the arena and the optimizer state
+		cycle()
+		if avg := testing.AllocsPerRun(10, cycle); avg != 0 {
+			t.Errorf("%s: train step allocates %.1f objects/op in steady state, want 0", tc.name, avg)
+		}
+		net.ReleaseTrain(ts)
+	}
+}
+
+// TestInputGradSumScratchZeroAllocs asserts the same property for the
+// attack-crafting gradient pass against a caller-held arena.
+func TestInputGradSumScratchZeroAllocs(t *testing.T) {
+	tensor.SetWorkers(1)
+	defer tensor.SetWorkers(0)
+	tc := trainCases()[1]
+	net := tc.build().CloneArchitecture()
+	ts := net.AcquireTrainScratch()
+	r := rng.New(71)
+	samples := make([][]*tensor.Tensor, 3)
+	labels := make([]int, len(samples))
+	for b := range samples {
+		samples[b] = spikeFrames(r, net.Cfg.Steps, tc.shape)
+		labels[b] = b % tc.classes
+	}
+	pass := func() {
+		frames := ts.StackFramesInto(samples)
+		net.InputGradSumScratch(frames, labels, ts)
+	}
+	pass()
+	pass()
+	if avg := testing.AllocsPerRun(10, pass); avg != 0 {
+		t.Errorf("input-gradient pass allocates %.1f objects/op in steady state, want 0", avg)
+	}
+	net.ReleaseTrain(ts)
+}
+
+// TestSoftmaxCrossEntropyBatchIntoMatches pins the Into loss to the
+// allocating form bit-for-bit, stale destination included.
+func TestSoftmaxCrossEntropyBatchIntoMatches(t *testing.T) {
+	r := rng.New(81)
+	logits := tensor.New(5, 7)
+	for i := range logits.Data {
+		logits.Data[i] = r.NormFloat32() * 3
+	}
+	labels := []int{0, 6, 3, 3, 1}
+	wantLoss, wantGrad := SoftmaxCrossEntropyBatch(logits, labels)
+	grad := tensor.New(5, 7)
+	for i := range grad.Data {
+		grad.Data[i] = 42 // stale contents must vanish
+	}
+	gotLoss := SoftmaxCrossEntropyBatchInto(logits, labels, grad)
+	if gotLoss != wantLoss {
+		t.Fatalf("loss %v, want %v", gotLoss, wantLoss)
+	}
+	for i := range wantGrad.Data {
+		if grad.Data[i] != wantGrad.Data[i] {
+			t.Fatalf("grad %d = %v, want %v", i, grad.Data[i], wantGrad.Data[i])
+		}
+	}
+}
+
+// TestTrainScratchPoolRecycles pins the acquire/release free-list
+// contract mirroring the inference arena's.
+func TestTrainScratchPoolRecycles(t *testing.T) {
+	net := trainCases()[0].build()
+	ts := net.AcquireTrainScratch()
+	net.ReleaseTrain(ts)
+	if got := net.AcquireTrainScratch(); got != ts {
+		t.Fatal("released TrainScratch must be recycled by the next acquire")
+	}
+}

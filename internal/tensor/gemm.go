@@ -173,6 +173,29 @@ func matMulRows(cd, ad, bd []float32, i0, i1, k, n int) {
 	}
 }
 
+// MatMulTInto computes dst = A·Bᵀ into a caller-owned m×n tensor,
+// overwriting its contents — the allocation-free form for the training
+// arena. The kernels are exactly MatMulT's, so the result is
+// bit-identical to MatMulT at any worker count.
+func MatMulTInto(dst, a, b *Tensor) {
+	checkGEMM("MatMulT", a, b)
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulT inner dims %d vs %d", k, k2))
+	}
+	if dst.Rank() != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTInto dst %v, want [%d %d]", dst.Shape, m, n))
+	}
+	if m*k*n < gemmSerialOps || Workers() == 1 {
+		matMulTRows(dst.Data, a.Data, b.Data, 0, m, k, n)
+		return
+	}
+	parallelFor(m, gemmGrain(m, k*n), func(lo, hi int) {
+		matMulTRows(dst.Data, a.Data, b.Data, lo, hi, k, n)
+	})
+}
+
 // MatMulT computes C = A·Bᵀ for A (m×k) and B (n×k), returning m×n.
 func MatMulT(a, b *Tensor) *Tensor {
 	checkGEMM("MatMulT", a, b)
@@ -248,6 +271,75 @@ func matMulTAccRows(cd, ad, bd []float32, i0, i1, k, n int) {
 	}
 }
 
+// MatMulTColSkipAcc accumulates dst += A·Bᵀ like MatMulTAcc, but
+// exploits row sparsity of B: for every row j of B the nonzero column
+// indices are gathered once into idx, and all m dot products against
+// that row touch only those — O(n·k + m·nnz) instead of O(m·n·k). This
+// is the spike-sparse weight-gradient kernel: in conv BPTT the cached
+// im2col panel (mostly zero spike taps) is the transposed operand, so
+// the backward GEMM rides the same sparsity the forward skip-zero paths
+// do. idx is caller-owned scratch with len >= k, so the steady state
+// allocates nothing.
+//
+// Every output element receives one completed dot product, accumulated
+// over the nonzero k indices in ascending order. The skipped terms are
+// exact zero products, so the result equals MatMulTAcc bit-for-bit
+// (under the ==-comparison that treats ±0 alike) at any worker count.
+func MatMulTColSkipAcc(dst, a, b *Tensor, idx []int) {
+	checkGEMM("MatMulT", a, b)
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulT inner dims %d vs %d", k, k2))
+	}
+	if dst.Rank() != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTColSkipAcc dst %v, want [%d %d]", dst.Shape, m, n))
+	}
+	if len(idx) < k {
+		panic(fmt.Sprintf("tensor: MatMulTColSkipAcc idx scratch %d, want >= %d", len(idx), k))
+	}
+	if m*k*n < gemmSerialOps || Workers() == 1 {
+		matMulTColSkipRows(dst.Data, a.Data, b.Data, 0, n, m, k, n, idx)
+		return
+	}
+	// Split the B rows (output columns): each stripe scans only its own
+	// rows, so no nonzero gather is repeated, and every element is a
+	// single completed-dot add — deterministic at any partitioning. The
+	// per-block index scratch is the price of parallel dispatch (which
+	// already allocates job state); serial mode reuses the caller's.
+	parallelFor(n, gemmGrain(n, m*k/4+1), func(jlo, jhi int) {
+		matMulTColSkipRows(dst.Data, a.Data, b.Data, jlo, jhi, m, k, n, make([]int, k))
+	})
+}
+
+// matMulTColSkipRows accumulates columns [j0,j1) of C += A·Bᵀ (C rows
+// have stride n), gathering each B row's nonzero indices before the m
+// dot products against it.
+func matMulTColSkipRows(cd, ad, bd []float32, j0, j1, m, k, n int, idx []int) {
+	for j := j0; j < j1; j++ {
+		brow := bd[j*k : (j+1)*k]
+		nz := 0
+		for p, v := range brow {
+			if v != 0 {
+				idx[nz] = p
+				nz++
+			}
+		}
+		if nz == 0 {
+			continue
+		}
+		gather := idx[:nz]
+		for i := 0; i < m; i++ {
+			arow := ad[i*k : (i+1)*k]
+			var s float32
+			for _, p := range gather {
+				s += arow[p] * brow[p]
+			}
+			cd[i*n+j] += s
+		}
+	}
+}
+
 // TMatMul computes C = Aᵀ·B for A (k×m) and B (k×n), returning m×n.
 // Zero elements of A skip their inner loop (the spike fast path). When
 // parallel, the k range is split into blocks whose partial products are
@@ -263,6 +355,24 @@ func TMatMul(a, b *Tensor) *Tensor {
 	c := New(m, n)
 	TMatMulAcc(c, a, b)
 	return c
+}
+
+// TMatMulInto computes dst = Aᵀ·B into a caller-owned m×n tensor,
+// overwriting its contents — the allocation-free form of TMatMul the
+// training arena uses for per-step weight-gradient panels. Kernels and
+// accumulation order are exactly TMatMul's.
+func TMatMulInto(dst, a, b *Tensor) {
+	checkGEMM("TMatMul", a, b)
+	k, m := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: TMatMul inner dims %d vs %d", k, k2))
+	}
+	if dst.Rank() != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: TMatMulInto dst %v, want [%d %d]", dst.Shape, m, n))
+	}
+	clear(dst.Data)
+	TMatMulAcc(dst, a, b)
 }
 
 // TMatMulAcc accumulates dst += Aᵀ·B, the layout gradient kernels need

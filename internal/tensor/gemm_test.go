@@ -176,6 +176,74 @@ func TestAccVariantsAccumulate(t *testing.T) {
 	}
 }
 
+// TestIntoVariantsMatch pins the Into forms to their allocating
+// originals bit-for-bit: they share kernels, so even stale destination
+// contents must vanish.
+func TestIntoVariantsMatch(t *testing.T) {
+	r := rng.New(24)
+	for _, c := range gemmCases {
+		for _, density := range densities {
+			a := randSparse(r, density, c.k, c.m)
+			b := randSparse(r, density, c.k, c.n)
+			want := TMatMul(a, b)
+			dst := randSparse(r, 1, c.m, c.n) // stale contents
+			TMatMulInto(dst, a, b)
+			for i := range want.Data {
+				if dst.Data[i] != want.Data[i] {
+					t.Fatalf("TMatMulInto (%v, d=%.2f) differs at %d", c, density, i)
+				}
+			}
+
+			a2 := randSparse(r, density, c.m, c.k)
+			b2 := randSparse(r, density, c.n, c.k)
+			wantT := MatMulT(a2, b2)
+			dstT := randSparse(r, 1, c.m, c.n)
+			MatMulTInto(dstT, a2, b2)
+			for i := range wantT.Data {
+				if dstT.Data[i] != wantT.Data[i] {
+					t.Fatalf("MatMulTInto (%v, d=%.2f) differs at %d", c, density, i)
+				}
+			}
+		}
+	}
+}
+
+// TestMatMulTColSkipAccMatchesDense pins the column-skip weight-gradient
+// kernel to MatMulTAcc across shapes, sparsities and worker counts: the
+// skipped terms are exact zero products, so results must compare equal.
+func TestMatMulTColSkipAccMatchesDense(t *testing.T) {
+	defer SetWorkers(0)
+	r := rng.New(25)
+	for _, workers := range []int{1, 4} {
+		SetWorkers(workers)
+		for _, c := range gemmCases {
+			for _, density := range densities {
+				a := randSparse(r, 1, c.m, c.k)       // gradients: dense
+				b := randSparse(r, density, c.n, c.k) // spikes: sparse
+				want := randSparse(r, 1, c.m, c.n)
+				dst := want.Clone()
+				MatMulTAcc(want, a, b)
+				MatMulTColSkipAcc(dst, a, b, make([]int, c.k))
+				for i := range want.Data {
+					if dst.Data[i] != want.Data[i] {
+						t.Fatalf("MatMulTColSkipAcc (%v, d=%.2f, w=%d) differs at %d: %v vs %v",
+							c, density, workers, i, dst.Data[i], want.Data[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMatMulTColSkipAccShortIdxPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("undersized idx scratch must panic")
+		}
+	}()
+	MatMulTColSkipAcc(New(2, 2), New(2, 8), New(2, 8), make([]int, 4))
+}
+
 func TestAddTransposed(t *testing.T) {
 	r := rng.New(15)
 	o := randSparse(r, 1, 4, 6)
@@ -213,6 +281,50 @@ func TestSingleWorkerBitIdentical(t *testing.T) {
 	for i := range serialT.Data {
 		if serialT.Data[i] != parallelT.Data[i] {
 			t.Fatalf("MatMulT not bit-identical at %d", i)
+		}
+	}
+}
+
+// TestIm2ColStripeScatterMatchesDense drives Im2ColStripeInto across
+// the density crossover (the sparse scatter path vs the dense gather)
+// and both stripe layouts, pinning the panel to the allocating Im2Col.
+func TestIm2ColStripeScatterMatchesDense(t *testing.T) {
+	r := rng.New(26)
+	geoms := []Conv2DGeom{
+		{InC: 2, InH: 7, InW: 7, KH: 3, KW: 3, Stride: 1, Pad: 1},
+		{InC: 3, InH: 8, InW: 6, KH: 3, KW: 3, Stride: 2, Pad: 0},
+		{InC: 1, InH: 5, InW: 5, KH: 2, KW: 2, Stride: 1, Pad: 2},
+	}
+	for _, g := range geoms {
+		for _, density := range densities {
+			x := randSparse(r, density, g.InC, g.InH, g.InW)
+			want := Im2Col(x, g)
+			n := g.OutH() * g.OutW()
+			ckk := g.InC * g.KH * g.KW
+			// Single-sample layout, stale destination.
+			dst := randSparse(r, 1, ckk*n)
+			Im2ColStripeInto(dst.Data, n, 0, x, g)
+			for i := range want.Data {
+				if dst.Data[i] != want.Data[i] {
+					t.Fatalf("stripe (%+v, d=%.2f) differs at %d", g, density, i)
+				}
+			}
+			// Batched layout: stripe 1 of 3, neighbours untouched.
+			batchDst := randSparse(r, 1, ckk*3*n)
+			before := batchDst.Clone()
+			Im2ColStripeInto(batchDst.Data, 3*n, n, x, g)
+			for row := 0; row < ckk; row++ {
+				for j := 0; j < 3*n; j++ {
+					got := batchDst.Data[row*3*n+j]
+					if j >= n && j < 2*n {
+						if got != want.Data[row*n+j-n] {
+							t.Fatalf("batched stripe (%+v, d=%.2f) differs at row %d col %d", g, density, row, j)
+						}
+					} else if got != before.Data[row*3*n+j] {
+						t.Fatalf("stripe (%+v, d=%.2f) clobbered neighbour at row %d col %d", g, density, row, j)
+					}
+				}
+			}
 		}
 	}
 }

@@ -116,12 +116,31 @@ func im2RowDense(dst []float32, x *Tensor, g Conv2DGeom, oh, ow, ckk int) {
 // OutH*OutW) lowering lands at dst[r*rowStride + colOff + j]. With
 // rowStride = OutH*OutW and colOff = 0 this is exactly Im2Col; batched
 // convolution uses rowStride = B·OutH*OutW and colOff = b·OutH*OutW so
-// one GEMM covers the whole batch.
+// one GEMM covers the whole batch. When the input is mostly zeros
+// (spike frames — the training-forward hot case), the stripe is cleared
+// and only the nonzero pixels scatter, O(nnz·KH·KW) instead of
+// O(C·KH·KW·OutH·OutW); the panel contents are identical either way.
 func Im2ColStripeInto(dst []float32, rowStride, colOff int, x *Tensor, g Conv2DGeom) {
 	if x.Rank() != 3 || x.Shape[0] != g.InC || x.Shape[1] != g.InH || x.Shape[2] != g.InW {
 		panic(fmt.Sprintf("tensor: Im2ColStripe input %v does not match geom %+v", x.Shape, g))
 	}
 	oh, ow := g.OutH(), g.OutW()
+	nnz := 0
+	for _, v := range x.Data {
+		if v != 0 {
+			nnz++
+		}
+	}
+	// Same ~40% density crossover as Im2RowInto: below it, clearing the
+	// stripe and scattering the live pixels beats the dense gather.
+	if nnz*5 < 2*len(x.Data) {
+		ckk := g.InC * g.KH * g.KW
+		for r := 0; r < ckk; r++ {
+			clear(dst[r*rowStride+colOff : r*rowStride+colOff+oh*ow])
+		}
+		im2ColStripeScatter(dst, rowStride, colOff, x, g, oh, ow)
+		return
+	}
 	row := 0
 	for c := 0; c < g.InC; c++ {
 		plane := x.Data[c*g.InH*g.InW:]
@@ -142,6 +161,46 @@ func Im2ColStripeInto(dst []float32, rowStride, colOff int, x *Tensor, g Conv2DG
 					}
 				}
 				row++
+			}
+		}
+	}
+}
+
+// im2ColStripeScatter writes each nonzero input pixel into every
+// (kernel-tap row, output position) cell of the cleared stripe it
+// participates in — the im2col transpose of im2RowScatter.
+func im2ColStripeScatter(dst []float32, rowStride, colOff int, x *Tensor, g Conv2DGeom, oh, ow int) {
+	idx := 0
+	for c := 0; c < g.InC; c++ {
+		base := c * g.KH * g.KW
+		for si := 0; si < g.InH; si++ {
+			for sj := 0; sj < g.InW; sj++ {
+				v := x.Data[idx]
+				idx++
+				if v == 0 {
+					continue
+				}
+				for ki := 0; ki < g.KH; ki++ {
+					ti := si + g.Pad - ki
+					if ti < 0 || ti%g.Stride != 0 {
+						continue
+					}
+					oi := ti / g.Stride
+					if oi >= oh {
+						continue
+					}
+					for kj := 0; kj < g.KW; kj++ {
+						tj := sj + g.Pad - kj
+						if tj < 0 || tj%g.Stride != 0 {
+							continue
+						}
+						oj := tj / g.Stride
+						if oj >= ow {
+							continue
+						}
+						dst[(base+ki*g.KW+kj)*rowStride+colOff+oi*ow+oj] = v
+					}
+				}
 			}
 		}
 	}

@@ -443,8 +443,23 @@ func AvgPool2DInto(out, x *Tensor, k int) {
 
 // AvgPool2DBackward scatters the pooled gradient back to input resolution.
 func AvgPool2DBackward(grad *Tensor, k, h, w int) *Tensor {
-	c, oh, ow := grad.Shape[0], grad.Shape[1], grad.Shape[2]
+	c := grad.Shape[0]
 	out := New(c, h, w)
+	AvgPool2DBackwardInto(out, grad, k)
+	return out
+}
+
+// AvgPool2DBackwardInto scatters the pooled gradient into the
+// caller-owned (C,H,W) tensor out, overwriting its contents — the
+// allocation-free form the training arena uses. The scatter order is
+// exactly AvgPool2DBackward's, so results are bit-identical.
+func AvgPool2DBackwardInto(out, grad *Tensor, k int) {
+	c, oh, ow := grad.Shape[0], grad.Shape[1], grad.Shape[2]
+	if out.Rank() != 3 || out.Shape[0] != c {
+		panic(fmt.Sprintf("tensor: AvgPool2DBackwardInto dst %v for grad %v", out.Shape, grad.Shape))
+	}
+	h, w := out.Shape[1], out.Shape[2]
+	out.Zero()
 	for ci := 0; ci < c; ci++ {
 		for oi := 0; oi < oh; oi++ {
 			for oj := 0; oj < ow; oj++ {
@@ -468,7 +483,6 @@ func AvgPool2DBackward(grad *Tensor, k, h, w int) *Tensor {
 			}
 		}
 	}
-	return out
 }
 
 // MaxPool2D performs non-overlapping max pooling with window k and also
@@ -478,6 +492,23 @@ func MaxPool2D(x *Tensor, k int) (*Tensor, []int) {
 	oh, ow := (h+k-1)/k, (w+k-1)/k
 	out := New(c, oh, ow)
 	arg := make([]int, c*oh*ow)
+	MaxPool2DWithArgInto(out, arg, x, k)
+	return out, arg
+}
+
+// MaxPool2DWithArgInto pools x into the caller-owned (C,OutH,OutW)
+// tensor out and writes the flat argmax indices into arg (len
+// C·OutH·OutW), overwriting both — the allocation-free form of
+// MaxPool2D the training arena uses for its per-step argmax ring.
+func MaxPool2DWithArgInto(out *Tensor, arg []int, x *Tensor, k int) {
+	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
+	oh, ow := (h+k-1)/k, (w+k-1)/k
+	if out.Rank() != 3 || out.Shape[0] != c || out.Shape[1] != oh || out.Shape[2] != ow {
+		panic(fmt.Sprintf("tensor: MaxPool2DWithArgInto dst %v, want [%d %d %d]", out.Shape, c, oh, ow))
+	}
+	if len(arg) != c*oh*ow {
+		panic(fmt.Sprintf("tensor: MaxPool2DWithArgInto arg %d, want %d", len(arg), c*oh*ow))
+	}
 	for ci := 0; ci < c; ci++ {
 		for oi := 0; oi < oh; oi++ {
 			for oj := 0; oj < ow; oj++ {
@@ -500,7 +531,6 @@ func MaxPool2D(x *Tensor, k int) (*Tensor, []int) {
 			}
 		}
 	}
-	return out, arg
 }
 
 // MaxPool2DInto pools x into the caller-owned (C,OutH,OutW) tensor dst,
@@ -535,12 +565,23 @@ func MaxPool2DInto(out, x *Tensor, k int) {
 // MaxPool2DBackward routes the pooled gradient to the argmax positions.
 func MaxPool2DBackward(grad *Tensor, arg []int, c, h, w int) *Tensor {
 	out := New(c, h, w)
+	MaxPool2DBackwardInto(out, grad, arg)
+	return out
+}
+
+// MaxPool2DBackwardInto routes the pooled gradient to the argmax
+// positions of the caller-owned input-shaped tensor out, overwriting its
+// contents — the allocation-free form the training arena uses.
+func MaxPool2DBackwardInto(out, grad *Tensor, arg []int) {
+	if len(arg) != grad.Len() {
+		panic(fmt.Sprintf("tensor: MaxPool2DBackwardInto arg %d, want %d", len(arg), grad.Len()))
+	}
+	out.Zero()
 	for o, idx := range arg {
 		if idx >= 0 {
 			out.Data[idx] += grad.Data[o]
 		}
 	}
-	return out
 }
 
 // Softmax returns the softmax of a rank-1 tensor (numerically stable).
