@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-json
+.PHONY: check fmt vet build test race bench bench-json fuzz-smoke
 
 check: fmt vet build test
 
@@ -28,14 +28,21 @@ race:
 # One iteration of the hot-path benchmarks: keeps perf regressions
 # visible without burning CI minutes.
 bench:
-	$(GO) test -run '^$$' -bench 'SNNInference|TrainStep|GEMM|PGDCraft' -benchtime=1x .
+	$(GO) test -run '^$$' -bench 'SNNInference|TrainStep|GEMM|PGDCraft|StreamWindow' -benchtime=1x .
 
 # The machine-readable benchmark artifact CI archives (inference +
-# training arenas, event-domain attack/filter hot paths). Staged through
-# a file so a benchmark failure fails the target instead of hiding
-# behind the pipe; the -zeroalloc gate fails it if the arena'd
-# benchmarks regress above 0 allocs/op.
+# training arenas, event-domain attack/filter hot paths, the streaming
+# window pipeline). Staged through a file so a benchmark failure fails
+# the target instead of hiding behind the pipe; the -zeroalloc gate
+# fails it if the arena'd benchmarks regress above 0 allocs/op.
 bench-json:
-	$(GO) test -run '^$$' -bench 'Predict|NeuromorphicPerturbSet|AQFFilterSet|SNNInference|TrainStep|GEMM' \
+	$(GO) test -run '^$$' -bench 'Predict|NeuromorphicPerturbSet|AQFFilterSet|SNNInference|TrainStep|GEMM|Stream' \
 		-benchtime=1x . > bench.txt
-	$(GO) run ./cmd/benchjson -zeroalloc '^Benchmark(Predict|TrainStep)$$' < bench.txt > BENCH_pr3.json
+	$(GO) run ./cmd/benchjson -zeroalloc '^Benchmark(Predict|TrainStep|StreamWindow)$$' < bench.txt > BENCH_pr4.json
+
+# Short coverage-guided runs of the event-codec fuzz targets — the
+# corpus CI exercises against the streaming reader and writer.
+fuzz-smoke:
+	for t in FuzzStreamReader FuzzStreamRoundTrip FuzzReadAEDAT; do \
+		$(GO) test ./internal/dvs -run '^$$' -fuzz "^$$t$$" -fuzztime 10s || exit 1; \
+	done

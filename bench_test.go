@@ -11,6 +11,7 @@
 package repro
 
 import (
+	"bytes"
 	"testing"
 
 	"repro/internal/attack"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/rng"
 	"repro/internal/snn"
+	"repro/internal/stream"
 	"repro/internal/tensor"
 )
 
@@ -423,4 +425,74 @@ func BenchmarkSparseAttack(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = atk.Perturb(net, s, 2)
 	}
+}
+
+// BenchmarkStreamWindow measures one steady-state window of the
+// streaming pipeline — windowed voxelization into recycled frames plus
+// batched arena inference — the per-window cost that must stay at 0
+// allocs/op (CI's zero-alloc gate covers this benchmark).
+func BenchmarkStreamWindow(b *testing.B) {
+	gcfg := dvs.DefaultGestureConfig()
+	gcfg.Duration = 400
+	s := dvs.GenerateGesture(4, gcfg, rng.New(8))
+	net := snn.DVSNet(snn.DefaultConfig(1.0, 8), 32, 32, 11, true, rng.New(6), nil)
+	const windowMS = 100.0
+	windows := dvs.SplitWindows(s, windowMS)
+	frames := make([]*tensor.Tensor, net.Cfg.Steps)
+	for i := range frames {
+		frames[i] = tensor.New(2, 32, 32)
+	}
+	samples := [][]*tensor.Tensor{frames}
+	out := make([]int, 1)
+	window := func(i int) {
+		dvs.VoxelizeWindowInto(frames, windows[i%len(windows)].Events, 32, 32, 0, windowMS)
+		net.PredictBatchInto(samples, out)
+	}
+	window(0) // warm the arena and frame buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		window(i)
+	}
+}
+
+// BenchmarkStreamPipeline measures the end-to-end streaming serving
+// path: AEDAT decode, windowing, voxelization and batched inference
+// over a multi-gesture flow, reporting per-window latency and event
+// throughput.
+func BenchmarkStreamPipeline(b *testing.B) {
+	gcfg := dvs.DefaultGestureConfig()
+	gcfg.Duration = 400
+	segs := make([]*dvs.Stream, 8)
+	for k := range segs {
+		segs[k] = dvs.GenerateGesture(k%dvs.GestureClasses, gcfg, rng.New(uint64(80+k)))
+	}
+	flow, err := dvs.ConcatStreams(segs...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := dvs.WriteAEDAT(&buf, flow); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	net := snn.DVSNet(snn.DefaultConfig(1.0, 8), 32, 32, 11, true, rng.New(6), nil)
+	p, err := stream.NewPipeline(net, stream.Options{WindowMS: 100, ChunkEvents: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	emit := func(stream.Result) error { return nil }
+	windows := dvs.NumWindows(flow.Duration, 100)
+	if err := p.Run(bytes.NewReader(data), emit); err != nil { // warm the slots
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Run(bytes.NewReader(data), emit); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*windows), "ns/window")
+	b.ReportMetric(float64(b.N*len(flow.Events))/b.Elapsed().Seconds(), "events/s")
 }

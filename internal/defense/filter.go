@@ -1,0 +1,32 @@
+package defense
+
+import "repro/internal/dvs"
+
+// Filter is the single-stream event-denoiser interface shared by the
+// two defenses: AQF (adapted by AQFFilter) and the background-activity
+// baseline. The streaming pipeline (internal/stream) applies a Filter
+// to every window of the event flow, each window viewed as a
+// standalone stream starting at t=0 — the bounded-memory, online form
+// of filtering: state never outlives a window, so memory stays
+// O(window) however long the recording runs. The boundary semantics
+// follow: an event near a window's start cannot draw support from the
+// previous window (AQF's "first T2 ms pass unconditionally" rule
+// applies per window), exactly as if each window had been recorded
+// separately.
+type Filter interface {
+	// Filter returns a filtered copy; the input is not modified.
+	Filter(s *dvs.Stream) *dvs.Stream
+}
+
+// AQFFilter adapts Algorithm 2 to the Filter interface.
+type AQFFilter struct {
+	Params AQFParams
+}
+
+// Filter runs AQF with the adapter's parameters.
+func (f AQFFilter) Filter(s *dvs.Stream) *dvs.Stream { return AQF(s, f.Params) }
+
+var (
+	_ Filter = AQFFilter{}
+	_ Filter = (*BackgroundActivityFilter)(nil)
+)

@@ -1,8 +1,6 @@
 package dvs
 
 import (
-	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
 	"os"
@@ -21,82 +19,53 @@ import (
 //	duration float64 (ms)
 //	count   uint64
 //	events  count × {x uint16, y uint16, polarity int16, pad uint16, t float64}
+//
+// The codec itself lives in stream_io.go (StreamReader/StreamWriter);
+// the whole-stream helpers here are thin adapters over it, so the
+// in-memory and streaming paths share one implementation of the format
+// and of its validation rules.
 
 var aedatMagic = [8]byte{'A', 'X', 'S', 'N', 'N', 'E', 'V', '1'}
 
-// WriteAEDAT serializes the stream to w.
+// WriteAEDAT serializes the stream to w. Events are validated against
+// the declared sensor and window as they are encoded.
 func WriteAEDAT(w io.Writer, s *Stream) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(aedatMagic[:]); err != nil {
+	sw, err := NewStreamWriterCount(w, s.W, s.H, s.Duration, len(s.Events))
+	if err != nil {
 		return err
 	}
-	hdr := struct {
-		W, H     uint32
-		Duration float64
-		Count    uint64
-	}{uint32(s.W), uint32(s.H), s.Duration, uint64(len(s.Events))}
-	if err := binary.Write(bw, binary.LittleEndian, &hdr); err != nil {
+	if err := sw.WriteEvents(s.Events); err != nil {
 		return err
 	}
-	for _, e := range s.Events {
-		rec := struct {
-			X, Y uint16
-			P    int16
-			Pad  uint16
-			T    float64
-		}{uint16(e.X), uint16(e.Y), int16(e.P), 0, e.T}
-		if err := binary.Write(bw, binary.LittleEndian, &rec); err != nil {
-			return err
-		}
-	}
-	return bw.Flush()
+	return sw.Close()
 }
 
-// ReadAEDAT deserializes a stream written by WriteAEDAT.
+// ReadAEDAT deserializes a stream written by WriteAEDAT. A parsed
+// stream is internally consistent before it reaches the batch
+// pipelines: coordinates on the declared sensor, polarity ±1, finite
+// in-window timestamps (StreamReader validates every record). Hostile
+// or corrupt files fail here instead of panicking a voxelization
+// worker later.
 func ReadAEDAT(r io.Reader) (*Stream, error) {
-	br := bufio.NewReader(r)
-	var magic [8]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("dvs: reading magic: %w", err)
+	sr, err := NewStreamReader(r)
+	if err != nil {
+		return nil, err
 	}
-	if magic != aedatMagic {
-		return nil, fmt.Errorf("dvs: bad magic %q", magic)
+	// The whole-file loader materializes count events up front, so it —
+	// unlike the streaming reader — must cap what a hostile header can
+	// make it allocate. Recordings past the cap stream chunk by chunk
+	// instead.
+	if sr.Count() > maxStreamEvents {
+		return nil, fmt.Errorf("dvs: event count %d exceeds limit", sr.Count())
 	}
-	var hdr struct {
-		W, H     uint32
-		Duration float64
-		Count    uint64
-	}
-	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
-		return nil, fmt.Errorf("dvs: reading header: %w", err)
-	}
-	if hdr.W == 0 || hdr.H == 0 || hdr.W > 1<<14 || hdr.H > 1<<14 {
-		return nil, fmt.Errorf("dvs: implausible sensor size %dx%d", hdr.W, hdr.H)
-	}
-	const maxEvents = 100 << 20 / 16
-	if hdr.Count > maxEvents {
-		return nil, fmt.Errorf("dvs: event count %d exceeds limit", hdr.Count)
-	}
-	s := &Stream{W: int(hdr.W), H: int(hdr.H), Duration: hdr.Duration,
-		Events: make([]Event, hdr.Count)}
-	for i := range s.Events {
-		var rec struct {
-			X, Y uint16
-			P    int16
-			Pad  uint16
-			T    float64
+	s := &Stream{W: sr.W(), H: sr.H(), Duration: sr.Duration(),
+		Events: make([]Event, sr.Count())}
+	for off := 0; off < len(s.Events); {
+		n, err := sr.ReadChunk(s.Events[off:])
+		off += n
+		if err != nil {
+			return nil, err
 		}
-		if err := binary.Read(br, binary.LittleEndian, &rec); err != nil {
-			return nil, fmt.Errorf("dvs: reading event %d: %w", i, err)
-		}
-		s.Events[i] = Event{X: int(rec.X), Y: int(rec.Y), P: int8(rec.P), T: rec.T}
-	}
-	// A parsed stream must be internally consistent before it reaches
-	// the batch pipelines: coordinates on the declared sensor, polarity
-	// ±1, finite in-window timestamps. Hostile or corrupt files fail
-	// here instead of panicking a voxelization worker later.
-	if err := s.Validate(); err != nil {
-		return nil, fmt.Errorf("dvs: invalid stream: %w", err)
 	}
 	return s, nil
 }

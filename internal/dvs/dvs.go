@@ -57,14 +57,11 @@ func (s *Stream) Validate() error {
 		return fmt.Errorf("dvs: invalid duration %v", s.Duration)
 	}
 	for i, e := range s.Events {
-		if e.X < 0 || e.X >= s.W || e.Y < 0 || e.Y >= s.H {
-			return fmt.Errorf("dvs: event %d at (%d,%d) off the %dx%d sensor", i, e.X, e.Y, s.W, s.H)
-		}
-		if e.P != 1 && e.P != -1 {
-			return fmt.Errorf("dvs: event %d polarity %d", i, e.P)
-		}
-		if math.IsNaN(e.T) || e.T < 0 || e.T > s.Duration {
-			return fmt.Errorf("dvs: event %d time %v outside [0,%v]", i, e.T, s.Duration)
+		// The per-event checks are shared with the streaming codec
+		// (stream_io.go), so a stream assembled in memory and one
+		// decoded chunk by chunk pass exactly the same gate.
+		if err := validateEvent(e, s.W, s.H, s.Duration); err != nil {
+			return fmt.Errorf("dvs: event %d %v", i, err)
 		}
 	}
 	return nil
@@ -79,28 +76,16 @@ func (s *Stream) Voxelize(steps int) []*tensor.Tensor {
 	for i := range frames {
 		frames[i] = tensor.New(2, s.H, s.W)
 	}
-	if s.Duration <= 0 {
-		return frames
-	}
-	binW := s.Duration / float64(steps)
-	for _, e := range s.Events {
-		if e.X < 0 || e.X >= s.W || e.Y < 0 || e.Y >= s.H {
-			continue // defense in depth: off-sensor events cannot index a frame
-		}
-		b := int(e.T / binW)
-		if b >= steps {
-			b = steps - 1
-		}
-		if b < 0 {
-			b = 0
-		}
-		ch := 0
-		if e.P < 0 {
-			ch = 1
-		}
-		frames[b].Data[(ch*s.H+e.Y)*s.W+e.X] = 1
-	}
+	s.VoxelizeInto(frames)
 	return frames
+}
+
+// VoxelizeInto is Voxelize writing into caller-owned frames — the
+// allocation-free form the streaming pipeline runs per window. frames
+// must hold len(frames) tensors of shape (2, H, W); they are zeroed
+// first. Results are bit-identical to Voxelize(len(frames)).
+func (s *Stream) VoxelizeInto(frames []*tensor.Tensor) {
+	VoxelizeWindowInto(frames, s.Events, s.W, s.H, 0, s.Duration)
 }
 
 // EventCountGrid returns per-pixel event counts summed over time and
@@ -114,6 +99,37 @@ func (s *Stream) EventCountGrid() *tensor.Tensor {
 		g.Data[e.Y*s.W+e.X]++
 	}
 	return g
+}
+
+// ConcatStreams joins recordings end to end into one continuous flow:
+// segment k's events are shifted by the total duration of the segments
+// before it (clamped to the flow's window against end-of-segment
+// jitter). All segments must share one sensor. The demo flows, the
+// pipeline benchmarks and the bounded-memory tests all build long
+// recordings through this one helper.
+func ConcatStreams(segs ...*Stream) (*Stream, error) {
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("dvs: ConcatStreams with no segments")
+	}
+	out := &Stream{W: segs[0].W, H: segs[0].H}
+	for _, s := range segs {
+		out.Duration += s.Duration
+	}
+	offset := 0.0
+	for i, s := range segs {
+		if s.W != out.W || s.H != out.H {
+			return nil, fmt.Errorf("dvs: segment %d is %dx%d, flow is %dx%d", i, s.W, s.H, out.W, out.H)
+		}
+		for _, e := range s.Events {
+			e.T += offset
+			if e.T > out.Duration {
+				e.T = out.Duration
+			}
+			out.Events = append(out.Events, e)
+		}
+		offset += s.Duration
+	}
+	return out, nil
 }
 
 // Sample is one labelled gesture recording.

@@ -2,6 +2,7 @@ package dvs
 
 import (
 	"bytes"
+	"io"
 	"math"
 	"testing"
 
@@ -68,6 +69,162 @@ func FuzzReadAEDAT(f *testing.F) {
 		}
 		if len(back.Events) != len(st.Events) || back.W != st.W || back.H != st.H {
 			t.Fatal("round-trip changed the stream")
+		}
+	})
+}
+
+// FuzzStreamReader throws arbitrary bytes at the chunked decoder and
+// pins it to the whole-stream loader: on the same bytes, StreamReader
+// (at several chunk sizes, with and without a reorder buffer) and
+// ReadAEDAT must either both fail or both succeed with identical
+// headers and — chunk size notwithstanding — identical events.
+// Truncated chunks, hostile headers and corrupt records land here via
+// the seeds and mutation.
+func FuzzStreamReader(f *testing.F) {
+	cfg := DefaultGestureConfig()
+	cfg.Duration = 50
+	s := GenerateGesture(5, cfg, rng.New(2))
+	var buf bytes.Buffer
+	if err := WriteAEDAT(&buf, s); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid, uint8(16))
+	f.Add(valid[:len(valid)/3], uint8(1)) // truncated mid-payload
+	hdr := append([]byte(nil), valid...)
+	hdr[12], hdr[13] = 0xff, 0xff // height 65535 > the 1<<14 sensor cap
+	f.Add(hdr, uint8(4))
+	rec := append([]byte(nil), valid...)
+	for i := headerSize; i < headerSize+eventRecSize && i < len(rec); i++ {
+		rec[i] = 0xab // first event record
+	}
+	f.Add(rec, uint8(64))
+
+	f.Fuzz(func(t *testing.T, data []byte, chunkRaw uint8) {
+		whole, wholeErr := ReadAEDAT(bytes.NewReader(data))
+		chunk := int(chunkRaw)%128 + 1
+		for _, reorder := range []int{0, 8} {
+			sr, err := NewStreamReaderOptions(bytes.NewReader(data), StreamReaderOptions{ReorderWindow: reorder})
+			if err != nil {
+				if wholeErr == nil {
+					t.Fatalf("StreamReader rejected a header ReadAEDAT accepts: %v", err)
+				}
+				continue
+			}
+			if wholeErr != nil && sr.Count() > 0 {
+				// ReadAEDAT fails on some record; the chunked read must
+				// fail too (the reorder buffer may reject extra inputs
+				// for ordering, but never accept what validation
+				// rejects).
+				drainExpectError(t, sr, chunk)
+				continue
+			}
+			var got []Event
+			buf := make([]Event, chunk)
+			failed := false
+			for {
+				n, err := sr.ReadChunk(buf)
+				got = append(got, buf[:n]...)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					failed = true
+					break
+				}
+			}
+			if wholeErr != nil {
+				if !failed && len(got) > 0 {
+					t.Fatalf("StreamReader emitted %d events from a stream ReadAEDAT rejects (%v)", len(got), wholeErr)
+				}
+				continue
+			}
+			if failed && reorder == 0 {
+				t.Fatalf("strict StreamReader failed on a stream ReadAEDAT accepts")
+			}
+			if failed {
+				continue // disorder beyond the reorder window is a legal refusal
+			}
+			if sr.W() != whole.W || sr.H() != whole.H || sr.Duration() != whole.Duration {
+				t.Fatalf("header mismatch: %dx%d/%v vs %dx%d/%v", sr.W(), sr.H(), sr.Duration(), whole.W, whole.H, whole.Duration)
+			}
+			if len(got) != len(whole.Events) {
+				t.Fatalf("chunked read returned %d events, ReadAEDAT %d", len(got), len(whole.Events))
+			}
+			if reorder == 0 {
+				for i := range got {
+					if got[i] != whole.Events[i] {
+						t.Fatalf("event %d: chunked %+v vs whole %+v", i, got[i], whole.Events[i])
+					}
+				}
+			} else {
+				// With a reorder buffer the multiset is preserved and
+				// the output is time-sorted.
+				for i := 1; i < len(got); i++ {
+					if got[i].T < got[i-1].T {
+						t.Fatalf("reorder output not sorted at %d", i)
+					}
+				}
+			}
+		}
+	})
+}
+
+func drainExpectError(t *testing.T, sr *StreamReader, chunk int) {
+	t.Helper()
+	buf := make([]Event, chunk)
+	for i := 0; i < 1<<22; i++ {
+		_, err := sr.ReadChunk(buf)
+		if err == io.EOF {
+			t.Fatal("StreamReader cleanly drained a stream ReadAEDAT rejects")
+		}
+		if err != nil {
+			return
+		}
+	}
+	t.Fatal("StreamReader never terminated")
+}
+
+// FuzzStreamRoundTrip drives StreamWriter→StreamReader from fuzzed
+// event fields: whatever the writer accepts must decode back exactly,
+// and whatever it rejects must be exactly what Validate rejects.
+func FuzzStreamRoundTrip(f *testing.F) {
+	f.Add(uint16(16), uint16(16), 100.0, int32(3), int32(5), int8(1), 40.0)
+	f.Add(uint16(1), uint16(1), 0.0, int32(0), int32(0), int8(-1), 0.0)
+	f.Add(uint16(64), uint16(2), 7.5, int32(-2), int32(70000), int8(3), math.NaN())
+	f.Fuzz(func(t *testing.T, w, h uint16, dur float64, x, y int32, p int8, tm float64) {
+		width, height := int(w%256)+1, int(h%256)+1
+		e := Event{X: int(x), Y: int(y), P: p, T: tm}
+		var buf bytes.Buffer
+		sw, err := NewStreamWriterCount(&buf, width, height, dur, 1)
+		if err != nil {
+			// Header rejected: must be a duration Validate rejects too
+			// (sensor dims are bounded valid by construction).
+			if verr := (&Stream{W: width, H: height, Duration: dur}).Validate(); verr == nil {
+				t.Fatalf("writer rejected a header Validate accepts: %v", err)
+			}
+			return
+		}
+		werr := sw.WriteEvent(e)
+		verr := (&Stream{W: width, H: height, Duration: dur, Events: []Event{e}}).Validate()
+		if (werr == nil) != (verr == nil) {
+			t.Fatalf("writer verdict %v, Validate verdict %v", werr, verr)
+		}
+		if werr != nil {
+			return
+		}
+		if err := sw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadAEDAT(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading a writer-accepted stream: %v", err)
+		}
+		if len(got.Events) != 1 || got.Events[0] != e {
+			t.Fatalf("round trip changed the event: %+v", got.Events)
+		}
+		if got.W != width || got.H != height || got.Duration != dur {
+			t.Fatalf("round trip changed the header")
 		}
 	})
 }

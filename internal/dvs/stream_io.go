@@ -1,0 +1,430 @@
+package dvs
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// The streaming AEDAT codec. ReadAEDAT/WriteAEDAT materialize the whole
+// recording; StreamReader and StreamWriter speak the same container
+// (see aedat.go for the layout) in fixed-size chunks, so a recording
+// arbitrarily larger than memory can be validated, filtered, windowed
+// and classified while only ever holding O(chunk) events. The batch
+// helpers in aedat.go are rewired through this codec, so there is a
+// single implementation of the format and of its validation rules.
+//
+// Validation matches the in-memory path: the header is checked up
+// front (sensor bounds, finite duration, sane event count) and every
+// decoded event passes the same bounds/polarity/timestamp checks
+// Stream.Validate applies, so a hostile or corrupt file fails at the
+// offending record instead of poisoning a voxelization worker later.
+//
+// Real sensors jitter: events can arrive mildly out of order (USB
+// packet reordering, multi-chip mux). ReorderWindow re-sorts the flow
+// through a bounded min-heap — any event displaced at most ReorderWindow
+// positions from its time-sorted place is emitted in order (ties keep
+// file order, matching Stream.Sort's stability); a displacement beyond
+// the window is an error, never a silently unsorted output.
+
+// eventRecSize is the wire size of one event record.
+const eventRecSize = 16
+
+// maxStreamEvents caps the event count the WHOLE-FILE loader
+// (ReadAEDAT) will materialize (100 MB of payload), so a hostile
+// header cannot balloon its preallocation. The streaming codec is
+// deliberately uncapped: StreamReader's memory is bounded by the
+// caller's chunk buffer and the reorder window whatever the header
+// declares — serving recordings past this limit is its whole point.
+const maxStreamEvents = 100 << 20 / eventRecSize
+
+// headerSize is magic + width + height + duration + count.
+const headerSize = 8 + 4 + 4 + 8 + 8
+
+// countOffset is the byte offset of the count field, which StreamWriter
+// backpatches on Close when the sink is seekable.
+const countOffset = 8 + 4 + 4 + 8
+
+// validateHeader checks the container-level fields shared by reader and
+// writer: sensor bounds and a finite, non-negative recording window.
+func validateHeader(w, h int, duration float64) error {
+	if w <= 0 || h <= 0 || w > 1<<14 || h > 1<<14 {
+		return fmt.Errorf("dvs: implausible sensor size %dx%d", w, h)
+	}
+	if math.IsNaN(duration) || math.IsInf(duration, 0) || duration < 0 {
+		return fmt.Errorf("dvs: invalid duration %v", duration)
+	}
+	return nil
+}
+
+// validateEvent checks one event against a w×h sensor and a recording
+// window of duration ms — the per-event subset of Stream.Validate,
+// shared by the in-memory path, StreamReader and StreamWriter.
+func validateEvent(e Event, w, h int, duration float64) error {
+	if e.X < 0 || e.X >= w || e.Y < 0 || e.Y >= h {
+		return fmt.Errorf("at (%d,%d) off the %dx%d sensor", e.X, e.Y, w, h)
+	}
+	if e.P != 1 && e.P != -1 {
+		return fmt.Errorf("polarity %d", e.P)
+	}
+	if math.IsNaN(e.T) || e.T < 0 || e.T > duration {
+		return fmt.Errorf("time %v outside [0,%v]", e.T, duration)
+	}
+	return nil
+}
+
+// putEvent encodes one event record into rec.
+func putEvent(rec []byte, e Event) {
+	binary.LittleEndian.PutUint16(rec[0:], uint16(e.X))
+	binary.LittleEndian.PutUint16(rec[2:], uint16(e.Y))
+	binary.LittleEndian.PutUint16(rec[4:], uint16(int16(e.P)))
+	binary.LittleEndian.PutUint16(rec[6:], 0)
+	binary.LittleEndian.PutUint64(rec[8:], math.Float64bits(e.T))
+}
+
+// getEvent decodes one event record from rec.
+func getEvent(rec []byte) Event {
+	return Event{
+		X: int(binary.LittleEndian.Uint16(rec[0:])),
+		Y: int(binary.LittleEndian.Uint16(rec[2:])),
+		P: int8(int16(binary.LittleEndian.Uint16(rec[4:]))),
+		T: math.Float64frombits(binary.LittleEndian.Uint64(rec[8:])),
+	}
+}
+
+// StreamReaderOptions configure a StreamReader.
+type StreamReaderOptions struct {
+	// ReorderWindow is the capacity (in events) of the bounded reorder
+	// buffer. 0 (the default) emits events exactly in file order, like
+	// ReadAEDAT. With K > 0 the reader emits the flow in timestamp
+	// order as long as no event is displaced more than K positions from
+	// its sorted place; a larger displacement is an error.
+	ReorderWindow int
+}
+
+// StreamReader decodes an AEDAT container incrementally: the header is
+// read and validated at construction, events are handed out in
+// caller-sized chunks with every record validated. After the first
+// chunk the reader allocates nothing.
+type StreamReader struct {
+	br      *bufio.Reader
+	w, h    int
+	dur     float64
+	count   uint64
+	opts    StreamReaderOptions
+	decoded uint64 // records decoded from the container
+	rec     [eventRecSize]byte
+	heap    []heapEvent // reorder buffer, min-heap on (T, seq)
+	seq     uint64
+	lastT   float64
+	started bool
+	err     error // sticky terminal state (including io.EOF)
+}
+
+type heapEvent struct {
+	e   Event
+	seq uint64
+}
+
+// NewStreamReader opens a strict (file-order) streaming decoder on r.
+func NewStreamReader(r io.Reader) (*StreamReader, error) {
+	return NewStreamReaderOptions(r, StreamReaderOptions{})
+}
+
+// NewStreamReaderOptions opens a streaming decoder with options.
+func NewStreamReaderOptions(r io.Reader, opts StreamReaderOptions) (*StreamReader, error) {
+	if opts.ReorderWindow < 0 {
+		opts.ReorderWindow = 0
+	}
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("dvs: reading magic: %w", err)
+	}
+	if magic != aedatMagic {
+		return nil, fmt.Errorf("dvs: bad magic %q", magic)
+	}
+	var hdr [headerSize - 8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("dvs: reading header: %w", err)
+	}
+	w := int(binary.LittleEndian.Uint32(hdr[0:]))
+	h := int(binary.LittleEndian.Uint32(hdr[4:]))
+	dur := math.Float64frombits(binary.LittleEndian.Uint64(hdr[8:]))
+	count := binary.LittleEndian.Uint64(hdr[16:])
+	if err := validateHeader(w, h, dur); err != nil {
+		return nil, err
+	}
+	return &StreamReader{br: br, w: w, h: h, dur: dur, count: count, opts: opts}, nil
+}
+
+// W returns the sensor width.
+func (sr *StreamReader) W() int { return sr.w }
+
+// H returns the sensor height.
+func (sr *StreamReader) H() int { return sr.h }
+
+// Duration returns the recording window in milliseconds.
+func (sr *StreamReader) Duration() float64 { return sr.dur }
+
+// Count returns the declared event count.
+func (sr *StreamReader) Count() uint64 { return sr.count }
+
+// decodeEvent reads and validates the next record from the container.
+func (sr *StreamReader) decodeEvent() (Event, error) {
+	if _, err := io.ReadFull(sr.br, sr.rec[:]); err != nil {
+		return Event{}, fmt.Errorf("dvs: reading event %d: %w", sr.decoded, err)
+	}
+	e := getEvent(sr.rec[:])
+	if err := validateEvent(e, sr.w, sr.h, sr.dur); err != nil {
+		return Event{}, fmt.Errorf("dvs: invalid stream: event %d %v", sr.decoded, err)
+	}
+	sr.decoded++
+	return e, nil
+}
+
+// heapPush inserts into the (T, seq) min-heap.
+func (sr *StreamReader) heapPush(e Event) {
+	sr.heap = append(sr.heap, heapEvent{e, sr.seq})
+	sr.seq++
+	i := len(sr.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !heapLess(sr.heap[i], sr.heap[p]) {
+			break
+		}
+		sr.heap[i], sr.heap[p] = sr.heap[p], sr.heap[i]
+		i = p
+	}
+}
+
+// heapPop removes the minimum.
+func (sr *StreamReader) heapPop() Event {
+	h := sr.heap
+	top := h[0].e
+	n := len(h) - 1
+	h[0] = h[n]
+	sr.heap = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && heapLess(h[l], h[s]) {
+			s = l
+		}
+		if r < n && heapLess(h[r], h[s]) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h[i], h[s] = h[s], h[i]
+		i = s
+	}
+	return top
+}
+
+func heapLess(a, b heapEvent) bool {
+	if a.e.T != b.e.T {
+		return a.e.T < b.e.T
+	}
+	return a.seq < b.seq
+}
+
+// ReadChunk fills buf with the next events of the flow and returns how
+// many were written. It returns io.EOF (and 0) once every declared
+// event has been emitted; a short container (fewer records than the
+// header declared) surfaces as an io.ErrUnexpectedEOF-wrapped error,
+// never as a clean EOF. Errors are sticky.
+func (sr *StreamReader) ReadChunk(buf []Event) (int, error) {
+	if sr.err != nil {
+		return 0, sr.err
+	}
+	if len(buf) == 0 {
+		// (0, nil) would spin a drain-until-EOF loop forever; an empty
+		// buffer is a caller bug, not a readable state.
+		return 0, fmt.Errorf("dvs: ReadChunk with an empty buffer")
+	}
+	n := 0
+	if sr.opts.ReorderWindow == 0 {
+		// Strict mode decodes straight into buf: the heap would always
+		// hold exactly one event, and ReadAEDAT rides this path for
+		// every whole-file load.
+		for n < len(buf) && sr.decoded < sr.count {
+			e, err := sr.decodeEvent()
+			if err != nil {
+				sr.err = err
+				return n, err
+			}
+			buf[n] = e
+			n++
+		}
+		if n == 0 {
+			sr.err = io.EOF
+			return 0, io.EOF
+		}
+		return n, nil
+	}
+	for n < len(buf) {
+		// Keep the reorder buffer at capacity: the heap top is only
+		// safe to emit once K later events have been seen (or input
+		// ended).
+		for sr.decoded < sr.count && len(sr.heap) <= sr.opts.ReorderWindow {
+			e, err := sr.decodeEvent()
+			if err != nil {
+				sr.err = err
+				return n, err
+			}
+			sr.heapPush(e)
+		}
+		if len(sr.heap) == 0 {
+			break
+		}
+		e := sr.heapPop()
+		if sr.started && e.T < sr.lastT {
+			sr.err = fmt.Errorf("dvs: event at %gms out of order beyond the %d-event reorder window (last emitted %gms)",
+				e.T, sr.opts.ReorderWindow, sr.lastT)
+			return n, sr.err
+		}
+		sr.lastT = e.T
+		sr.started = true
+		buf[n] = e
+		n++
+	}
+	if n == 0 {
+		sr.err = io.EOF
+		return 0, io.EOF
+	}
+	return n, nil
+}
+
+// StreamWriter encodes an AEDAT container incrementally, validating
+// every event against the declared sensor and window. When the sink is
+// an io.WriteSeeker the event count may be left open and is backpatched
+// on Close; otherwise the exact count must be declared up front
+// (NewStreamWriterCount) and Close enforces it.
+type StreamWriter struct {
+	bw       *bufio.Writer
+	ws       io.WriteSeeker // non-nil when the count is backpatchable
+	w, h     int
+	dur      float64
+	declared int64 // -1 = unknown, backpatched on Close
+	written  uint64
+	rec      [eventRecSize]byte
+	closed   bool
+	closeErr error // first Close's verdict, sticky across re-Closes
+}
+
+// NewStreamWriter opens a streaming encoder with an open event count;
+// w must be an io.WriteSeeker (a file) so Close can backpatch the
+// count. For non-seekable sinks use NewStreamWriterCount.
+func NewStreamWriter(w io.Writer, width, height int, duration float64) (*StreamWriter, error) {
+	ws, ok := w.(io.WriteSeeker)
+	if !ok {
+		return nil, fmt.Errorf("dvs: open event count needs an io.WriteSeeker sink (use NewStreamWriterCount)")
+	}
+	return newStreamWriter(w, ws, width, height, duration, -1)
+}
+
+// NewStreamWriterCount opens a streaming encoder that will write
+// exactly count events; Close fails on a mismatch, so a truncated
+// producer cannot silently emit a well-formed-looking container.
+// Like the open-count writer (and the streaming reader) it accepts any
+// count: only the whole-file loader caps what it will materialize.
+func NewStreamWriterCount(w io.Writer, width, height int, duration float64, count int) (*StreamWriter, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("dvs: negative event count %d", count)
+	}
+	return newStreamWriter(w, nil, width, height, duration, int64(count))
+}
+
+func newStreamWriter(w io.Writer, ws io.WriteSeeker, width, height int, duration float64, declared int64) (*StreamWriter, error) {
+	if err := validateHeader(width, height, duration); err != nil {
+		return nil, err
+	}
+	sw := &StreamWriter{bw: bufio.NewWriter(w), ws: ws, w: width, h: height, dur: duration, declared: declared}
+	var hdr [headerSize]byte
+	copy(hdr[:8], aedatMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(width))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(height))
+	binary.LittleEndian.PutUint64(hdr[16:], math.Float64bits(duration))
+	if declared >= 0 {
+		binary.LittleEndian.PutUint64(hdr[24:], uint64(declared))
+	}
+	if _, err := sw.bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+// WriteEvent appends one validated event to the container.
+func (sw *StreamWriter) WriteEvent(e Event) error {
+	if sw.closed {
+		return fmt.Errorf("dvs: write on closed StreamWriter")
+	}
+	if err := validateEvent(e, sw.w, sw.h, sw.dur); err != nil {
+		return fmt.Errorf("dvs: invalid stream: event %d %v", sw.written, err)
+	}
+	if sw.declared >= 0 && sw.written >= uint64(sw.declared) {
+		return fmt.Errorf("dvs: more than the declared %d events", sw.declared)
+	}
+	putEvent(sw.rec[:], e)
+	if _, err := sw.bw.Write(sw.rec[:]); err != nil {
+		return err
+	}
+	sw.written++
+	return nil
+}
+
+// WriteEvents appends a chunk of validated events to the container.
+func (sw *StreamWriter) WriteEvents(events []Event) error {
+	for _, e := range events {
+		if err := sw.WriteEvent(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Written returns how many events have been written so far.
+func (sw *StreamWriter) Written() uint64 { return sw.written }
+
+// Close flushes the container and finalizes the event count: with a
+// declared count it enforces the exact number written; with an open
+// count it seeks back and backpatches the header. A failed Close stays
+// failed: re-Closing returns the first verdict, so a deferred retry
+// cannot launder a truncated container into a success.
+func (sw *StreamWriter) Close() error {
+	if sw.closed {
+		return sw.closeErr
+	}
+	sw.closed = true
+	sw.closeErr = sw.finalize()
+	return sw.closeErr
+}
+
+func (sw *StreamWriter) finalize() error {
+	if err := sw.bw.Flush(); err != nil {
+		return err
+	}
+	if sw.declared >= 0 {
+		if sw.written != uint64(sw.declared) {
+			return fmt.Errorf("dvs: wrote %d events, declared %d", sw.written, sw.declared)
+		}
+		return nil
+	}
+	if _, err := sw.ws.Seek(countOffset, io.SeekStart); err != nil {
+		return fmt.Errorf("dvs: backpatching event count: %w", err)
+	}
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], sw.written)
+	if _, err := sw.ws.Write(cnt[:]); err != nil {
+		return fmt.Errorf("dvs: backpatching event count: %w", err)
+	}
+	if _, err := sw.ws.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("dvs: backpatching event count: %w", err)
+	}
+	return nil
+}

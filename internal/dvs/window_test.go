@@ -1,0 +1,141 @@
+package dvs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestNumWindows(t *testing.T) {
+	for _, c := range []struct {
+		dur, win float64
+		want     int
+	}{
+		{400, 100, 4}, {400, 77, 6}, {400, 400, 1}, {400, 1000, 1},
+		{0, 50, 1}, {10, 0, 1}, {100.5, 25, 5},
+	} {
+		if got := NumWindows(c.dur, c.win); got != c.want {
+			t.Fatalf("NumWindows(%g, %g) = %d, want %d", c.dur, c.win, got, c.want)
+		}
+	}
+}
+
+// TestWindowerSplitWindowsAgree pins the two window-assignment
+// implementations — the incremental Windower and the in-memory
+// SplitWindows — against each other on random streams, including
+// boundary-exact timestamps.
+func TestWindowerSplitWindowsAgree(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		s := &Stream{W: 8, H: 8, Duration: 120}
+		n := r.Intn(300)
+		for i := 0; i < n; i++ {
+			tm := r.Float64() * 120
+			if r.Bernoulli(0.2) {
+				// Land exactly on a window boundary (multiples of 30).
+				tm = float64(r.Intn(5)) * 30
+			}
+			s.Events = append(s.Events, Event{X: r.Intn(8), Y: r.Intn(8), P: 1, T: tm})
+		}
+		s.Sort()
+
+		want := SplitWindows(s, 30)
+		w, err := NewWindower(30, s.Duration)
+		if err != nil {
+			return false
+		}
+		var got [][]Event
+		for _, e := range s.Events {
+			for {
+				ok, err := w.Offer(e)
+				if err != nil {
+					return false
+				}
+				if ok {
+					break
+				}
+				_, _, evs := w.Pop()
+				got = append(got, append([]Event(nil), evs...))
+			}
+		}
+		for !w.Done() {
+			_, _, evs := w.Pop()
+			got = append(got, append([]Event(nil), evs...))
+		}
+
+		if len(got) != len(want) {
+			return false
+		}
+		for k := range want {
+			if len(got[k]) != len(want[k].Events) {
+				return false
+			}
+			start := float64(k) * 30
+			for i, e := range want[k].Events {
+				// SplitWindows rebases; the windower keeps absolute
+				// times. Compare after the same subtraction.
+				g := got[k][i]
+				g.T -= start
+				if g != e {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWindowerRejectsBackwardEvents pins the ordering enforcement: an
+// event earlier than the current window errors instead of misbinning.
+func TestWindowerRejectsBackwardEvents(t *testing.T) {
+	w, err := NewWindower(50, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := w.Offer(Event{X: 0, Y: 0, P: 1, T: 120}); ok || err != nil {
+		t.Fatalf("event two windows ahead: ok=%v err=%v, want deferral", ok, err)
+	}
+	w.Pop() // window 0
+	w.Pop() // window 1
+	if ok, err := w.Offer(Event{X: 0, Y: 0, P: 1, T: 120}); !ok || err != nil {
+		t.Fatalf("re-offer after draining: ok=%v err=%v", ok, err)
+	}
+	if _, err := w.Offer(Event{X: 0, Y: 0, P: 1, T: 99}); err == nil {
+		t.Fatal("event before the current window must error")
+	}
+}
+
+// TestVoxelizeIntoMatchesVoxelize pins the Into form bit-for-bit to
+// the allocating form, including the degenerate zero-duration case.
+func TestVoxelizeIntoMatchesVoxelize(t *testing.T) {
+	s := GenerateGesture(2, DefaultGestureConfig(), rng.New(3))
+	for _, steps := range []int{1, 7, 12} {
+		want := s.Voxelize(steps)
+		got := s.Voxelize(steps) // correctly-shaped buffers to overwrite
+		for i := range got {
+			for j := range got[i].Data {
+				got[i].Data[j] = 99 // must be fully overwritten/zeroed
+			}
+		}
+		s.VoxelizeInto(got)
+		for i := range want {
+			for j := range want[i].Data {
+				if want[i].Data[j] != got[i].Data[j] {
+					t.Fatalf("steps=%d frame %d voxel %d: %v vs %v", steps, i, j, got[i].Data[j], want[i].Data[j])
+				}
+			}
+		}
+	}
+	empty := &Stream{W: 4, H: 4, Duration: 0, Events: []Event{{X: 1, Y: 1, P: 1, T: 0}}}
+	frames := empty.Voxelize(3)
+	for _, f := range frames {
+		for _, v := range f.Data {
+			if v != 0 {
+				t.Fatal("zero-duration stream must voxelize to zero frames")
+			}
+		}
+	}
+}

@@ -51,6 +51,7 @@ var Registry = map[string]Runner{
 	"ablation-filters":  AblationFilters,
 	"ablation-uap":      AblationUAP,
 	"hw-mapping":        HWMapping,
+	"stream-eval":       StreamEval,
 }
 
 // IDs returns the registry keys in stable order.

@@ -1,0 +1,24 @@
+package exp
+
+import "testing"
+
+// TestStreamEvalAgreement pins the serving-path contract on the real
+// fixture: the streaming pipeline must agree with the in-memory path on
+// every test recording (bit-identical predictions), and therefore
+// reproduce its accuracy exactly.
+func TestStreamEvalAgreement(t *testing.T) {
+	r := StreamEval(testOpts)
+	m := r.Metrics
+	if m["agreement"] != 1.0 {
+		t.Fatalf("streaming agreed with the in-memory path on %.3f of recordings, want 1.0", m["agreement"])
+	}
+	if m["stream_acc"] != m["mem_acc"] {
+		t.Fatalf("streaming accuracy %.3f != in-memory accuracy %.3f", m["stream_acc"], m["mem_acc"])
+	}
+	if m["windows"] == 0 {
+		t.Fatal("vacuous: no windows streamed")
+	}
+	if r.Text == "" {
+		t.Fatal("artifact text missing")
+	}
+}

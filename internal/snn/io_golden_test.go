@@ -1,0 +1,219 @@
+package snn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// Golden-file compatibility for the gob checkpoint format. netState is
+// the one on-disk format the project owns; these tests pin it against
+// two checked-in files so a field rename, type change or reordering
+// that silently breaks old checkpoints fails here first:
+//
+//	testdata/golden_premask.gob — written by the ORIGINAL pre-mask
+//	    format (netState before the Masks field existed), regenerated
+//	    through a frozen legacy struct, so files saved by old builds
+//	    keep loading.
+//	testdata/golden_masked.gob  — written by the current Save with a
+//	    pruning mask on the first weighted layer.
+//
+// Regenerate with: go test ./internal/snn -run TestGolden -update-golden
+// (only needed when the format changes ON PURPOSE; update the loaders
+// of both files and this comment in the same commit.)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden checkpoint files")
+
+// legacyNetState replicates the pre-mask serialized form field for
+// field. gob matches by field name, so encoding this struct produces
+// exactly what old builds wrote. Frozen: do not edit alongside
+// netState.
+type legacyNetState struct {
+	VTh    float32
+	Steps  int
+	Decay  float32
+	Beta   float32
+	Shapes [][]int
+	Params [][]float32
+}
+
+// goldenNet builds the fixed architecture both golden files target: a
+// small DenseNet whose parameters are overwritten with a closed-form
+// pattern, so the expected values are self-contained (no RNG between
+// the files and the assertions).
+func goldenNet() *Network {
+	net := DenseNet(DefaultConfig(1.25, 6), 12, 8, 5, rng.New(1))
+	for i, p := range net.Params() {
+		for j := range p.Data {
+			p.Data[j] = goldenValue(i, j)
+		}
+	}
+	return net
+}
+
+// goldenValue is the closed-form parameter pattern.
+func goldenValue(i, j int) float32 {
+	return float32(i+1) + float32(j%17)/16
+}
+
+// goldenMask is the closed-form mask pattern for the first weighted
+// layer (keep two of every three synapses).
+func goldenMask(j int) float32 {
+	if j%3 == 0 {
+		return 0
+	}
+	return 1
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", name)
+}
+
+// TestGoldenRegenerate rewrites the golden files when -update-golden is
+// set; otherwise it only checks they exist.
+func TestGoldenRegenerate(t *testing.T) {
+	if !*updateGolden {
+		for _, name := range []string{"golden_premask.gob", "golden_masked.gob"} {
+			if _, err := os.Stat(goldenPath(name)); err != nil {
+				t.Fatalf("missing golden file (run with -update-golden): %v", err)
+			}
+		}
+		return
+	}
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-mask file: encode through the frozen legacy struct.
+	net := goldenNet()
+	st := legacyNetState{VTh: net.Cfg.VTh, Steps: net.Cfg.Steps, Decay: net.Cfg.Decay, Beta: net.Cfg.Beta}
+	for _, p := range net.Params() {
+		st.Shapes = append(st.Shapes, append([]int(nil), p.Shape...))
+		st.Params = append(st.Params, append([]float32(nil), p.Data...))
+	}
+	f, err := os.Create(goldenPath("golden_premask.gob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gob.NewEncoder(f).Encode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Masked file: the current Save with a mask on the first weighted
+	// layer.
+	w := net.Params()[0]
+	mask := w.Clone()
+	for j := range mask.Data {
+		mask.Data[j] = goldenMask(j)
+	}
+	net.Layers[1].(*Dense).Mask = mask
+	if err := net.SaveFile(goldenPath("golden_masked.gob")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGoldenPreMaskLoads pins backward compatibility: a checkpoint
+// written before the Masks field existed loads into the current code,
+// restores every parameter and leaves masks untouched (absent Masks is
+// "no pruning statement", not "clear pruning" — an AxSNN keeps its
+// mask when fed a pre-mask accurate checkpoint).
+func TestGoldenPreMaskLoads(t *testing.T) {
+	net := DenseNet(DefaultConfig(0.5, 3), 12, 8, 5, rng.New(2))
+	if err := net.LoadFile(goldenPath("golden_premask.gob")); err != nil {
+		t.Fatalf("pre-mask golden failed to load: %v", err)
+	}
+	if net.Cfg.VTh != 1.25 || net.Cfg.Steps != 6 || net.Cfg.Decay != 0.9 || net.Cfg.Beta != 4 {
+		t.Fatalf("config not restored: %+v", net.Cfg)
+	}
+	for i, p := range net.Params() {
+		for j, v := range p.Data {
+			if v != goldenValue(i, j) {
+				t.Fatalf("param %d[%d] = %v, want %v", i, j, v, goldenValue(i, j))
+			}
+		}
+	}
+	for i, l := range net.Layers {
+		if d, ok := l.(*Dense); ok && d.Mask != nil {
+			t.Fatalf("layer %d grew a mask from a pre-mask file", i)
+		}
+	}
+
+	// The absent-Masks rule: loading a pre-mask file into a pruned
+	// network must keep the existing mask.
+	pruned := DenseNet(DefaultConfig(0.5, 3), 12, 8, 5, rng.New(3))
+	d := pruned.Layers[1].(*Dense)
+	d.Mask = d.W.Clone()
+	if err := pruned.LoadFile(goldenPath("golden_premask.gob")); err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Layers[1].(*Dense).Mask == nil {
+		t.Fatal("pre-mask load cleared an existing mask")
+	}
+}
+
+// TestGoldenMaskedLoads pins the current format: parameters, config
+// and the per-layer mask vector all restore exactly, with nil entries
+// for unpruned layers.
+func TestGoldenMaskedLoads(t *testing.T) {
+	net := DenseNet(DefaultConfig(0.5, 3), 12, 8, 5, rng.New(4))
+	if err := net.LoadFile(goldenPath("golden_masked.gob")); err != nil {
+		t.Fatalf("masked golden failed to load: %v", err)
+	}
+	if net.Cfg.VTh != 1.25 || net.Cfg.Steps != 6 {
+		t.Fatalf("config not restored: %+v", net.Cfg)
+	}
+	for i, p := range net.Params() {
+		for j, v := range p.Data {
+			if v != goldenValue(i, j) {
+				t.Fatalf("param %d[%d] = %v, want %v", i, j, v, goldenValue(i, j))
+			}
+		}
+	}
+	var denses []*Dense
+	for _, l := range net.Layers {
+		if d, ok := l.(*Dense); ok {
+			denses = append(denses, d)
+		}
+	}
+	if len(denses) != 3 {
+		t.Fatalf("golden architecture drifted: %d dense layers", len(denses))
+	}
+	if denses[0].Mask == nil {
+		t.Fatal("first weighted layer lost its mask")
+	}
+	for j, v := range denses[0].Mask.Data {
+		if v != goldenMask(j) {
+			t.Fatalf("mask[%d] = %v, want %v", j, v, goldenMask(j))
+		}
+	}
+	if denses[1].Mask != nil || denses[2].Mask != nil {
+		t.Fatal("unpruned layers grew masks")
+	}
+
+	// A masked load must also round-trip through Save bit-identically
+	// at the value level.
+	other := DenseNet(DefaultConfig(0.5, 3), 12, 8, 5, rng.New(5))
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range other.Params() {
+		want := net.Params()[i]
+		for j := range p.Data {
+			if p.Data[j] != want.Data[j] {
+				t.Fatalf("re-saved param %d[%d] drifted", i, j)
+			}
+		}
+	}
+}

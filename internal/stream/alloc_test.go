@@ -1,0 +1,146 @@
+package stream
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dvs"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// The bounded-memory / zero-alloc contract of the pipeline, asserted
+// two ways: the per-window hot path (windowed voxelization + batched
+// arena inference) performs zero allocations once warm, and a whole
+// Run's allocation count is a per-recording constant — it does not grow
+// with recording length, so memory stays O(window) however long the
+// flow runs.
+
+// longStream concatenates segments time-shifted gesture recordings
+// into one continuous flow (the generator normalizes motion to the
+// recording length, so a single long recording would not carry more
+// events; a concatenation does — event count scales with duration).
+func longStream(segments int, segMS float64, seed uint64) *dvs.Stream {
+	cfg := dvs.DefaultGestureConfig()
+	cfg.W, cfg.H = 16, 16
+	cfg.Duration = segMS
+	cfg.BlobR = 2
+	segs := make([]*dvs.Stream, segments)
+	for k := range segs {
+		segs[k] = dvs.GenerateGesture(k%dvs.GestureClasses, cfg, rng.New(seed+uint64(k)))
+	}
+	out, err := dvs.ConcatStreams(segs...)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// TestStreamWindowZeroAllocs pins the steady-state per-window work to
+// zero allocations: VoxelizeWindowInto into recycled frames plus
+// PredictBatchInto through a warm arena.
+func TestStreamWindowZeroAllocs(t *testing.T) {
+	defer tensor.SetWorkers(0)
+	tensor.SetWorkers(1)
+	steps := 5
+	net := testNet(steps)
+	s := longStream(1, 200, 51)
+	windows := dvs.SplitWindows(s, 50)
+
+	frames := make([]*tensor.Tensor, steps)
+	for i := range frames {
+		frames[i] = tensor.New(2, 16, 16)
+	}
+	samples := [][]*tensor.Tensor{frames}
+	out := make([]int, 1)
+
+	window := func(i int) {
+		sub := windows[i%len(windows)]
+		dvs.VoxelizeWindowInto(frames, sub.Events, 16, 16, 0, 50)
+		net.PredictBatchInto(samples, out)
+	}
+	window(0) // warm the arena and the frame buffers
+
+	i := 0
+	if allocs := testing.AllocsPerRun(50, func() {
+		window(i)
+		i++
+	}); allocs != 0 {
+		t.Fatalf("steady-state window performed %g allocs, want 0", allocs)
+	}
+}
+
+// TestStreamReadChunkZeroAllocs pins the decode side: once a reader is
+// warm, draining chunks allocates nothing (the record slab and the
+// reorder heap are recycled).
+func TestStreamReadChunkZeroAllocs(t *testing.T) {
+	s := longStream(10, 400, 52)
+	var buf bytes.Buffer
+	if err := dvs.WriteAEDAT(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := dvs.NewStreamReaderOptions(bytes.NewReader(buf.Bytes()), dvs.StreamReaderOptions{ReorderWindow: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := make([]dvs.Event, 64)
+	if _, err := sr.ReadChunk(chunk); err != nil { // warm the heap
+		t.Fatal(err)
+	}
+	reads := 0
+	if allocs := testing.AllocsPerRun(20, func() {
+		if _, err := sr.ReadChunk(chunk); err != nil {
+			t.Fatalf("read %d: %v", reads, err)
+		}
+		reads++
+	}); allocs != 0 {
+		t.Fatalf("steady-state ReadChunk performed %g allocs, want 0", allocs)
+	}
+}
+
+// TestPipelineMemoryBounded is the growth gate: one warm Pipeline runs
+// a short and a 4× longer recording (both several times larger than
+// the chunk buffer), and the total allocation counts must be EQUAL —
+// every per-window buffer is recycled, so only the per-recording setup
+// (reader, windower) allocates and memory cannot grow with recording
+// length.
+func TestPipelineMemoryBounded(t *testing.T) {
+	defer tensor.SetWorkers(0)
+	tensor.SetWorkers(1)
+	steps := 4
+	net := testNet(steps)
+	shortRec := encode(t, longStream(2, 200, 53))
+	longRec := encode(t, longStream(8, 200, 53))
+	if len(longRec) < 3*len(shortRec) {
+		t.Fatalf("long recording (%dB) not meaningfully longer than short (%dB)", len(longRec), len(shortRec))
+	}
+
+	p, err := NewPipeline(net, Options{WindowMS: 50, Steps: steps, Workers: 1, Batch: 2, ChunkEvents: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := 0
+	emit := func(Result) error { classes++; return nil }
+	run := func(data []byte) float64 {
+		return testing.AllocsPerRun(5, func() {
+			if err := p.Run(bytes.NewReader(data), emit); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	// Warm with the long recording so every slot's event buffer reaches
+	// its high-water mark before measuring.
+	if err := p.Run(bytes.NewReader(longRec), emit); err != nil {
+		t.Fatal(err)
+	}
+
+	shortAllocs := run(shortRec)
+	longAllocs := run(longRec)
+	if longAllocs != shortAllocs {
+		t.Fatalf("allocations grew with recording length: %g (8 windows) vs %g (32 windows)",
+			shortAllocs, longAllocs)
+	}
+	if classes == 0 {
+		t.Fatal("vacuous: no windows were classified")
+	}
+}

@@ -1,0 +1,348 @@
+// Package stream is the bounded-memory event-serving pipeline: it
+// decodes an AEDAT recording chunk by chunk (dvs.StreamReader), slices
+// the event flow into fixed-duration windows (dvs.Windower), optionally
+// denoises each window (defense.Filter), voxelizes windows into
+// recycled frame tensors (dvs.VoxelizeWindowInto) and classifies them
+// through the batched inference arena (snn.PredictBatchInto), fanning
+// window batches out over the shared tensor worker pool.
+//
+// The memory and allocation contract, pinned by the property tests:
+//
+//   - Peak state is O(Workers × Batch × window) — chunk buffer, window
+//     slots and arena scratch — independent of recording length; a
+//     recording arbitrarily larger than the chunk buffer streams
+//     through in constant space.
+//   - Steady state performs 0 tensor allocations per window (without a
+//     Filter): slots, frames, clones and arenas are recycled; only the
+//     per-recording setup (reader, windower) allocates.
+//
+// Predictions are bit-identical to the in-memory reference — splitting
+// the loaded recording with dvs.SplitWindows, voxelizing each window
+// and running PredictBatch — at any worker count, chunk size and batch
+// size: windows are classified independently and the batched arena
+// forward is per-sample exact, so scheduling can never change a class.
+package stream
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/defense"
+	"repro/internal/dvs"
+	"repro/internal/snn"
+	"repro/internal/tensor"
+)
+
+// Options configure a Pipeline.
+type Options struct {
+	// WindowMS is the prediction cadence: the flow is classified once
+	// per WindowMS of recording time. Required (> 0).
+	WindowMS float64
+	// Steps is the number of voxel bins per window; 0 uses the
+	// network's configured time steps.
+	Steps int
+	// Workers bounds how many window batches are classified
+	// concurrently (each on its own weight-sharing network clone);
+	// <= 0 uses the shared pool's budget (tensor.Workers()).
+	Workers int
+	// Batch is how many windows one PredictBatchInto call classifies;
+	// <= 0 uses 4.
+	Batch int
+	// ChunkEvents is the reader chunk size in events; <= 0 uses 4096.
+	ChunkEvents int
+	// ReorderWindow tolerates mildly out-of-order recordings: events
+	// displaced at most this many positions from their time-sorted
+	// place are re-sorted on the fly (dvs.StreamReaderOptions); worse
+	// disorder is an error. 0 requires sorted input.
+	ReorderWindow int
+	// Filter, when non-nil, denoises every window before voxelization
+	// (per-window online filtering; see defense.Filter). Filtering
+	// allocates — the zero-alloc contract covers the unfiltered path.
+	Filter defense.Filter
+	// SensorW/SensorH, when set, are the sensor resolution the network
+	// was built for: Run rejects any recording that declares different
+	// dimensions (a mismatched frame layout would otherwise alias into
+	// the network's input buffer and classify garbage). When zero, the
+	// first recording's dimensions are adopted and every later Run must
+	// match them.
+	SensorW, SensorH int
+}
+
+// withDefaults resolves the optional fields against a network.
+func (o Options) withDefaults(net *snn.Network) (Options, error) {
+	if o.WindowMS <= 0 {
+		return o, fmt.Errorf("stream: WindowMS must be positive, got %v", o.WindowMS)
+	}
+	if (o.SensorW == 0) != (o.SensorH == 0) || o.SensorW < 0 || o.SensorH < 0 {
+		return o, fmt.Errorf("stream: SensorW/SensorH must be set together, got %dx%d", o.SensorW, o.SensorH)
+	}
+	if o.Steps <= 0 {
+		o.Steps = net.Cfg.Steps
+	}
+	if o.Workers <= 0 {
+		o.Workers = tensor.Workers()
+	}
+	if o.Batch <= 0 {
+		o.Batch = 4
+	}
+	if o.ChunkEvents <= 0 {
+		o.ChunkEvents = 4096
+	}
+	if o.ReorderWindow < 0 {
+		o.ReorderWindow = 0
+	}
+	return o, nil
+}
+
+// Result is one window's prediction.
+type Result struct {
+	// Window is the window index (Window*WindowMS is its start).
+	Window int
+	// StartMS is the window's opening timestamp in milliseconds.
+	StartMS float64
+	// Events is how many events were voxelized (post-filter).
+	Events int
+	// Class is the predicted class.
+	Class int
+}
+
+// slot is one recycled in-flight window: its events (copied out of the
+// windower), its reusable frame tensors and its result fields.
+type slot struct {
+	index   int
+	start   float64
+	events  []dvs.Event
+	rebased []dvs.Event // filter scratch: window-rebased timestamps
+	frames  []*tensor.Tensor
+	kept    int // events voxelized (post-filter)
+}
+
+// ensure sizes the slot's frame tensors for a (steps, 2, h, w) window,
+// reallocating only when the sensor or step count changes. The check is
+// on the full shape, not the element count: (2,8,32) and (2,16,16)
+// tensors are the same size but must not be conflated.
+func (s *slot) ensure(steps, h, w int) {
+	if len(s.frames) == steps && len(s.frames) > 0 {
+		sh := s.frames[0].Shape
+		if len(sh) == 3 && sh[0] == 2 && sh[1] == h && sh[2] == w {
+			return
+		}
+	}
+	s.frames = make([]*tensor.Tensor, steps)
+	for i := range s.frames {
+		s.frames[i] = tensor.New(2, h, w)
+	}
+}
+
+// Pipeline is a reusable streaming classifier: construct once per
+// model, Run once per recording. Between recordings every buffer —
+// window slots, frame tensors, network clones, inference arenas — is
+// retained, so the steady state allocates nothing per window. A
+// Pipeline is not safe for concurrent Runs; concurrent serving uses
+// one Pipeline per goroutine (clones share the trained weights).
+type Pipeline struct {
+	net     *snn.Network
+	o       Options
+	clones  []*snn.Network // one per worker; weight-sharing evaluation clones
+	slots   []*slot        // Workers×Batch recycled window slots
+	chunk   []dvs.Event
+	samples [][][]*tensor.Tensor // per-worker PredictBatchInto views
+	out     []int                // per-round predictions, aligned with slots
+
+	// classify's bound-method closure, created once so the steady-state
+	// flush does not allocate; runH/runW are the current recording's
+	// sensor dims, set at the top of Run.
+	body       func(lo, hi int)
+	runH, runW int
+}
+
+// NewPipeline builds a streaming classifier over net. The network is
+// used read-only: every worker classifies on a CloneArchitecture clone
+// sharing the trained weights.
+func NewPipeline(net *snn.Network, o Options) (*Pipeline, error) {
+	o, err := o.withDefaults(net)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pipeline{net: net, o: o}
+	p.clones = make([]*snn.Network, o.Workers)
+	p.samples = make([][][]*tensor.Tensor, o.Workers)
+	for i := range p.clones {
+		p.clones[i] = net.CloneArchitecture()
+		p.samples[i] = make([][]*tensor.Tensor, 0, o.Batch)
+	}
+	p.slots = make([]*slot, o.Workers*o.Batch)
+	for i := range p.slots {
+		p.slots[i] = &slot{}
+	}
+	p.chunk = make([]dvs.Event, o.ChunkEvents)
+	p.out = make([]int, len(p.slots))
+	p.body = p.classify
+	return p, nil
+}
+
+// Run streams one AEDAT recording from r and calls emit for every
+// window, in window order. The recording's sensor must match what the
+// network was built for; emit returning an error aborts the run.
+func (p *Pipeline) Run(r io.Reader, emit func(Result) error) error {
+	sr, err := dvs.NewStreamReaderOptions(r, dvs.StreamReaderOptions{ReorderWindow: p.o.ReorderWindow})
+	if err != nil {
+		return err
+	}
+	h, w := sr.H(), sr.W()
+	// The frame layout is (2, H, W): a recording with the wrong sensor
+	// would alias into the network's input buffer and classify garbage,
+	// so dimensions are pinned — by Options.SensorW/H when declared, by
+	// the first recording otherwise.
+	if p.o.SensorW == 0 && p.o.SensorH == 0 {
+		p.o.SensorW, p.o.SensorH = w, h
+	}
+	if w != p.o.SensorW || h != p.o.SensorH {
+		return fmt.Errorf("stream: recording declares a %dx%d sensor, pipeline serves %dx%d",
+			w, h, p.o.SensorW, p.o.SensorH)
+	}
+	win, err := dvs.NewWindower(p.o.WindowMS, sr.Duration())
+	if err != nil {
+		return err
+	}
+	p.runH, p.runW = h, w
+
+	ready := 0
+	// takeWindow pops the windower's current window into the next free
+	// slot, flushing a full round of slots through the classifiers.
+	takeWindow := func() error {
+		idx, start, evs := win.Pop()
+		s := p.slots[ready]
+		s.index, s.start = idx, start
+		s.events = append(s.events[:0], evs...)
+		s.ensure(p.o.Steps, h, w)
+		ready++
+		if ready == len(p.slots) {
+			if err := p.flush(ready, emit); err != nil {
+				return err
+			}
+			ready = 0
+		}
+		return nil
+	}
+
+	for {
+		n, rerr := sr.ReadChunk(p.chunk)
+		for _, e := range p.chunk[:n] {
+			for {
+				ok, oerr := win.Offer(e)
+				if oerr != nil {
+					return oerr
+				}
+				if ok {
+					break
+				}
+				if err := takeWindow(); err != nil {
+					return err
+				}
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return rerr
+		}
+	}
+	// The tail of the recording window: silent stretches still produce
+	// (empty-window) predictions, so a run always emits NumWindows
+	// results.
+	for !win.Done() {
+		if err := takeWindow(); err != nil {
+			return err
+		}
+	}
+	return p.flush(ready, emit)
+}
+
+// classify is the worker body: filter, voxelize and predict the slots
+// in [lo, hi). Pool blocks are always grain-aligned, so every
+// Batch-sized sub-range below has a unique batch index — no two
+// concurrent groups ever share a network clone or an arena. (The
+// serial path hands the whole range to one call; the loop re-splits
+// it, so clone assignment is identical either way.)
+func (p *Pipeline) classify(lo, hi int) {
+	h, w := p.runH, p.runW
+	for lo < hi {
+		end := lo + p.o.Batch - lo%p.o.Batch
+		if end > hi {
+			end = hi
+		}
+		wk := lo / p.o.Batch
+		clone := p.clones[wk]
+		samples := p.samples[wk][:0]
+		for _, s := range p.slots[lo:end] {
+			events, start := s.events, s.start
+			if p.o.Filter != nil {
+				// Rebase the window to t=0 so the filter sees the same
+				// standalone stream the in-memory reference builds with
+				// SplitWindows.
+				s.rebased = s.rebased[:0]
+				for _, e := range events {
+					e.T -= start
+					s.rebased = append(s.rebased, e)
+				}
+				view := &dvs.Stream{W: w, H: h, Duration: p.o.WindowMS, Events: s.rebased}
+				filtered := p.o.Filter.Filter(view)
+				events, start = filtered.Events, 0
+			}
+			dvs.VoxelizeWindowInto(s.frames, events, w, h, start, p.o.WindowMS)
+			s.kept = len(events)
+			samples = append(samples, s.frames)
+		}
+		clone.PredictBatchInto(samples, p.out[lo:end])
+		lo = end
+	}
+}
+
+// flush classifies slots[:ready] — filter, voxelize, predict — fanning
+// Batch-sized window groups out over the shared worker pool, then
+// emits the results in window order. Window results are independent of
+// scheduling, so any worker count yields identical classes.
+func (p *Pipeline) flush(ready int, emit func(Result) error) error {
+	if ready == 0 {
+		return nil
+	}
+	tensor.ParallelFor(ready, p.o.Batch, p.body)
+	for i, s := range p.slots[:ready] {
+		r := Result{Window: s.index, StartMS: s.start, Events: s.kept, Class: p.out[i]}
+		if err := emit(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Predict streams one recording through a fresh pipeline and collects
+// the per-window results — the convenience form; long-lived serving
+// builds a Pipeline once and Runs it per recording.
+func Predict(r io.Reader, net *snn.Network, o Options) ([]Result, error) {
+	p, err := NewPipeline(net, o)
+	if err != nil {
+		return nil, err
+	}
+	var out []Result
+	if err := p.Run(r, func(res Result) error {
+		out = append(out, res)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PredictFile is Predict over an .aedat file.
+func PredictFile(path string, net *snn.Network, o Options) ([]Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Predict(f, net, o)
+}
