@@ -1,6 +1,15 @@
 # Tier-1 verification and benchmark smoke for the repro module.
+# CI invokes these targets directly (the bench and fuzz jobs run
+# `make bench-json BENCHTIME=3x` and `make fuzz-smoke`), so the
+# benchmark/fuzz target lists live here and nowhere else.
 
 GO ?= go
+# Benchmark iterations per benchmark: 1x locally for a fast smoke; CI
+# raises it for the cross-run regression gate, since single-iteration
+# ns/op on shared runners is too noisy to budget against.
+BENCHTIME ?= 1x
+# Seconds of coverage-guided fuzzing per target.
+FUZZTIME ?= 10s
 
 .PHONY: check fmt vet build test race bench bench-json fuzz-smoke
 
@@ -28,21 +37,28 @@ race:
 # One iteration of the hot-path benchmarks: keeps perf regressions
 # visible without burning CI minutes.
 bench:
-	$(GO) test -run '^$$' -bench 'SNNInference|TrainStep|GEMM|PGDCraft|StreamWindow' -benchtime=1x .
+	$(GO) test -run '^$$' -bench 'SNNInference|TrainStep|GEMM|PGDCraft|StreamWindow|ServeWindow' -benchtime=1x . ./internal/serve
 
 # The machine-readable benchmark artifact CI archives (inference +
 # training arenas, event-domain attack/filter hot paths, the streaming
-# window pipeline). Staged through a file so a benchmark failure fails
-# the target instead of hiding behind the pipe; the -zeroalloc gate
-# fails it if the arena'd benchmarks regress above 0 allocs/op.
+# window pipeline, the serve sessions). Staged through a file so a
+# benchmark failure fails the target instead of hiding behind the pipe;
+# the -zeroalloc gate fails it if the arena'd benchmarks regress above
+# 0 allocs/op. `benchjson -compare prev.json` adds the cross-run
+# regression gate CI applies between artifacts.
 bench-json:
-	$(GO) test -run '^$$' -bench 'Predict|NeuromorphicPerturbSet|AQFFilterSet|SNNInference|TrainStep|GEMM|Stream' \
-		-benchtime=1x . > bench.txt
-	$(GO) run ./cmd/benchjson -zeroalloc '^Benchmark(Predict|TrainStep|StreamWindow)$$' < bench.txt > BENCH_pr4.json
+	$(GO) test -run '^$$' -bench 'Predict|NeuromorphicPerturbSet|AQFFilterSet|SNNInference|TrainStep|GEMM|Stream|Serve|IncrementalAQF' \
+		-benchtime=$(BENCHTIME) . ./internal/serve > bench.txt
+	$(GO) run ./cmd/benchjson -zeroalloc '^Benchmark(Predict|TrainStep|StreamWindow|ServeWindow)$$' < bench.txt > BENCH_pr5.json
 
-# Short coverage-guided runs of the event-codec fuzz targets — the
-# corpus CI exercises against the streaming reader and writer.
+# Short coverage-guided runs of the fuzz targets — the event codec's
+# oracle contracts and the incremental AQF's bit-identity to the
+# whole-stream filter. Fails fast on the first failing target.
 fuzz-smoke:
-	for t in FuzzStreamReader FuzzStreamRoundTrip FuzzReadAEDAT; do \
-		$(GO) test ./internal/dvs -run '^$$' -fuzz "^$$t$$" -fuzztime 10s || exit 1; \
+	@set -e; \
+	for spec in "./internal/dvs FuzzStreamReader" "./internal/dvs FuzzStreamRoundTrip" \
+		"./internal/dvs FuzzReadAEDAT" "./internal/defense FuzzIncrementalAQF"; do \
+		set -- $$spec; \
+		echo "== $$2 ($$1)"; \
+		$(GO) test $$1 -run '^$$' -fuzz "^$$2$$" -fuzztime $(FUZZTIME) || { echo "FUZZ FAILURE: $$2 in $$1"; exit 1; }; \
 	done

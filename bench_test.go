@@ -411,6 +411,37 @@ func BenchmarkAQFFilter(b *testing.B) {
 	b.ReportMetric(float64(len(s.Events)), "events/op")
 }
 
+// BenchmarkIncrementalAQF measures the cross-window online AQF pushing
+// the same flow in reader-sized chunks — the filter the streaming
+// pipeline and the serve sessions default to. Steady state reuses every
+// internal buffer, so throughput is directly comparable to the
+// whole-stream BenchmarkAQFFilter above.
+func BenchmarkIncrementalAQF(b *testing.B) {
+	s := dvs.GenerateGesture(7, dvs.DefaultGestureConfig(), rng.New(4))
+	p := defense.DefaultAQFParams(0.015)
+	f, err := defense.NewIncrementalAQF(s.W, s.H, s.Duration, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const chunk = 512
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Reset(s.Duration)
+		for lo := 0; lo < len(s.Events); lo += chunk {
+			hi := lo + chunk
+			if hi > len(s.Events) {
+				hi = len(s.Events)
+			}
+			if _, err := f.Push(s.Events[lo:hi]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		f.Flush()
+	}
+	b.ReportMetric(float64(len(s.Events)), "events/op")
+}
+
 // BenchmarkSparseAttack measures the gradient-guided event attack on one
 // stream.
 func BenchmarkSparseAttack(b *testing.B) {

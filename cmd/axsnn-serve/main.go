@@ -1,0 +1,239 @@
+// Command axsnn-serve is the multi-session event-stream server: it
+// serves windowed SNN classifications over the serve framing protocol,
+// one session per TCP connection, drawing evaluation clones from a
+// bounded shared pool and hot-swapping checkpoints without dropping
+// traffic (SIGHUP reloads -checkpoint atomically; in-flight window
+// batches finish on the weights they hold).
+//
+// Server mode:
+//
+//	axsnn-serve [-addr :7360] [-sessions 16] [-workers 0] [-pool 0]
+//	            [-checkpoint model.gob] [-window 600] [-steps 8]
+//	            [-batch 4] [-chunk 4096] [-reorder 1024] [-qt -1]
+//	            [-perwindow] [-train 33] [-epochs 4] [-seed N]
+//
+// Without -checkpoint a small gesture classifier is trained on
+// synthetic 32×32 DVS streams at startup (the same quick model
+// axsnn-stream builds); with -checkpoint the weights are loaded into
+// that architecture instead, and SIGHUP re-reads the file for a live
+// hot-swap. -qt >= 0 enables AQF denoising — cross-window incremental
+// by default, the lossy per-window form with -perwindow.
+//
+// Load-generator mode:
+//
+//	axsnn-serve -load [-addr host:7360] [-sessions 8] [-recordings 4]
+//	            [-segments 6] [-window 600] [-seed N]
+//
+// Opens -sessions concurrent sessions, streams -recordings synthetic
+// multi-gesture flows on each, checks the protocol invariants (window
+// order, declared counts) and reports aggregate windows/s.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/defense"
+	"repro/internal/dvs"
+	"repro/internal/rng"
+	"repro/internal/serve"
+	"repro/internal/snn"
+	"repro/internal/stream"
+	"repro/internal/tensor"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("axsnn-serve: ")
+
+	addr := flag.String("addr", ":7360", "listen address (server) / server address (-load)")
+	sessions := flag.Int("sessions", 16, "max concurrent sessions (server) / concurrent sessions to open (-load)")
+	workers := flag.Int("workers", 0, "tensor worker budget (0 = all cores)")
+	pool := flag.Int("pool", 0, "shared clone pool size (0 = worker budget)")
+	checkpoint := flag.String("checkpoint", "", "checkpoint to serve; SIGHUP reloads it as a hot swap")
+	window := flag.Float64("window", 600, "prediction window (ms)")
+	steps := flag.Int("steps", 8, "voxel time bins per window")
+	batch := flag.Int("batch", 4, "windows per batched inference call")
+	chunk := flag.Int("chunk", 4096, "reader chunk size (events)")
+	reorder := flag.Int("reorder", 1024, "reorder-buffer capacity (0 = require sorted)")
+	qt := flag.Float64("qt", -1, "AQF quantization step in seconds; < 0 disables filtering")
+	perWindow := flag.Bool("perwindow", false, "use the lossy per-window AQF instead of the cross-window incremental form")
+	trainN := flag.Int("train", 33, "synthetic training streams when no -checkpoint is given")
+	epochs := flag.Int("epochs", 4, "training epochs for the synthetic model")
+	loadMode := flag.Bool("load", false, "run as load generator against -addr")
+	recordings := flag.Int("recordings", 4, "recordings per session (-load)")
+	segments := flag.Int("segments", 6, "gesture segments per recording (-load)")
+	seed := flag.Uint64("seed", 4, "seed")
+	flag.Parse()
+	tensor.SetWorkers(*workers)
+
+	gcfg := dvs.DefaultGestureConfig()
+	gcfg.Duration = *window
+
+	if *loadMode {
+		runLoad(*addr, *sessions, *recordings, *segments, gcfg, *seed)
+		return
+	}
+
+	net_ := snn.DVSNet(snn.DefaultConfig(1.0, *steps), gcfg.H, gcfg.W, dvs.GestureClasses, true,
+		rng.New(*seed+1), rng.New(*seed+2))
+	if *checkpoint != "" {
+		if err := net_.LoadFile(*checkpoint); err != nil {
+			log.Fatalf("loading %s: %v", *checkpoint, err)
+		}
+		fmt.Printf("serving checkpoint %s\n", *checkpoint)
+	} else {
+		trainSynthetic(net_, *trainN, *epochs, *steps, gcfg, *seed)
+	}
+
+	opts := stream.Options{
+		WindowMS: *window, Steps: *steps, Batch: *batch,
+		ChunkEvents: *chunk, ReorderWindow: *reorder,
+		SensorW: gcfg.W, SensorH: gcfg.H,
+	}
+	if *qt >= 0 {
+		p := defense.DefaultAQFParams(*qt)
+		if *perWindow {
+			opts.Filter = defense.AQFFilter{Params: p}
+		} else {
+			opts.AQF = &p
+		}
+	}
+	srv, err := serve.NewServer(net_, serve.ServerOptions{
+		Pipeline: opts, MaxSessions: *sessions, PoolSize: *pool,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *checkpoint != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				if err := srv.LoadCheckpointFile(*checkpoint); err != nil {
+					log.Printf("hot swap failed (still serving previous weights): %v", err)
+					continue
+				}
+				log.Printf("hot-swapped %s (swap #%d)", *checkpoint, srv.Swaps())
+			}
+		}()
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("listening on %s (max %d sessions, pool %d clones, %gms windows)\n",
+		ln.Addr(), *sessions, effectivePool(*pool), *window)
+	if err := srv.Serve(ln); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// effectivePool mirrors the server's default so the banner is accurate.
+func effectivePool(n int) int {
+	if n <= 0 {
+		return tensor.Workers()
+	}
+	return n
+}
+
+// trainSynthetic fits the quick demo classifier axsnn-stream also uses.
+func trainSynthetic(net_ *snn.Network, trainN, epochs, steps int, gcfg dvs.GestureConfig, seed uint64) {
+	train := dvs.GenerateGestureSet(trainN, gcfg, seed)
+	frames := make([][]*tensor.Tensor, train.Len())
+	labels := make([]int, train.Len())
+	for i, sm := range train.Samples {
+		frames[i] = sm.Stream.Voxelize(steps)
+		labels[i] = sm.Label
+	}
+	fmt.Printf("training %d-stream gesture classifier (%d epochs, %d steps)...\n", trainN, epochs, steps)
+	snn.TrainFrames(net_, frames, labels, snn.TrainOptions{
+		Epochs: epochs, BatchSize: 8, Optimizer: snn.NewAdam(3e-3), Seed: seed + 3,
+	})
+}
+
+// recordingBytes builds one synthetic multi-gesture flow as AEDAT.
+func recordingBytes(segments int, gcfg dvs.GestureConfig, seed uint64) []byte {
+	segs := make([]*dvs.Stream, segments)
+	for k := range segs {
+		class := int(rng.New(seed + uint64(k)).Intn(dvs.GestureClasses))
+		segs[k] = dvs.GenerateGesture(class, gcfg, rng.New(seed+100+uint64(k)))
+	}
+	flow, err := dvs.ConcatStreams(segs...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := dvs.WriteAEDAT(&buf, flow); err != nil {
+		log.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// runLoad is the load-generator client: concurrent sessions, each
+// streaming several recordings, verifying protocol invariants and
+// reporting aggregate throughput.
+func runLoad(addr string, sessions, recordings, segments int, gcfg dvs.GestureConfig, seed uint64) {
+	var totalWindows, totalEvents atomic.Int64
+	var failures atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				log.Printf("session %d: dial: %v", s, err)
+				failures.Add(1)
+				return
+			}
+			cl := serve.NewClient(conn)
+			defer cl.Close()
+			for r := 0; r < recordings; r++ {
+				data := recordingBytes(segments, gcfg, seed+uint64(1000*s+r))
+				last := -1
+				got := 0
+				n, err := cl.Stream(bytes.NewReader(data), func(res stream.Result) error {
+					if res.Window != last+1 {
+						return fmt.Errorf("window %d after %d: out of order", res.Window, last)
+					}
+					last = res.Window
+					got++
+					totalEvents.Add(int64(res.Events))
+					return nil
+				})
+				if err != nil {
+					log.Printf("session %d recording %d: %v", s, r, err)
+					failures.Add(1)
+					return
+				}
+				if n != got {
+					log.Printf("session %d recording %d: server declared %d windows, streamed %d", s, r, n, got)
+					failures.Add(1)
+					return
+				}
+				totalWindows.Add(int64(n))
+			}
+		}(s)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	fmt.Printf("%d sessions × %d recordings: %d windows, %d events in %v (%.0f windows/s)\n",
+		sessions, recordings, totalWindows.Load(), totalEvents.Load(), elapsed.Round(time.Millisecond),
+		float64(totalWindows.Load())/elapsed.Seconds())
+	if failures.Load() > 0 {
+		log.Fatalf("%d session failures", failures.Load())
+	}
+}

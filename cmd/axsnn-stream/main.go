@@ -7,8 +7,9 @@
 // Usage:
 //
 //	axsnn-stream [-window 100] [-steps 8] [-workers 0] [-chunk 4096]
-//	             [-batch 4] [-reorder 1024] [-qt -1] [-train 33]
-//	             [-epochs 4] [-segments 12] [-seed N] [file.aedat ...]
+//	             [-batch 4] [-reorder 1024] [-qt -1] [-perwindow]
+//	             [-train 33] [-epochs 4] [-segments 12] [-seed N]
+//	             [file.aedat ...]
 //
 // A small gesture classifier is trained on synthetic 32×32 DVS streams
 // first; the given .aedat files (which must be 32×32) are then
@@ -45,7 +46,8 @@ func main() {
 	chunk := flag.Int("chunk", 4096, "reader chunk size (events)")
 	batch := flag.Int("batch", 4, "windows per batched inference call")
 	reorder := flag.Int("reorder", 1024, "reorder-buffer capacity for mildly unsorted recordings (0 = require sorted)")
-	qt := flag.Float64("qt", -1, "AQF quantization step in seconds; < 0 disables per-window filtering")
+	qt := flag.Float64("qt", -1, "AQF quantization step in seconds; < 0 disables filtering")
+	perWindow := flag.Bool("perwindow", false, "use the lossy per-window AQF instead of the cross-window incremental form")
 	trainN := flag.Int("train", 33, "synthetic training streams for the classifier")
 	epochs := flag.Int("epochs", 4, "training epochs")
 	segments := flag.Int("segments", 12, "gesture segments in the synthetic demo flow (no input files)")
@@ -79,7 +81,14 @@ func main() {
 		SensorW: gcfg.W, SensorH: gcfg.H,
 	}
 	if *qt >= 0 {
-		opts.Filter = defense.AQFFilter{Params: defense.DefaultAQFParams(*qt)}
+		p := defense.DefaultAQFParams(*qt)
+		if *perWindow {
+			opts.Filter = defense.AQFFilter{Params: p}
+		} else {
+			// Default: the cross-window incremental AQF — whole-stream
+			// filter semantics at streaming memory cost.
+			opts.AQF = &p
+		}
 	}
 	p, err := stream.NewPipeline(net, opts)
 	if err != nil {

@@ -6,9 +6,16 @@
 // With -zeroalloc REGEXP it additionally fails (exit 1) unless every
 // matching benchmark reported allocs/op == 0 — the CI gate on the
 // arena'd hot paths.
+//
+// With -compare PREV.json it fails unless every benchmark matching
+// -gated (default: everything) holds ns/op within -maxratio (default
+// 1.2, i.e. a 20% budget) of the same benchmark in the previous
+// artifact — the cross-run regression gate. Benchmarks without a
+// previous measurement pass.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"log"
 	"os"
@@ -21,6 +28,9 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	zeroAlloc := flag.String("zeroalloc", "", "fail unless benchmarks matching this regexp report 0 allocs/op")
+	compare := flag.String("compare", "", "previous BENCH_*.json artifact to gate ns/op regressions against")
+	gated := flag.String("gated", "", "regexp selecting the benchmarks -compare gates (default: all)")
+	maxRatio := flag.Float64("maxratio", 1.2, "ns/op budget for -compare as a ratio of the previous run")
 	flag.Parse()
 
 	results, err := eval.ParseBench(os.Stdin)
@@ -36,6 +46,25 @@ func main() {
 			log.Fatal(err)
 		}
 		if err := eval.CheckZeroAllocs(results, re); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *compare != "" {
+		blob, err := os.ReadFile(*compare)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var prev []eval.BenchResult
+		if err := json.Unmarshal(blob, &prev); err != nil {
+			log.Fatalf("parsing %s: %v", *compare, err)
+		}
+		re := regexp.MustCompile("")
+		if *gated != "" {
+			if re, err = regexp.Compile(*gated); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := eval.CompareBench(prev, results, re, *maxRatio); err != nil {
 			log.Fatal(err)
 		}
 	}

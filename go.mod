@@ -1,3 +1,5 @@
 module repro
 
-go 1.24
+// 1.23 is the floor CI's test matrix exercises (1.23 and 1.24); keep
+// the directive at the floor so the matrix stays honest.
+go 1.23

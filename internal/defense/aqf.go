@@ -47,14 +47,19 @@ func DefaultAQFParams(qt float64) AQFParams {
 //     accumulated at least `Support` neighbourhood events within the
 //     last T2 ms. Gesture events ride dense moving edges and pass;
 //     isolated adversarial events do not. Events within the first T2 ms
-//     pass unconditionally (the published M is zero-initialized, which
-//     has exactly this effect).
+//     of the recording pass unconditionally (the published M is
+//     zero-initialized, which has exactly this effect).
 //  4. Hot-pixel flag (Lines 13-17): a pixel active in more than T1
 //     consecutive T2/2-windows fires continuously — defective by DVS
-//     standards, and the signature of boundary flooding — and all its
-//     events are removed.
+//     standards, and the signature of boundary flooding — and its
+//     events are removed from the moment the run crosses the threshold
+//     (including the crossing event itself). The rule is causal, as the
+//     single-pass pseudocode is: events emitted before the pixel turned
+//     hot are not retracted, which is what lets IncrementalAQF serve
+//     the identical filter online with bounded memory.
 //
-// The input stream is not modified.
+// The input must be time-sorted (dvs.Stream.Sort order); every stream
+// the loaders and generators produce is. The input is not modified.
 func AQF(s *dvs.Stream, p AQFParams) *dvs.Stream {
 	out := &dvs.Stream{W: s.W, H: s.H, Duration: s.Duration}
 	if len(s.Events) == 0 {
@@ -99,7 +104,9 @@ func AQF(s *dvs.Stream, p AQFParams) *dvs.Stream {
 		return seenPos[k] > 0 && seenNeg[k] > 0
 	}
 
-	// Step 4 bookkeeping (computed up front, single pass): hot pixels.
+	// Step 4 bookkeeping: hot-pixel runs, updated inline in the scan
+	// below so the flag is causal — an event sees the run state up to
+	// and including itself, never the pixel's future.
 	winLen := p.T2 / 2
 	if winLen <= 0 {
 		winLen = 25
@@ -109,23 +116,6 @@ func AQF(s *dvs.Stream, p AQFParams) *dvs.Stream {
 	flag := make([]bool, s.W*s.H)
 	for i := range lastWin {
 		lastWin[i] = -2
-	}
-	for _, e := range events {
-		idx := e.Y*s.W + e.X
-		win := int(e.T / winLen)
-		switch {
-		case win == lastWin[idx]:
-			// same window: no run-length change
-		case win == lastWin[idx]+1:
-			runLen[idx]++
-			lastWin[idx] = win
-		default:
-			runLen[idx] = 1
-			lastWin[idx] = win
-		}
-		if runLen[idx] > p.T1 {
-			flag[idx] = true
-		}
 	}
 
 	// Step 3: neighbourhood-support filter. recent[idx] holds the
@@ -154,6 +144,22 @@ func AQF(s *dvs.Stream, p AQFParams) *dvs.Stream {
 
 	for _, e := range events {
 		idx := e.Y*s.W + e.X
+		// Hot-pixel run bookkeeping first: the event that pushes a run
+		// past T1 is itself dropped, along with everything after it.
+		win := int(e.T / winLen)
+		switch {
+		case win == lastWin[idx]:
+			// same window: no run-length change
+		case win == lastWin[idx]+1:
+			runLen[idx]++
+			lastWin[idx] = win
+		default:
+			runLen[idx] = 1
+			lastWin[idx] = win
+		}
+		if runLen[idx] > p.T1 {
+			flag[idx] = true
+		}
 		keep := !flag[idx] && !impossible(e)
 		if keep && e.T > p.T2 {
 			keep = countRecent(idx, e.T) >= support

@@ -4,15 +4,27 @@ import "repro/internal/dvs"
 
 // Filter is the single-stream event-denoiser interface shared by the
 // two defenses: AQF (adapted by AQFFilter) and the background-activity
-// baseline. The streaming pipeline (internal/stream) applies a Filter
-// to every window of the event flow, each window viewed as a
-// standalone stream starting at t=0 — the bounded-memory, online form
-// of filtering: state never outlives a window, so memory stays
-// O(window) however long the recording runs. The boundary semantics
-// follow: an event near a window's start cannot draw support from the
-// previous window (AQF's "first T2 ms pass unconditionally" rule
-// applies per window), exactly as if each window had been recorded
-// separately.
+// baseline. The streaming pipeline (internal/stream) can apply a
+// Filter to every window of the event flow, each window viewed as a
+// standalone stream starting at t=0: state never outlives a window, so
+// memory stays O(window) however long the recording runs.
+//
+// This per-window form is a lossy approximation of the whole-stream
+// filter, and deliberately so — know what it trades away before
+// choosing it. An event near a window's start cannot draw support from
+// the previous window, so AQF's "first T2 ms pass unconditionally"
+// rule applies per *window*, not per recording: every window opens
+// with a T2 ms grace period in which all events — including injected
+// adversarial ones — pass unfiltered, and hot-pixel runs restart at
+// every boundary, so a flooding pixel is re-granted T1 windows of
+// output each time. With the paper's T2=50 ms and a 100 ms serving
+// window, half of every window is unfiltered. That is why
+// stream.Pipeline's default AQF mode is the cross-window
+// IncrementalAQF, which carries correlation state and hot-pixel runs
+// across boundaries and matches the whole-stream AQF bit for bit; the
+// per-window form stays available behind stream.Options.Filter for
+// workloads that want strict window isolation (e.g. windows from
+// unrelated recordings).
 type Filter interface {
 	// Filter returns a filtered copy; the input is not modified.
 	Filter(s *dvs.Stream) *dvs.Stream

@@ -74,6 +74,47 @@ func BenchJSON(results []BenchResult) ([]byte, error) {
 	return json.MarshalIndent(results, "", "  ")
 }
 
+// CompareBench gates cur against prev: every benchmark matching re
+// that appears in both runs must hold cur ns/op <= prev ns/op ×
+// maxRatio (1.2 = a 20% regression budget). Benchmarks new in cur, or
+// gone from it, are skipped — the gate compares trajectories, it does
+// not freeze the benchmark set — and a run with no comparable pair
+// passes (the first artifact has nothing to regress against). It
+// returns an error naming every offender with both timings.
+func CompareBench(prev, cur []BenchResult, re *regexp.Regexp, maxRatio float64) error {
+	if maxRatio <= 0 {
+		return fmt.Errorf("eval: non-positive regression ratio %g", maxRatio)
+	}
+	prevNs := make(map[string]float64, len(prev))
+	for _, r := range prev {
+		if ns, ok := r.Metrics["ns/op"]; ok {
+			prevNs[r.Name] = ns
+		}
+	}
+	var bad []string
+	for _, r := range cur {
+		if !re.MatchString(r.Name) {
+			continue
+		}
+		ns, ok := r.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		base, ok := prevNs[r.Name]
+		if !ok || base <= 0 {
+			continue
+		}
+		if ns > base*maxRatio {
+			bad = append(bad, fmt.Sprintf("%s: %.0f ns/op vs %.0f previously (%.2fx > %.2fx budget)",
+				r.Name, ns, base, ns/base, maxRatio))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("bench regression gate failed: %s", strings.Join(bad, "; "))
+	}
+	return nil
+}
+
 // CheckZeroAllocs verifies that every benchmark whose name matches re
 // reported allocs/op == 0 — the CI gate keeping the arena'd hot paths
 // (inference Predict, the training step) from regressing back into the

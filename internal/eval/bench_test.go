@@ -97,3 +97,47 @@ func TestCheckZeroAllocs(t *testing.T) {
 		t.Fatal("unmatched gate regexp must error")
 	}
 }
+
+func TestCompareBench(t *testing.T) {
+	prev := []BenchResult{
+		{Name: "BenchmarkPredict", Metrics: map[string]float64{"ns/op": 1000}},
+		{Name: "BenchmarkServeWindow", Metrics: map[string]float64{"ns/op": 500}},
+		{Name: "BenchmarkRetired", Metrics: map[string]float64{"ns/op": 10}},
+	}
+	gate := regexp.MustCompile(`^Benchmark(Predict|ServeWindow|New)$`)
+
+	// Within budget: 15% slower passes a 20% gate.
+	cur := []BenchResult{
+		{Name: "BenchmarkPredict", Metrics: map[string]float64{"ns/op": 1150}},
+		{Name: "BenchmarkServeWindow", Metrics: map[string]float64{"ns/op": 400}},
+	}
+	if err := CompareBench(prev, cur, gate, 1.2); err != nil {
+		t.Fatalf("within-budget run failed the gate: %v", err)
+	}
+
+	// Over budget: the offender is named with both timings.
+	cur[0].Metrics["ns/op"] = 1300
+	err := CompareBench(prev, cur, gate, 1.2)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkPredict") {
+		t.Fatalf("regression not reported: %v", err)
+	}
+
+	// A benchmark new in cur has no baseline and passes; an ungated
+	// regression is ignored.
+	cur = []BenchResult{
+		{Name: "BenchmarkNew", Metrics: map[string]float64{"ns/op": 9e9}},
+		{Name: "BenchmarkUngated", Metrics: map[string]float64{"ns/op": 9e9}},
+	}
+	if err := CompareBench(prev, cur, gate, 1.2); err != nil {
+		t.Fatalf("new/ungated benchmarks tripped the gate: %v", err)
+	}
+
+	// No comparable pair at all (first artifact): passes.
+	if err := CompareBench(nil, cur, gate, 1.2); err != nil {
+		t.Fatalf("empty baseline failed: %v", err)
+	}
+
+	if err := CompareBench(prev, cur, gate, 0); err == nil {
+		t.Fatal("non-positive ratio accepted")
+	}
+}

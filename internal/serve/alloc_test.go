@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/dvs"
+	"repro/internal/rng"
+	"repro/internal/stream"
+	"repro/internal/tensor"
+)
+
+// The serving layer inherits the pipeline's zero-alloc window contract
+// and must not spend it: drawing a clone from the shared pool,
+// classifying a window and framing the result onto the wire may not
+// touch the allocator once warm. (The recording-level setup — session
+// pipeline, reader, windower — allocates per session/recording, which
+// is amortized over every window it serves.)
+
+// serveWindowBody builds the steady-state per-window serving closure:
+// pool acquire → voxelize → batched arena inference → pool release →
+// result framing + flush. It mirrors exactly what a session does per
+// window inside serveSession/classify.
+func serveWindowBody(t testing.TB, srv *Server) func(i int) {
+	cfg := dvs.DefaultGestureConfig()
+	cfg.W, cfg.H = 16, 16
+	cfg.Duration = 400
+	s := dvs.GenerateGesture(4, cfg, rng.New(8))
+	const windowMS = 50.0
+	windows := dvs.SplitWindows(s, windowMS)
+	steps := srv.Master().Cfg.Steps
+	frames := make([]*tensor.Tensor, steps)
+	for i := range frames {
+		frames[i] = tensor.New(2, 16, 16)
+	}
+	samples := [][]*tensor.Tensor{frames}
+	out := make([]int, 1)
+	fw := newFrameWriter(io.Discard)
+	rbuf := make([]byte, 0, resultSize)
+	return func(i int) {
+		w := windows[i%len(windows)]
+		clone := srv.AcquireClone()
+		dvs.VoxelizeWindowInto(frames, w.Events, 16, 16, 0, windowMS)
+		clone.PredictBatchInto(samples, out)
+		srv.ReleaseClone(clone)
+		rbuf = appendResult(rbuf[:0], stream.Result{Window: i, StartMS: float64(i) * windowMS, Events: len(w.Events), Class: out[0]})
+		if err := fw.write(frameResult, rbuf); err != nil {
+			t.Fatal(err)
+		}
+		if err := fw.flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestServeWindowZeroAllocs(t *testing.T) {
+	defer tensor.SetWorkers(0)
+	tensor.SetWorkers(1)
+	master := testNet(8, 71)
+	srv, err := NewServer(master, ServerOptions{
+		Pipeline: stream.Options{WindowMS: 50, Steps: 8}, PoolSize: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := serveWindowBody(t, srv)
+	body(0) // warm the arena, frames and frame buffers
+	i := 1
+	allocs := testing.AllocsPerRun(100, func() {
+		body(i)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("serve window path allocates %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/stream"
+	"repro/internal/tensor"
+)
+
+// BenchmarkServeWindow measures one steady-state served window — pool
+// acquire, windowed voxelization, batched arena inference, pool
+// release, result framing — the per-window cost that must stay at
+// 0 allocs/op (CI's zero-alloc gate covers this benchmark).
+func BenchmarkServeWindow(b *testing.B) {
+	defer tensor.SetWorkers(0)
+	tensor.SetWorkers(1)
+	master := testNet(8, 71)
+	srv, err := NewServer(master, ServerOptions{
+		Pipeline: stream.Options{WindowMS: 50, Steps: 8}, PoolSize: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := serveWindowBody(b, srv)
+	body(0) // warm the arena, frames and frame buffers
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body(i + 1)
+	}
+}
+
+// BenchmarkServeSessions measures end-to-end session throughput — the
+// full protocol stack over in-process pipes — at 1, 4 and 16 concurrent
+// sessions sharing one bounded clone pool, reporting aggregate
+// windows/s.
+func BenchmarkServeSessions(b *testing.B) {
+	for _, sessions := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
+			defer tensor.SetWorkers(0)
+			tensor.SetWorkers(1)
+			master := testNet(6, 81)
+			o := stream.Options{WindowMS: 60, Steps: 6, Batch: 2, ChunkEvents: 1024}
+			srv, err := NewServer(master, ServerOptions{
+				Pipeline: o, MaxSessions: sessions, PoolSize: 2,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			data := testRecording(b, 3, 360, 91)
+			windows := len(standalone(b, master, data, o))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				errs := make(chan error, sessions)
+				for s := 0; s < sessions; s++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						cl, done := startSession(srv)
+						defer cl.Close()
+						if _, err := cl.Stream(bytes.NewReader(data), nil); err != nil {
+							errs <- err
+							return
+						}
+						cl.Close()
+						<-done
+					}()
+				}
+				wg.Wait()
+				close(errs)
+				for err := range errs {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N*sessions*windows)/b.Elapsed().Seconds(), "windows/s")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*sessions*windows), "ns/window")
+		})
+	}
+}

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"repro/internal/stream"
+)
+
+// Client speaks the serve framing protocol over one session
+// connection. It is not safe for concurrent use; one Stream call runs
+// at a time, and a session may Stream several recordings back to back.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	fw   *frameWriter
+	pbuf []byte
+}
+
+// NewClient wraps an established session connection (TCP or net.Pipe).
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, br: bufio.NewReader(conn), fw: newFrameWriter(conn)}
+}
+
+// Close ends the session.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Stream sends one AEDAT recording and calls emit for every window
+// result, in window order, as the server classifies them. It returns
+// the server's window count. Sending and receiving run concurrently —
+// the server streams results while the recording is still uploading —
+// which is what makes the protocol deadlock-free over synchronous
+// transports.
+func (c *Client) Stream(recording io.Reader, emit func(stream.Result) error) (int, error) {
+	writeErr := make(chan error, 1)
+	go func() { writeErr <- c.send(recording) }()
+
+	for {
+		typ, n, err := readHeader(c.br)
+		if err != nil {
+			c.conn.Close()
+			<-writeErr
+			return 0, fmt.Errorf("serve: reading result frame: %w", err)
+		}
+		if cap(c.pbuf) < n {
+			c.pbuf = make([]byte, n)
+		}
+		payload := c.pbuf[:n]
+		if _, err := io.ReadFull(c.br, payload); err != nil {
+			c.conn.Close()
+			<-writeErr
+			return 0, err
+		}
+		switch typ {
+		case frameResult:
+			res, err := decodeResult(payload)
+			if err == nil && emit != nil {
+				err = emit(res)
+			}
+			if err != nil {
+				c.conn.Close()
+				<-writeErr
+				return 0, err
+			}
+		case frameDone:
+			if n != 4 {
+				c.conn.Close()
+				<-writeErr
+				return 0, fmt.Errorf("serve: done frame of %d bytes", n)
+			}
+			count := int(binary.LittleEndian.Uint32(payload))
+			if err := <-writeErr; err != nil {
+				return count, err
+			}
+			return count, nil
+		case frameError:
+			// The server aborted; it may have stopped reading our
+			// upload, so unblock the sender before reporting.
+			msg := string(payload)
+			c.conn.Close()
+			<-writeErr
+			return 0, errors.New(msg)
+		default:
+			c.conn.Close()
+			<-writeErr
+			return 0, fmt.Errorf("serve: unexpected frame type 0x%02x from server", typ)
+		}
+	}
+}
+
+// send uploads the recording as data frames and terminates it.
+func (c *Client) send(recording io.Reader) error {
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := recording.Read(buf)
+		if n > 0 {
+			if werr := c.fw.write(frameData, buf[:n]); werr != nil {
+				return werr
+			}
+			// Flush per chunk so the server classifies while the rest
+			// of the recording uploads.
+			if werr := c.fw.flush(); werr != nil {
+				return werr
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if err := c.fw.write(frameEnd, nil); err != nil {
+		return err
+	}
+	return c.fw.flush()
+}

@@ -1,0 +1,179 @@
+// Package serve is the multi-session event-stream server: it
+// multiplexes many concurrent AEDAT recordings — one stream.Pipeline
+// per session — over a length-prefixed framing protocol, drawing
+// evaluation clones from one shared bounded pool (sized by the tensor
+// worker budget, not by the session count) and hot-swapping checkpoints
+// under live traffic with RCU pointer-exchange semantics: in-flight
+// window batches finish on the clone they hold, everything after picks
+// up the new weights.
+//
+// The wire protocol is deliberately minimal. Every frame is
+//
+//	[1 byte type][4 bytes little-endian payload length][payload]
+//
+// A session is one connection serving a sequence of recordings on one
+// warmed pipeline. Per recording, the client sends the AEDAT container
+// as a sequence of frameData frames (any chunking, including the whole
+// file at once) terminated by frameEnd; the server answers with one
+// frameResult per window — in window order, streamed as soon as each
+// window classifies — then frameDone carrying the window count. After
+// frameDone the client may start the next recording with its first
+// frameData, or close the connection to end the session. A fatal error
+// at either layer is reported as a frameError carrying the message,
+// after which the connection closes.
+// Because results stream while data is still arriving, a client MUST
+// read concurrently with writing (Client.Stream does), or a fully
+// synchronous transport such as net.Pipe deadlocks.
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/stream"
+)
+
+// Frame types. Client-to-server types have the high bit clear,
+// server-to-client types have it set.
+const (
+	frameData   = 0x01 // raw AEDAT container bytes
+	frameEnd    = 0x02 // recording complete, no payload
+	frameResult = 0x81 // one window result (resultSize payload)
+	frameDone   = 0x82 // all windows emitted; payload = uint32 count
+	frameError  = 0x83 // fatal session error; payload = UTF-8 message
+)
+
+// maxFramePayload bounds a frame a peer may declare, so a corrupt or
+// hostile length prefix cannot balloon a read buffer. Data frames are
+// typically a few KB; 1 MB is generous.
+const maxFramePayload = 1 << 20
+
+// frameHeaderSize is type + length prefix.
+const frameHeaderSize = 5
+
+// resultSize is the frameResult payload: window uint32, startMS
+// float64, events uint32, class int32.
+const resultSize = 4 + 8 + 4 + 4
+
+// frameWriter emits frames onto a buffered writer. The header scratch
+// lives in the struct, not the stack, so the per-window result frame
+// costs no allocation (a stack array would escape through the
+// bufio.Writer.Write interface path).
+type frameWriter struct {
+	bw  *bufio.Writer
+	hdr [frameHeaderSize]byte
+}
+
+func newFrameWriter(w io.Writer) *frameWriter {
+	return &frameWriter{bw: bufio.NewWriter(w)}
+}
+
+// write emits one frame. The caller flushes.
+func (w *frameWriter) write(typ byte, payload []byte) error {
+	w.hdr[0] = typ
+	binary.LittleEndian.PutUint32(w.hdr[1:], uint32(len(payload)))
+	if _, err := w.bw.Write(w.hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.bw.Write(payload)
+	return err
+}
+
+func (w *frameWriter) flush() error { return w.bw.Flush() }
+
+// readHeader decodes the next frame header.
+func readHeader(r *bufio.Reader) (typ byte, n int, err error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, err
+	}
+	n = int(binary.LittleEndian.Uint32(hdr[1:]))
+	if n > maxFramePayload {
+		return 0, 0, fmt.Errorf("serve: frame of %d bytes exceeds the %d-byte limit", n, maxFramePayload)
+	}
+	return hdr[0], n, nil
+}
+
+// appendResult encodes one window result after b — the server's
+// per-window hot path, allocation-free once b has capacity.
+func appendResult(b []byte, r stream.Result) []byte {
+	var p [resultSize]byte
+	binary.LittleEndian.PutUint32(p[0:], uint32(r.Window))
+	binary.LittleEndian.PutUint64(p[4:], math.Float64bits(r.StartMS))
+	binary.LittleEndian.PutUint32(p[12:], uint32(r.Events))
+	binary.LittleEndian.PutUint32(p[16:], uint32(int32(r.Class)))
+	return append(b, p[:]...)
+}
+
+// decodeResult is appendResult's inverse.
+func decodeResult(p []byte) (stream.Result, error) {
+	if len(p) != resultSize {
+		return stream.Result{}, fmt.Errorf("serve: result frame of %d bytes, want %d", len(p), resultSize)
+	}
+	return stream.Result{
+		Window:  int(binary.LittleEndian.Uint32(p[0:])),
+		StartMS: math.Float64frombits(binary.LittleEndian.Uint64(p[4:])),
+		Events:  int(binary.LittleEndian.Uint32(p[12:])),
+		Class:   int(int32(binary.LittleEndian.Uint32(p[16:]))),
+	}, nil
+}
+
+// frameReader adapts the client's frameData/frameEnd sequence into the
+// io.Reader the streaming pipeline consumes: Read hands out payload
+// bytes until frameEnd, then io.EOF. It allocates nothing after
+// construction.
+type frameReader struct {
+	br        *bufio.Reader
+	remaining int // unread bytes of the current data frame
+	done      bool
+}
+
+func (r *frameReader) Read(p []byte) (int, error) {
+	for r.remaining == 0 {
+		if r.done {
+			return 0, io.EOF
+		}
+		typ, n, err := readHeader(r.br)
+		if err != nil {
+			return 0, err
+		}
+		switch typ {
+		case frameData:
+			r.remaining = n
+		case frameEnd:
+			if n != 0 {
+				return 0, fmt.Errorf("serve: end frame carries %d payload bytes", n)
+			}
+			r.done = true
+		default:
+			return 0, fmt.Errorf("serve: unexpected frame type 0x%02x from client", typ)
+		}
+	}
+	if len(p) > r.remaining {
+		p = p[:r.remaining]
+	}
+	n, err := r.br.Read(p)
+	r.remaining -= n
+	return n, err
+}
+
+// drain consumes the recording's framing tail through frameEnd. The
+// AEDAT decoder reads exactly the event count its header declares and
+// never touches the bytes after it, so without this the end-of-record
+// frame would leak into the next recording on the session. Payload
+// bytes past the container are discarded, not errors: the framing
+// layer delimits recordings, the codec validates them.
+func (r *frameReader) drain() error {
+	var sink [512]byte
+	for {
+		if _, err := r.Read(sink[:]); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+	}
+}

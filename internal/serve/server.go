@@ -1,0 +1,319 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/snn"
+	"repro/internal/stream"
+	"repro/internal/tensor"
+)
+
+// ErrAtCapacity is the session-manager refusal: the server already
+// holds MaxSessions concurrent sessions. The client sees it as a
+// frameError before the connection closes.
+var ErrAtCapacity = errors.New("serve: server at session capacity")
+
+// ServerOptions configure a Server.
+type ServerOptions struct {
+	// Pipeline is the per-session streaming configuration (window,
+	// steps, chunking, filter mode, sensor pinning). Clones is
+	// overwritten: sessions always draw from the server's shared pool.
+	Pipeline stream.Options
+	// MaxSessions bounds how many sessions run concurrently; further
+	// connections are refused with ErrAtCapacity instead of queueing
+	// (a loaded serving tier fails fast so the balancer can retry
+	// elsewhere). <= 0 uses 16.
+	MaxSessions int
+	// PoolSize is the shared clone/arena pool capacity — how many
+	// window batches classify at once across ALL sessions. <= 0 sizes
+	// it by tensor.Workers(): the pool matches the compute budget, so
+	// memory stays O(workers × batch), not O(sessions × batch).
+	PoolSize int
+}
+
+// unit is one pooled evaluation resource: a weight-sharing clone (its
+// inference arena rides inside, recycled by PredictBatchInto) tagged
+// with the master it was cloned from, so a checkpoint hot-swap is
+// detected at the next acquire.
+type unit struct {
+	master *snn.Network
+	clone  *snn.Network
+}
+
+// Server multiplexes concurrent event-stream sessions over one model.
+// The model is replaceable under load: LoadCheckpoint swaps the master
+// atomically and pooled clones refresh on their next acquire, so
+// in-flight window batches finish on the weights they hold and
+// everything afterwards — later windows, later recordings, new
+// sessions — classifies on the new ones.
+type Server struct {
+	opts   ServerOptions
+	master atomic.Pointer[snn.Network]
+	swapMu sync.Mutex // serializes LoadCheckpoint
+	swaps  atomic.Int64
+
+	units   chan *unit
+	cloneMu sync.Mutex
+	byClone map[*snn.Network]*unit
+
+	sem    chan struct{}
+	active atomic.Int64
+	served atomic.Int64
+	mu     sync.Mutex
+	closed bool
+	lns    map[net.Listener]struct{}
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// NewServer builds a server over master. The master is used read-only;
+// every classification runs on pooled weight-sharing clones.
+func NewServer(master *snn.Network, o ServerOptions) (*Server, error) {
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = 16
+	}
+	if o.PoolSize <= 0 {
+		o.PoolSize = tensor.Workers()
+	}
+	s := &Server{
+		opts:    o,
+		units:   make(chan *unit, o.PoolSize),
+		byClone: make(map[*snn.Network]*unit, o.PoolSize),
+		sem:     make(chan struct{}, o.MaxSessions),
+		lns:     make(map[net.Listener]struct{}),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	s.master.Store(master)
+	for i := 0; i < o.PoolSize; i++ {
+		s.units <- &unit{master: master, clone: master.CloneArchitecture()}
+	}
+	// Validate the session pipeline configuration now, not at the first
+	// connection: a probe pipeline exercises the same option checks.
+	probe := o.Pipeline
+	probe.Clones = s
+	if _, err := stream.NewPipeline(master, probe); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// AcquireClone implements stream.CloneSource over the shared pool,
+// refreshing stale units so a hot-swapped checkpoint reaches every
+// batch classified after the swap.
+func (s *Server) AcquireClone() *snn.Network {
+	u := <-s.units
+	if m := s.master.Load(); u.master != m {
+		u.master = m
+		u.clone = m.CloneArchitecture()
+	}
+	s.cloneMu.Lock()
+	s.byClone[u.clone] = u
+	s.cloneMu.Unlock()
+	return u.clone
+}
+
+// ReleaseClone implements stream.CloneSource.
+func (s *Server) ReleaseClone(c *snn.Network) {
+	s.cloneMu.Lock()
+	u := s.byClone[c]
+	delete(s.byClone, c)
+	s.cloneMu.Unlock()
+	if u == nil {
+		panic("serve: ReleaseClone of a clone that was not acquired")
+	}
+	s.units <- u
+}
+
+// LoadCheckpoint reads a snn checkpoint and swaps it in as the master:
+// an RCU-style pointer exchange. The swap is atomic — a checkpoint that
+// fails to decode or mismatches the architecture leaves the served
+// model untouched — and asynchronous for traffic: sessions never stall,
+// in-flight batches finish on the clone they hold, and every batch
+// acquired after the swap classifies on the new weights.
+func (s *Server) LoadCheckpoint(r io.Reader) error {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	fresh := s.master.Load().DeepClone()
+	if err := fresh.Load(r); err != nil {
+		return err
+	}
+	s.master.Store(fresh)
+	s.swaps.Add(1)
+	return nil
+}
+
+// LoadCheckpointFile is LoadCheckpoint over a file path.
+func (s *Server) LoadCheckpointFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.LoadCheckpoint(f)
+}
+
+// Master returns the currently served model (the value new sessions
+// and refreshed clones draw weights from).
+func (s *Server) Master() *snn.Network { return s.master.Load() }
+
+// Swaps reports how many checkpoints have been hot-swapped in.
+func (s *Server) Swaps() int64 { return s.swaps.Load() }
+
+// ActiveSessions reports the sessions currently being served.
+func (s *Server) ActiveSessions() int64 { return s.active.Load() }
+
+// ServedSessions reports the sessions completed since start.
+func (s *Server) ServedSessions() int64 { return s.served.Load() }
+
+// Serve accepts sessions from ln until the listener fails or the
+// server closes. Each connection is one session, served concurrently.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("serve: server closed")
+	}
+	s.lns[ln] = struct{}{}
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			delete(s.lns, ln)
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			_ = s.ServeConn(conn)
+		}()
+	}
+}
+
+// ServeConn serves one session on conn (closing it when the session
+// ends) and returns the session's terminal error, if any. It is the
+// transport-agnostic entry point: production traffic arrives through
+// Serve's TCP listener, tests drive it directly over net.Pipe.
+func (s *Server) ServeConn(conn net.Conn) error {
+	defer conn.Close()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("serve: server closed")
+	}
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		fw := newFrameWriter(conn)
+		_ = fw.write(frameError, []byte(ErrAtCapacity.Error()))
+		_ = fw.flush()
+		return ErrAtCapacity
+	}
+	s.active.Add(1)
+	defer func() {
+		s.active.Add(-1)
+		s.served.Add(1)
+		<-s.sem
+	}()
+	return s.serveSession(conn)
+}
+
+// serveSession runs one session: a reusable pipeline classifying one
+// or more framed recordings back to back, streaming every window's
+// result as soon as it is known. A session failure — protocol, codec,
+// windowing or classification — is reported as a frameError and ends
+// the session; it never takes the server down.
+func (s *Server) serveSession(conn net.Conn) (err error) {
+	br := bufio.NewReader(conn)
+	fw := newFrameWriter(conn)
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("serve: session panic: %v", p)
+		}
+		if err != nil {
+			_ = fw.write(frameError, []byte(err.Error()))
+			_ = fw.flush()
+		}
+	}()
+
+	o := s.opts.Pipeline
+	o.Clones = s
+	p, err := stream.NewPipeline(s.master.Load(), o)
+	if err != nil {
+		return err
+	}
+
+	rbuf := make([]byte, 0, resultSize)
+	for {
+		// Between recordings a clean connection close ends the session.
+		if _, perr := br.Peek(1); perr != nil {
+			if perr == io.EOF {
+				return nil
+			}
+			return perr
+		}
+		windows := uint32(0)
+		fr := &frameReader{br: br}
+		err = p.Run(fr, func(r stream.Result) error {
+			rbuf = appendResult(rbuf[:0], r)
+			if werr := fw.write(frameResult, rbuf); werr != nil {
+				return werr
+			}
+			windows++
+			// Flush per window: results are the serving heartbeat, not
+			// a batch artifact — a slow recording still answers live.
+			return fw.flush()
+		})
+		if err != nil {
+			return err
+		}
+		if err = fr.drain(); err != nil {
+			return err
+		}
+		var cnt [4]byte
+		binary.LittleEndian.PutUint32(cnt[:], windows)
+		if err = fw.write(frameDone, cnt[:]); err != nil {
+			return err
+		}
+		if err = fw.flush(); err != nil {
+			return err
+		}
+	}
+}
+
+// Close stops accepting, closes every live connection and waits for
+// session goroutines started by Serve to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for ln := range s.lns {
+		ln.Close()
+	}
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}

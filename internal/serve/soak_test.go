@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/dvs"
+	"repro/internal/stream"
+	"repro/internal/tensor"
+)
+
+// TestServeSoakHotSwapUnderLoad is the concurrency soak: many live
+// sessions, each streaming several recordings over net.Pipe, while a
+// swapper goroutine hot-swaps checkpoints into the server the whole
+// time. The checkpoints carry the master's own weights, so every
+// prediction is invariant under swap timing — which is exactly what
+// lets the test assert bit-identical results per session while the
+// race detector watches the RCU exchange, the pool refresh and the
+// session fan-out collide. (go test -race runs this in CI's race job.)
+func TestServeSoakHotSwapUnderLoad(t *testing.T) {
+	defer tensor.SetWorkers(0)
+	tensor.SetWorkers(2)
+	master := testNet(4, 61)
+	var ckpt bytes.Buffer
+	if err := master.Save(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+
+	o := stream.Options{WindowMS: 45, Steps: 4, Batch: 2, ChunkEvents: 48}
+	srv, err := NewServer(master, ServerOptions{Pipeline: o, MaxSessions: 12, PoolSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		sessions   = 5
+		recordings = 3
+	)
+	// Precompute recordings and references serially (deterministic
+	// regardless of worker count — pinned by the stream equivalence
+	// suite).
+	type job struct {
+		data []byte
+		want []stream.Result
+	}
+	jobs := make([][]job, sessions)
+	for i := range jobs {
+		jobs[i] = make([]job, recordings)
+		for r := range jobs[i] {
+			data := testRecording(t, (i+r)%dvs.GestureClasses, 200, uint64(300+10*i+r))
+			jobs[i][r] = job{data: data, want: standalone(t, master, data, o)}
+		}
+	}
+
+	var stop atomic.Bool
+	var swapWG sync.WaitGroup
+	swapWG.Add(1)
+	go func() {
+		defer swapWG.Done()
+		for !stop.Load() {
+			if err := srv.LoadCheckpoint(bytes.NewReader(ckpt.Bytes())); err != nil {
+				t.Errorf("hot swap failed: %v", err)
+				return
+			}
+			runtime.Gosched()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl, done := startSession(srv)
+			defer cl.Close()
+			for r, j := range jobs[i] {
+				var got []stream.Result
+				if _, err := cl.Stream(bytes.NewReader(j.data), func(res stream.Result) error {
+					got = append(got, res)
+					return nil
+				}); err != nil {
+					errs <- fmt.Errorf("session %d recording %d: %w", i, r, err)
+					return
+				}
+				if len(got) != len(j.want) {
+					errs <- fmt.Errorf("session %d recording %d: %d results, want %d", i, r, len(got), len(j.want))
+					return
+				}
+				for k := range j.want {
+					if got[k] != j.want[k] {
+						errs <- fmt.Errorf("session %d recording %d: result %d = %+v, want %+v",
+							i, r, k, got[k], j.want[k])
+						return
+					}
+				}
+			}
+			cl.Close()
+			<-done
+		}(i)
+	}
+	wg.Wait()
+	stop.Store(true)
+	swapWG.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if srv.Swaps() == 0 {
+		t.Fatal("soak ran without a single hot swap; the test did not exercise the exchange")
+	}
+	if n := srv.ActiveSessions(); n != 0 {
+		t.Fatalf("%d sessions still active after drain", n)
+	}
+}

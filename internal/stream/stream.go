@@ -1,10 +1,13 @@
 // Package stream is the bounded-memory event-serving pipeline: it
-// decodes an AEDAT recording chunk by chunk (dvs.StreamReader), slices
-// the event flow into fixed-duration windows (dvs.Windower), optionally
-// denoises each window (defense.Filter), voxelizes windows into
-// recycled frame tensors (dvs.VoxelizeWindowInto) and classifies them
-// through the batched inference arena (snn.PredictBatchInto), fanning
-// window batches out over the shared tensor worker pool.
+// decodes an AEDAT recording chunk by chunk (dvs.StreamReader),
+// optionally denoises the flow (cross-window defense.IncrementalAQF by
+// default, or the lossy per-window defense.Filter form), slices the
+// event flow into fixed-duration windows (dvs.Windower), voxelizes
+// windows into recycled frame tensors (dvs.VoxelizeWindowInto) and
+// classifies them through the batched inference arena
+// (snn.PredictBatchInto), fanning window batches out over the shared
+// tensor worker pool — with clones either owned per pipeline or drawn
+// from a shared bounded CloneSource (internal/serve's session pool).
 //
 // The memory and allocation contract, pinned by the property tests:
 //
@@ -27,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 
 	"repro/internal/defense"
 	"repro/internal/dvs"
@@ -56,10 +60,29 @@ type Options struct {
 	// place are re-sorted on the fly (dvs.StreamReaderOptions); worse
 	// disorder is an error. 0 requires sorted input.
 	ReorderWindow int
-	// Filter, when non-nil, denoises every window before voxelization
-	// (per-window online filtering; see defense.Filter). Filtering
-	// allocates — the zero-alloc contract covers the unfiltered path.
+	// AQF, when non-nil, denoises the flow through the cross-window
+	// defense.IncrementalAQF — the default AQF mode: correlation state
+	// and hot-pixel runs carry across window boundaries and the
+	// per-window predictions match classifying dvs.SplitWindows over
+	// the whole-stream defense.AQF output. The filter runs ahead of the
+	// windower, so windows see quantized timestamps, exactly as the
+	// in-memory reference does. Mutually exclusive with Filter.
+	// Filtering allocates — the zero-alloc contract covers the
+	// unfiltered path.
+	AQF *defense.AQFParams
+	// Filter, when non-nil, denoises every window in isolation before
+	// voxelization — the lossy per-window form kept for workloads that
+	// want strict window isolation; see the defense.Filter godoc for
+	// the boundary semantics it trades away. Mutually exclusive with
+	// AQF.
 	Filter defense.Filter
+	// Clones, when non-nil, supplies the evaluation networks classify
+	// runs on instead of the pipeline growing its own Workers clones —
+	// the serving form: many concurrent pipelines share one bounded
+	// clone pool (internal/serve), and a checkpoint hot-swap refreshes
+	// clones between batches. AcquireClone may block until a clone is
+	// free; every acquired clone is released after its batch.
+	Clones CloneSource
 	// SensorW/SensorH, when set, are the sensor resolution the network
 	// was built for: Run rejects any recording that declares different
 	// dimensions (a mismatched frame layout would otherwise alias into
@@ -69,10 +92,24 @@ type Options struct {
 	SensorW, SensorH int
 }
 
+// CloneSource hands out weight-sharing evaluation clones of a served
+// model. Implementations are safe for concurrent use; the serve
+// package's bounded pool is the canonical one.
+type CloneSource interface {
+	// AcquireClone returns a clone to classify one batch on, blocking
+	// until one is free.
+	AcquireClone() *snn.Network
+	// ReleaseClone returns a clone obtained from AcquireClone.
+	ReleaseClone(*snn.Network)
+}
+
 // withDefaults resolves the optional fields against a network.
 func (o Options) withDefaults(net *snn.Network) (Options, error) {
 	if o.WindowMS <= 0 {
 		return o, fmt.Errorf("stream: WindowMS must be positive, got %v", o.WindowMS)
+	}
+	if o.AQF != nil && o.Filter != nil {
+		return o, fmt.Errorf("stream: AQF and Filter are mutually exclusive filter modes")
 	}
 	if (o.SensorW == 0) != (o.SensorH == 0) || o.SensorW < 0 || o.SensorH < 0 {
 		return o, fmt.Errorf("stream: SensorW/SensorH must be set together, got %dx%d", o.SensorW, o.SensorH)
@@ -144,17 +181,25 @@ func (s *slot) ensure(steps, h, w int) {
 type Pipeline struct {
 	net     *snn.Network
 	o       Options
-	clones  []*snn.Network // one per worker; weight-sharing evaluation clones
+	clones  []*snn.Network // one per worker; weight-sharing evaluation clones (nil with o.Clones)
 	slots   []*slot        // Workers×Batch recycled window slots
 	chunk   []dvs.Event
 	samples [][][]*tensor.Tensor // per-worker PredictBatchInto views
 	out     []int                // per-round predictions, aligned with slots
+	inc     *defense.IncrementalAQF
 
 	// classify's bound-method closure, created once so the steady-state
 	// flush does not allocate; runH/runW are the current recording's
 	// sensor dims, set at the top of Run.
 	body       func(lo, hi int)
 	runH, runW int
+
+	// classify may run on shared pool worker goroutines, where an
+	// uncaught panic would kill the whole process (a serving tier must
+	// fail the session, not the server). Panics are captured here and
+	// surfaced as flush errors on the caller's goroutine.
+	panicMu  sync.Mutex
+	panicErr error
 }
 
 // NewPipeline builds a streaming classifier over net. The network is
@@ -166,10 +211,14 @@ func NewPipeline(net *snn.Network, o Options) (*Pipeline, error) {
 		return nil, err
 	}
 	p := &Pipeline{net: net, o: o}
-	p.clones = make([]*snn.Network, o.Workers)
 	p.samples = make([][][]*tensor.Tensor, o.Workers)
-	for i := range p.clones {
-		p.clones[i] = net.CloneArchitecture()
+	if o.Clones == nil {
+		p.clones = make([]*snn.Network, o.Workers)
+	}
+	for i := range p.samples {
+		if p.clones != nil {
+			p.clones[i] = net.CloneArchitecture()
+		}
 		p.samples[i] = make([][]*tensor.Tensor, 0, o.Batch)
 	}
 	p.slots = make([]*slot, o.Workers*o.Batch)
@@ -207,6 +256,20 @@ func (p *Pipeline) Run(r io.Reader, emit func(Result) error) error {
 		return err
 	}
 	p.runH, p.runW = h, w
+	if p.o.AQF != nil {
+		// The incremental filter runs ahead of the windower: windows
+		// are cut on quantized timestamps, exactly as splitting the
+		// whole-stream AQF output would cut them. The filter is built
+		// once the sensor is pinned and recycled across recordings.
+		if p.inc == nil {
+			p.inc, err = defense.NewIncrementalAQF(w, h, sr.Duration(), *p.o.AQF)
+			if err != nil {
+				return err
+			}
+		} else {
+			p.inc.Reset(sr.Duration())
+		}
+	}
 
 	ready := 0
 	// takeWindow pops the windower's current window into the next free
@@ -227,9 +290,10 @@ func (p *Pipeline) Run(r io.Reader, emit func(Result) error) error {
 		return nil
 	}
 
-	for {
-		n, rerr := sr.ReadChunk(p.chunk)
-		for _, e := range p.chunk[:n] {
+	// offer feeds filtered (or raw) events into the windower, flushing
+	// full slot rounds as windows close.
+	offer := func(events []dvs.Event) error {
+		for _, e := range events {
 			for {
 				ok, oerr := win.Offer(e)
 				if oerr != nil {
@@ -243,11 +307,31 @@ func (p *Pipeline) Run(r io.Reader, emit func(Result) error) error {
 				}
 			}
 		}
+		return nil
+	}
+
+	for {
+		n, rerr := sr.ReadChunk(p.chunk)
+		events := p.chunk[:n]
+		if p.inc != nil {
+			events, err = p.inc.Push(events)
+			if err != nil {
+				return err
+			}
+		}
+		if err := offer(events); err != nil {
+			return err
+		}
 		if rerr == io.EOF {
 			break
 		}
 		if rerr != nil {
 			return rerr
+		}
+	}
+	if p.inc != nil {
+		if err := offer(p.inc.Flush()); err != nil {
+			return err
 		}
 	}
 	// The tail of the recording window: silent stretches still produce
@@ -268,37 +352,63 @@ func (p *Pipeline) Run(r io.Reader, emit func(Result) error) error {
 // serial path hands the whole range to one call; the loop re-splits
 // it, so clone assignment is identical either way.)
 func (p *Pipeline) classify(lo, hi int) {
-	h, w := p.runH, p.runW
+	defer func() {
+		if r := recover(); r != nil {
+			p.panicMu.Lock()
+			if p.panicErr == nil {
+				p.panicErr = fmt.Errorf("stream: window classification panicked: %v", r)
+			}
+			p.panicMu.Unlock()
+		}
+	}()
 	for lo < hi {
 		end := lo + p.o.Batch - lo%p.o.Batch
 		if end > hi {
 			end = hi
 		}
-		wk := lo / p.o.Batch
-		clone := p.clones[wk]
-		samples := p.samples[wk][:0]
-		for _, s := range p.slots[lo:end] {
-			events, start := s.events, s.start
-			if p.o.Filter != nil {
-				// Rebase the window to t=0 so the filter sees the same
-				// standalone stream the in-memory reference builds with
-				// SplitWindows.
-				s.rebased = s.rebased[:0]
-				for _, e := range events {
-					e.T -= start
-					s.rebased = append(s.rebased, e)
-				}
-				view := &dvs.Stream{W: w, H: h, Duration: p.o.WindowMS, Events: s.rebased}
-				filtered := p.o.Filter.Filter(view)
-				events, start = filtered.Events, 0
-			}
-			dvs.VoxelizeWindowInto(s.frames, events, w, h, start, p.o.WindowMS)
-			s.kept = len(events)
-			samples = append(samples, s.frames)
-		}
-		clone.PredictBatchInto(samples, p.out[lo:end])
+		p.classifyBatch(lo, end)
 		lo = end
 	}
+}
+
+// classifyBatch filters, voxelizes and predicts one Batch-aligned slot
+// group. It is a separate frame so the pooled clone's release is
+// deferred: even a panicking classification returns the unit to the
+// shared pool instead of draining it.
+func (p *Pipeline) classifyBatch(lo, end int) {
+	h, w := p.runH, p.runW
+	wk := lo / p.o.Batch
+	var clone *snn.Network
+	if p.o.Clones != nil {
+		// Serving mode: draw a clone from the shared bounded pool
+		// for just this batch. All pooled clones share the served
+		// weights, so which one answers cannot change a class.
+		clone = p.o.Clones.AcquireClone()
+		defer p.o.Clones.ReleaseClone(clone)
+	} else {
+		clone = p.clones[wk]
+	}
+	samples := p.samples[wk][:0]
+	for _, s := range p.slots[lo:end] {
+		events, start := s.events, s.start
+		if p.o.Filter != nil {
+			// Rebase the window to t=0 so the filter sees the same
+			// standalone stream the in-memory reference builds with
+			// SplitWindows.
+			s.rebased = s.rebased[:0]
+			for _, e := range events {
+				e.T -= start
+				s.rebased = append(s.rebased, e)
+			}
+			view := &dvs.Stream{W: w, H: h, Duration: p.o.WindowMS, Events: s.rebased}
+			filtered := p.o.Filter.Filter(view)
+			events, start = filtered.Events, 0
+		}
+		dvs.VoxelizeWindowInto(s.frames, events, w, h, start, p.o.WindowMS)
+		s.kept = len(events)
+		samples = append(samples, s.frames)
+	}
+	clone.PredictBatchInto(samples, p.out[lo:end])
 }
 
 // flush classifies slots[:ready] — filter, voxelize, predict — fanning
@@ -310,6 +420,16 @@ func (p *Pipeline) flush(ready int, emit func(Result) error) error {
 		return nil
 	}
 	tensor.ParallelFor(ready, p.o.Batch, p.body)
+	p.panicMu.Lock()
+	perr := p.panicErr
+	p.panicErr = nil
+	p.panicMu.Unlock()
+	if perr != nil {
+		// A classification panic (e.g. a recording whose adopted sensor
+		// mismatches the network's input layout) fails this run, not the
+		// process: pool worker goroutines have no recover of their own.
+		return perr
+	}
 	for i, s := range p.slots[:ready] {
 		r := Result{Window: s.index, StartMS: s.start, Events: s.kept, Class: p.out[i]}
 		if err := emit(r); err != nil {
