@@ -11,16 +11,31 @@ BENCHTIME ?= 1x
 # Seconds of coverage-guided fuzzing per target.
 FUZZTIME ?= 10s
 
-.PHONY: check fmt vet build test race bench bench-json fuzz-smoke
+LINTBIN := $(abspath bin/axsnn-lint)
 
-check: fmt vet build test
+.PHONY: check fmt vet lint build test race bench bench-json fuzz-smoke
+
+check: fmt vet lint build test
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# Standard vet, then the repo's own analyzers (internal/analysis)
+# driven package-by-package through go vet's -vettool protocol — the
+# incremental, build-cached form of `make lint`.
 vet:
 	$(GO) vet ./...
+	$(GO) build -o $(LINTBIN) ./cmd/axsnn-lint
+	$(GO) vet -vettool=$(LINTBIN) ./...
+
+# The repo's invariant analyzers, standalone over the whole module:
+# hotpathalloc (annotated hot paths and *Into/*Scratch kernels must not
+# allocate), poolrelease (Acquire* paired with deferred Release*),
+# atomicguard (atomic/mutex field discipline), forbiddenapi (no
+# time.Now, global math/rand, fmt or reflect in kernels).
+lint:
+	$(GO) run ./cmd/axsnn-lint ./...
 
 build:
 	$(GO) build ./...

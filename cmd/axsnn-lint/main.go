@@ -1,0 +1,222 @@
+// Command axsnn-lint runs the repo's invariant analyzers: hotpathalloc
+// (zero-allocation hot paths), poolrelease (deferred pool releases),
+// atomicguard (atomic/mutex field discipline) and forbiddenapi (no
+// time.Now, global math/rand, fmt or reflect in kernels).
+//
+// Two modes share one binary:
+//
+//	axsnn-lint ./...                   standalone over the module in cwd
+//	go vet -vettool=$(which axsnn-lint) ./...   as a vet tool
+//
+// Standalone, packages load in dependency order and facts flow
+// in-process. Under go vet, the go command drives one process per
+// package through the vet config protocol: a JSON .cfg names the
+// sources, the export data of every dependency, and the .vetx fact
+// files earlier processes wrote; this process analyzes one package and
+// serializes its accumulated facts to VetxOutput. Findings exit 2, the
+// vet convention.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/atomicguard"
+	"repro/internal/analysis/forbiddenapi"
+	"repro/internal/analysis/hotpathalloc"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/poolrelease"
+)
+
+// modulePath is the module whose invariants the analyzers encode; under
+// go vet, packages outside it are not analyzed.
+const modulePath = "repro"
+
+var analyzers = []*analysis.Analyzer{
+	hotpathalloc.Analyzer,
+	poolrelease.Analyzer,
+	atomicguard.Analyzer,
+	forbiddenapi.Analyzer,
+}
+
+func main() {
+	args := os.Args[1:]
+	if len(args) > 0 {
+		switch {
+		case args[0] == "-V=full" || args[0] == "--V=full":
+			printVersion()
+			return
+		case args[0] == "-flags" || args[0] == "--flags":
+			// The go command asks which flags the tool accepts; none.
+			fmt.Println("[]")
+			return
+		case args[0] == "-help" || args[0] == "--help" || args[0] == "-h":
+			usage()
+			return
+		case strings.HasSuffix(args[len(args)-1], ".cfg"):
+			os.Exit(runUnit(args[len(args)-1]))
+		}
+	}
+	os.Exit(runStandalone(args))
+}
+
+func usage() {
+	fmt.Println("usage: axsnn-lint [packages]")
+	fmt.Println("       go vet -vettool=$(command -v axsnn-lint) [packages]")
+	fmt.Println()
+	fmt.Println("analyzers:")
+	for _, a := range analyzers {
+		fmt.Printf("  %-14s %s\n", a.Name, a.Doc)
+	}
+}
+
+// printVersion emits the cache key line the go command requires of a
+// vet tool: "<name> version <id>". Hashing the executable makes every
+// rebuild a new id, so stale vet caches never hide new checks.
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				id = fmt.Sprintf("%x", h.Sum(nil)[:12])
+			}
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%s\n", name, id)
+}
+
+func runStandalone(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	fset, pkgs, err := load.Module(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "axsnn-lint:", err)
+		return 1
+	}
+	findings, err := load.Run(fset, pkgs, analyzers, load.NewFactStore())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "axsnn-lint:", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// vetConfig is the subset of the go command's vet .cfg file the tool
+// reads (cmd/go/internal/work writes it; the format is shared with
+// x/tools' unitchecker).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "axsnn-lint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "axsnn-lint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// go vet drives the tool over every dependency, standard library
+	// included, to build fact files. The analyzers encode this module's
+	// invariants and trust the stdlib allowlists instead of stdlib
+	// facts, so out-of-module packages get an empty fact file — exactly
+	// what the standalone mode, which never loads their sources, sees.
+	if cfg.ImportPath != modulePath && !strings.HasPrefix(cfg.ImportPath, modulePath+"/") {
+		if cfg.VetxOutput != "" {
+			if err := load.NewFactStore().Save(cfg.VetxOutput); err != nil {
+				fmt.Fprintln(os.Stderr, "axsnn-lint:", err)
+				return 1
+			}
+		}
+		return 0
+	}
+
+	// Resolve imports through export data: source import path ->
+	// canonical path (ImportMap) -> export file (PackageFile).
+	exports := map[string]string{}
+	for canonical, file := range cfg.PackageFile {
+		exports[canonical] = file
+	}
+	for src, canonical := range cfg.ImportMap {
+		if file, ok := cfg.PackageFile[canonical]; ok {
+			exports[src] = file
+		}
+	}
+
+	fset := token.NewFileSet()
+	var files []string
+	for _, gf := range cfg.GoFiles {
+		if !filepath.IsAbs(gf) {
+			gf = filepath.Join(cfg.Dir, gf)
+		}
+		files = append(files, gf)
+	}
+	pkg, err := load.Check(fset, load.ExportImporter(fset, exports), cfg.ImportPath, cfg.Dir, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "axsnn-lint:", err)
+		return 1
+	}
+
+	store := load.NewFactStore()
+	for _, vetx := range cfg.PackageVetx {
+		if err := store.Merge(vetx); err != nil {
+			fmt.Fprintf(os.Stderr, "axsnn-lint: reading facts %s: %v\n", vetx, err)
+			return 1
+		}
+	}
+	findings, err := load.RunPackage(fset, pkg, analyzers, store)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "axsnn-lint:", err)
+		return 1
+	}
+	if cfg.VetxOutput != "" {
+		if err := store.Save(cfg.VetxOutput); err != nil {
+			fmt.Fprintln(os.Stderr, "axsnn-lint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,458 @@
+// Package analysis is a self-contained static-analysis framework
+// mirroring the golang.org/x/tools/go/analysis API shape on the
+// standard library alone (the build environment is hermetic — no
+// network, no module downloads — so x/tools cannot be a dependency).
+// It exists to machine-check the invariants the repo's performance
+// work rests on: zero-allocation hot paths, paired pool
+// acquire/release, and atomically- or mutex-guarded shared state.
+//
+// An Analyzer inspects one type-checked package through a Pass and
+// reports diagnostics. Cross-package reasoning (a hot-path kernel in
+// internal/stream calling an allocating helper in internal/dvs) rides
+// on function facts: every analyzed function exports a short summary
+// string, and downstream packages — analyzed later in dependency
+// order, or in a separate `go vet -vettool` process via vetx files —
+// import those summaries instead of re-reading callee bodies.
+//
+// The four production analyzers live in subpackages (hotpathalloc,
+// poolrelease, atomicguard, forbiddenapi); the load subpackage is the
+// driver (go list + go/types), analysistest the golden-file test
+// harness, and cmd/axsnn-lint the multichecker binary.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and fact storage.
+	// It must be a valid Go identifier.
+	Name string
+	// Doc is the one-paragraph description `axsnn-lint -help` prints.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Pass connects an Analyzer to the single package being analyzed.
+// The driver constructs one Pass per (analyzer, package) pair.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // non-test syntax; test files are excluded by the driver
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+
+	// ReadFact returns the fact exported for fn by this same analyzer
+	// when fn's package was analyzed (possibly in another process, via
+	// a vetx file). The empty string with ok=true means "analyzed and
+	// clean"; ok=false means fn's package was never analyzed (stdlib).
+	ReadFact func(fn *types.Func) (fact string, ok bool)
+	// ExportFact records a fact for a function of this package so
+	// later passes over importing packages can read it.
+	ExportFact func(fn *types.Func, fact string)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// FuncKey is the stable cross-process identity facts are stored under:
+// "pkgpath.Name" for package functions, "pkgpath.Recv.Name" for
+// methods (pointer receivers are dereferenced, so *Network and Network
+// methods share the Network namespace, as Go itself requires).
+func FuncKey(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return pkg + "." + named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return pkg + "." + fn.Name()
+}
+
+// ---------------------------------------------------------------------------
+// Directives
+//
+// The repo's invariants are declared in //axsnn: comment directives
+// (the same grammar as //go: directives — no space after the slashes):
+//
+//	//axsnn:hotpath                 function must be allocation-free
+//	//axsnn:allow-alloc <reason>    excuse an allocation (line or function)
+//	//axsnn:guardedby <mutex>       struct field is guarded by the named mutex
+//	//axsnn:locked <mutex>          function is called with the mutex held
+
+const directivePrefix = "//axsnn:"
+
+// A Directive is one parsed //axsnn: comment.
+type Directive struct {
+	Pos  token.Pos
+	Name string // "hotpath", "allow-alloc", ...
+	Args string // remainder of the line, trimmed
+}
+
+// parseDirective parses one comment, returning ok=false for ordinary
+// comments.
+func parseDirective(c *ast.Comment) (Directive, bool) {
+	if !strings.HasPrefix(c.Text, directivePrefix) {
+		return Directive{}, false
+	}
+	rest := strings.TrimPrefix(c.Text, directivePrefix)
+	name, args, _ := strings.Cut(rest, " ")
+	return Directive{Pos: c.Pos(), Name: strings.TrimSpace(name), Args: strings.TrimSpace(args)}, true
+}
+
+// FuncDirective returns the named directive from decl's doc comment.
+func FuncDirective(decl *ast.FuncDecl, name string) (Directive, bool) {
+	if decl.Doc == nil {
+		return Directive{}, false
+	}
+	for _, c := range decl.Doc.List {
+		if d, ok := parseDirective(c); ok && d.Name == name {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// FieldDirective returns the named directive from a struct field's doc
+// or trailing line comment.
+func FieldDirective(f *ast.Field, name string) (Directive, bool) {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if d, ok := parseDirective(c); ok && d.Name == name {
+				return d, true
+			}
+		}
+	}
+	return Directive{}, false
+}
+
+// ---------------------------------------------------------------------------
+// Line-level excusals
+//
+// A line-level //axsnn:allow-alloc excuses the statement it is
+// attached to: the statement its line belongs to (trailing comment) or
+// the first statement starting on a later line (preceding comment).
+// Excusals are statement-granular so a multi-line construct — a panic
+// whose fmt.Sprintf arguments wrap — is covered by one directive.
+
+// An Excusal is one line-level allow-alloc region.
+type Excusal struct {
+	Directive Directive
+	// Start/End bound the excused source span (token.NoPos End means
+	// the directive bound to no statement).
+	Start, End token.Pos
+	// Used records whether any violation was suppressed by this
+	// excusal (unused excusals are worth a diagnostic of their own,
+	// but are currently just ignored).
+	Used bool
+}
+
+// Excusals collects the allow-alloc excusals of a file: the
+// function-level set (by *ast.FuncDecl) and the statement-level list.
+type Excusals struct {
+	fset  *token.FileSet
+	spans []*Excusal
+}
+
+// CollectExcusals resolves every line-level directive with the given
+// name (e.g. "allow-alloc") in file to the statement it excuses.
+// Directives in function doc comments are function-level and not
+// collected here (see FuncDirective).
+func CollectExcusals(fset *token.FileSet, file *ast.File, name string) *Excusals {
+	ex := &Excusals{fset: fset}
+	// Gather directive comments that are NOT part of a FuncDecl doc.
+	docs := map[*ast.Comment]bool{}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Doc != nil {
+			for _, c := range fd.Doc.List {
+				docs[c] = true
+			}
+		}
+	}
+	var dirs []Directive
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if docs[c] {
+				continue
+			}
+			if d, ok := parseDirective(c); ok && d.Name == name {
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	if len(dirs) == 0 {
+		return ex
+	}
+	// Collect statement spans, innermost-last via Inspect order.
+	type span struct{ start, end token.Pos }
+	var stmts []span
+	ast.Inspect(file, func(n ast.Node) bool {
+		if s, ok := n.(ast.Stmt); ok {
+			stmts = append(stmts, span{s.Pos(), s.End()})
+		}
+		return true
+	})
+	for i := range dirs {
+		d := &dirs[i]
+		dLine := fset.Position(d.Pos).Line
+		// Trailing comment first: the directive excuses the whole
+		// statement written on its line — the outermost statement
+		// starting there, so a multi-line call with a closure argument
+		// is covered end to end. On a continuation line it binds to the
+		// smallest statement covering the line; when no statement
+		// shares the line the directive is a preceding comment, bound
+		// to the statement starting on the next line.
+		best := span{}
+		for _, s := range stmts {
+			if fset.Position(s.start).Line == dLine {
+				if best.end == token.NoPos || (s.end-s.start) > (best.end-best.start) {
+					best = s
+				}
+			}
+		}
+		if best.end == token.NoPos {
+			for _, s := range stmts {
+				if fset.Position(s.start).Line <= dLine && dLine <= fset.Position(s.end).Line {
+					if best.end == token.NoPos || (s.end-s.start) < (best.end-best.start) {
+						best = s
+					}
+				}
+			}
+		}
+		if best.end == token.NoPos {
+			for _, s := range stmts {
+				if fset.Position(s.start).Line == dLine+1 {
+					if best.end == token.NoPos || (s.end-s.start) < (best.end-best.start) {
+						best = s
+					}
+				}
+			}
+		}
+		ex.spans = append(ex.spans, &Excusal{Directive: *d, Start: best.start, End: best.end})
+	}
+	return ex
+}
+
+// Excused reports whether pos falls inside an excused statement,
+// returning the directive that excuses it.
+func (ex *Excusals) Excused(pos token.Pos) (Directive, bool) {
+	for _, e := range ex.spans {
+		if e.End != token.NoPos && e.Start <= pos && pos < e.End {
+			e.Used = true
+			return e.Directive, true
+		}
+	}
+	return Directive{}, false
+}
+
+// MissingReasons returns the allow-alloc directives (statement-level)
+// that carry no reason — the escape hatch is only honored when it
+// documents why the allocation is acceptable.
+func (ex *Excusals) MissingReasons() []Directive {
+	var out []Directive
+	for _, e := range ex.spans {
+		if e.Directive.Args == "" {
+			out = append(out, e.Directive)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Function inventory and static call graph
+
+// A FuncInfo is one declared function with its statically-resolved
+// callees. Calls inside nested function literals are attributed to the
+// enclosing declaration.
+type FuncInfo struct {
+	Decl *ast.FuncDecl
+	Obj  *types.Func
+	File *ast.File
+	// Calls maps each statically-resolved callee to its first call
+	// site in this function.
+	Calls map[*types.Func]token.Pos
+	// CallOrder lists callees in source order (for deterministic
+	// reporting).
+	CallOrder []*types.Func
+}
+
+// PackageFuncs inventories the package's declared functions and their
+// static call graphs.
+func PackageFuncs(pass *Pass) map[*types.Func]*FuncInfo {
+	funcs := map[*types.Func]*FuncInfo{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &FuncInfo{Decl: fd, Obj: obj, File: file, Calls: map[*types.Func]token.Pos{}}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := StaticCallee(pass.TypesInfo, call); callee != nil {
+					if _, seen := fi.Calls[callee]; !seen {
+						fi.Calls[callee] = call.Pos()
+						fi.CallOrder = append(fi.CallOrder, callee)
+					}
+				}
+				return true
+			})
+			funcs[obj] = fi
+		}
+	}
+	return funcs
+}
+
+// StaticCallee resolves the statically-known target of a call:
+// package-level functions, qualified pkg.F references and methods on
+// concrete receiver types. Calls through function values and interface
+// methods return nil — their targets are unknowable without
+// whole-program analysis, and the hot-path analyzers deliberately
+// treat them as out of scope (the repo's kernels are direct-call).
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil
+			}
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return nil
+			}
+			// Interface dispatch is dynamic.
+			if types.IsInterface(sel.Recv()) {
+				return nil
+			}
+			return fn
+		}
+		// No selection: a qualified identifier (pkg.F).
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Hot-path set
+
+// HotpathNamePackages are the packages whose *Into / *Scratch kernel
+// entry points are hot-path roots by name, with no annotation needed
+// (acquire/release/constructor helpers are exempt: they allocate by
+// design, on first use or shape change).
+var HotpathNamePackages = map[string]bool{
+	"repro/internal/tensor": true,
+	"repro/internal/snn":    true,
+}
+
+// implicitHotpathName reports whether a function name is a kernel
+// entry point by convention in HotpathNamePackages.
+func implicitHotpathName(name string) bool {
+	if strings.HasPrefix(name, "Acquire") || strings.HasPrefix(name, "Release") ||
+		strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") {
+		return false
+	}
+	return strings.HasSuffix(name, "Into") || strings.HasSuffix(name, "Scratch")
+}
+
+// Hotpath describes one function's membership in the hot-path set.
+type Hotpath struct {
+	Info *FuncInfo
+	// Why explains membership: "annotated //axsnn:hotpath", "kernel
+	// entry point by name", or "reachable from <root>".
+	Why string
+}
+
+// HotpathSet computes the package's hot-path functions: the annotated
+// and name-implied roots plus everything transitively reachable from
+// them through static in-package calls. Functions carrying a
+// function-level allow-alloc directive are excluded (and stop
+// propagation): they have opted out with a documented reason.
+func HotpathSet(pass *Pass, funcs map[*types.Func]*FuncInfo) map[*types.Func]*Hotpath {
+	set := map[*types.Func]*Hotpath{}
+	excused := map[*types.Func]bool{}
+	var queue []*types.Func
+	var objs []*types.Func
+	for obj := range funcs {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return funcs[objs[i]].Decl.Pos() < funcs[objs[j]].Decl.Pos() })
+	for _, obj := range objs {
+		fi := funcs[obj]
+		if _, ok := FuncDirective(fi.Decl, "allow-alloc"); ok {
+			excused[obj] = true
+			continue
+		}
+		if _, ok := FuncDirective(fi.Decl, "hotpath"); ok {
+			set[obj] = &Hotpath{Info: fi, Why: "annotated //axsnn:hotpath"}
+			queue = append(queue, obj)
+		} else if HotpathNamePackages[pass.Pkg.Path()] && implicitHotpathName(obj.Name()) {
+			set[obj] = &Hotpath{Info: fi, Why: "kernel entry point by name"}
+			queue = append(queue, obj)
+		}
+	}
+	for len(queue) > 0 {
+		obj := queue[0]
+		queue = queue[1:]
+		fi := funcs[obj]
+		for _, callee := range fi.CallOrder {
+			cfi, inPkg := funcs[callee]
+			if !inPkg || excused[callee] {
+				continue
+			}
+			if _, seen := set[callee]; seen {
+				continue
+			}
+			set[callee] = &Hotpath{Info: cfi, Why: fmt.Sprintf("reachable from %s", obj.Name())}
+			queue = append(queue, callee)
+		}
+	}
+	return set
+}
+
+// FuncExcused reports whether decl opts out of hot-path checking via a
+// function-level allow-alloc directive.
+func FuncExcused(decl *ast.FuncDecl) bool {
+	_, ok := FuncDirective(decl, "allow-alloc")
+	return ok
+}

@@ -1,0 +1,138 @@
+// Package analysistest runs an analyzer over a fixture module and
+// checks its diagnostics against // want expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// alone.
+//
+// A fixture directory is a real Go module (its own go.mod, so the
+// outer module never sees it — directories named testdata are invisible
+// to the go tool). Each source line that should produce diagnostics
+// carries a trailing comment of quoted regular expressions:
+//
+//	x := make([]int, n) // want `make allocates`
+//	p := &T{}           // want `composite` `boxed`
+//
+// Every diagnostic must match one expectation on its line and every
+// expectation must be matched by one diagnostic; anything unmatched on
+// either side fails the test. Lines with no want comment assert the
+// absence of diagnostics, so negative cases are just ordinary code.
+package analysistest
+
+import (
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// wantRe extracts the quoted patterns of a want comment: Go-quoted
+// strings or backquoted raw strings.
+var wantRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+type expectation struct {
+	file    string // base filename
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads the fixture module at dir (patterns default to ./...),
+// applies the analyzer with facts flowing across fixture packages in
+// dependency order, and diffs diagnostics against want comments. It
+// returns the findings for any further assertions.
+func Run(t *testing.T, dir string, an *analysis.Analyzer, patterns ...string) []load.Finding {
+	t.Helper()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	fset, pkgs, err := load.Module(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixture module %s: %v", dir, err)
+	}
+	findings, err := load.Run(fset, pkgs, []*analysis.Analyzer{an}, load.NewFactStore())
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", an.Name, dir, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					wants = append(wants, parseWant(t, fset.Position(c.Pos()).Filename,
+						fset.Position(c.Pos()).Line, c)...)
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		var matched bool
+		for _, w := range wants {
+			if w.matched || !sameFile(w.file, f.Pos.Filename) || w.line != f.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", base(f.Pos.Filename), f.Pos.Line, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %s", base(w.file), w.line, w.raw)
+		}
+	}
+	return findings
+}
+
+// parseWant extracts the expectations of one comment.
+func parseWant(t *testing.T, file string, line int, c *ast.Comment) []*expectation {
+	t.Helper()
+	text := c.Text
+	switch {
+	case strings.HasPrefix(text, "//"):
+		text = text[2:]
+	case strings.HasPrefix(text, "/*"):
+		text = strings.TrimSuffix(text[2:], "*/")
+	}
+	text = strings.TrimSpace(text)
+	rest, ok := strings.CutPrefix(text, "want ")
+	if !ok {
+		return nil
+	}
+	quoted := wantRe.FindAllString(rest, -1)
+	if len(quoted) == 0 {
+		t.Fatalf("%s:%d: malformed want comment: %s", base(file), line, c.Text)
+	}
+	var out []*expectation
+	for _, q := range quoted {
+		pattern, err := strconv.Unquote(q)
+		if err != nil {
+			t.Fatalf("%s:%d: bad want pattern %s: %v", base(file), line, q, err)
+		}
+		re, err := regexp.Compile(pattern)
+		if err != nil {
+			t.Fatalf("%s:%d: bad want regexp %s: %v", base(file), line, q, err)
+		}
+		out = append(out, &expectation{file: file, line: line, re: re, raw: q})
+	}
+	return out
+}
+
+func sameFile(a, b string) bool { return base(a) == base(b) }
+
+func base(p string) string {
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}

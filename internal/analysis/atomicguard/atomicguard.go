@@ -1,0 +1,399 @@
+// Package atomicguard checks the two shared-state disciplines the
+// serving stack relies on:
+//
+//  1. A field accessed through the sync/atomic function API
+//     (atomic.LoadInt64(&s.n), atomic.StorePointer(&s.p, ...)) must
+//     never also be read or written plainly — one plain access races
+//     with every atomic one. (Typed atomics — atomic.Int64,
+//     atomic.Pointer[T] — are immune by construction and need no
+//     check; this rule catches the mixed style.)
+//
+//  2. A struct field annotated //axsnn:guardedby <mutex> must only be
+//     touched while that mutex (a sibling field) is held: every access
+//     must sit between a <base>.<mutex>.Lock()/RLock() and its
+//     Unlock — a deferred Unlock holds to function end. The check is
+//     lexical per innermost function body (straight-line lock regions,
+//     the repo's style); a function documented to run with the lock
+//     held opts out with //axsnn:locked <mutex> in its doc comment.
+//     Composite-literal initialization is exempt: a value under
+//     construction is not yet shared.
+//
+// The serve session tables and the stream pipeline's panic capture are
+// the production state this guards; the checkpoint pointer itself is a
+// typed atomic.Pointer, safe by construction.
+package atomicguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicguard",
+	Doc:  "atomically-accessed fields must never be touched plainly; //axsnn:guardedby fields only with their mutex held",
+	Run:  run,
+}
+
+// guard records one //axsnn:guardedby annotation.
+type guard struct {
+	mutex string
+}
+
+func run(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+
+	// ---- Rule 1 inventory: fields passed by address to sync/atomic
+	// function-API calls, and those sanctioned use sites.
+	atomicFields := map[*types.Var]bool{}
+	atomicUses := map[*ast.SelectorExpr]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.StaticCallee(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // typed-atomic method, not the function API
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fv := fieldOf(info, sel); fv != nil {
+					atomicFields[fv] = true
+					atomicUses[sel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// ---- Rule 2 inventory: //axsnn:guardedby annotations.
+	guarded := map[*types.Var]guard{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				d, ok := analysis.FieldDirective(f, "guardedby")
+				if !ok {
+					continue
+				}
+				if d.Args == "" {
+					pass.Reportf(d.Pos, "guardedby directive must name the guarding mutex field")
+					continue
+				}
+				for _, name := range f.Names {
+					if fv, ok := info.Defs[name].(*types.Var); ok {
+						guarded[fv] = guard{mutex: d.Args}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	if len(atomicFields) == 0 && len(guarded) == 0 {
+		return nil
+	}
+
+	// Composite-literal spans: field mentions inside are construction,
+	// not shared access.
+	inComposite := compositeSpans(pass.Files)
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var lockedMutexes []string
+			if d, ok := analysis.FuncDirective(fd, "locked"); ok {
+				lockedMutexes = strings.Fields(d.Args)
+			}
+			// Lock regions are computed per innermost function body: a
+			// closure must take the lock itself (or the enclosing
+			// function's doc must say //axsnn:locked).
+			for _, scope := range functionBodies(fd) {
+				held := lockRegions(info, scope)
+				checkScope(pass, scope, held, lockedMutexes, atomicFields, atomicUses, guarded, inComposite)
+			}
+		}
+	}
+	return nil
+}
+
+// fieldOf resolves a selector to the struct field it denotes.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+	}
+	return nil
+}
+
+// baseString renders the receiver chain of an expression ("s", "p.o").
+// Unrenderable bases (calls, indexes) return "".
+func baseString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		b := baseString(e.X)
+		if b == "" {
+			return ""
+		}
+		return b + "." + e.Sel.Name
+	}
+	return ""
+}
+
+// scope is one function body with nested literals masked out.
+type scope struct {
+	body *ast.BlockStmt
+	lits []*ast.FuncLit
+}
+
+func functionBodies(fd *ast.FuncDecl) []*scope {
+	var bodies []*ast.BlockStmt
+	bodies = append(bodies, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			bodies = append(bodies, lit.Body)
+		}
+		return true
+	})
+	var scopes []*scope
+	for _, b := range bodies {
+		s := &scope{body: b}
+		ast.Inspect(b, func(n ast.Node) bool {
+			if n == b {
+				return true
+			}
+			if lit, ok := n.(*ast.FuncLit); ok {
+				s.lits = append(s.lits, lit)
+				return false
+			}
+			return true
+		})
+		scopes = append(scopes, s)
+	}
+	return scopes
+}
+
+func (s *scope) inScope(pos token.Pos) bool {
+	if pos < s.body.Pos() || pos >= s.body.End() {
+		return false
+	}
+	for _, lit := range s.lits {
+		if lit.Pos() <= pos && pos < lit.End() {
+			return false
+		}
+	}
+	return true
+}
+
+// A lockInterval is one source span during which a mutex is held.
+type lockInterval struct {
+	key        string // "<base>.<mutex>"
+	start, end token.Pos
+}
+
+// lockEvent is one Lock/Unlock call in source order. depth is the
+// event's block-nesting level inside the scope: an Unlock nested deeper
+// than its Lock sits on an early-exit branch (unlock-and-return), so it
+// must not end the region the fall-through path still holds.
+type lockEvent struct {
+	pos      token.Pos
+	key      string
+	lock     bool
+	deferred bool
+	depth    int
+}
+
+// lockRegions computes, lexically, the spans of the scope during which
+// each "<base>.<mutex>" is held. A deferred Unlock (and an unmatched
+// Lock) holds to the end of the scope.
+func lockRegions(info *types.Info, s *scope) []lockInterval {
+	var events []lockEvent
+	record := func(call *ast.CallExpr, deferred bool, pos token.Pos) {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		var lock bool
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			lock = true
+		case "Unlock", "RUnlock":
+			lock = false
+		default:
+			return
+		}
+		key := baseString(sel.X)
+		if key == "" {
+			return
+		}
+		events = append(events, lockEvent{pos: pos, key: key, lock: lock, deferred: deferred})
+	}
+	ast.Inspect(s.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if s.inScope(n.Pos()) {
+				record(n.Call, true, n.Pos())
+			}
+			return false
+		case *ast.CallExpr:
+			if s.inScope(n.Pos()) {
+				record(n, false, n.Pos())
+			}
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	for i := range events {
+		events[i].depth = blockDepth(s.body, events[i].pos)
+	}
+
+	var intervals []lockInterval
+	open := map[string][]lockEvent{} // key -> stack of open Lock events
+	for _, e := range events {
+		if e.lock {
+			open[e.key] = append(open[e.key], e)
+			continue
+		}
+		stack := open[e.key]
+		if len(stack) == 0 {
+			continue // unlock of a lock taken by the caller
+		}
+		top := stack[len(stack)-1]
+		if !e.deferred && e.depth > top.depth {
+			// Early-exit unlock (unlock-and-return inside a branch):
+			// the fall-through path still holds the lock.
+			continue
+		}
+		open[e.key] = stack[:len(stack)-1]
+		end := e.pos
+		if e.deferred {
+			end = s.body.End()
+		}
+		intervals = append(intervals, lockInterval{e.key, top.pos, end})
+	}
+	for key, stack := range open {
+		for _, start := range stack {
+			intervals = append(intervals, lockInterval{key, start.pos, s.body.End()})
+		}
+	}
+	return intervals
+}
+
+// blockDepth counts the blocks of body enclosing pos.
+func blockDepth(body *ast.BlockStmt, pos token.Pos) int {
+	d := 0
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
+			if n.Pos() <= pos && pos < n.End() {
+				d++
+			}
+		}
+		return true
+	})
+	return d
+}
+
+// compositeSpans collects the source spans of composite literals.
+func compositeSpans(files []*ast.File) []lockInterval {
+	var spans []lockInterval
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if cl, ok := n.(*ast.CompositeLit); ok {
+				spans = append(spans, lockInterval{start: cl.Pos(), end: cl.End()})
+			}
+			return true
+		})
+	}
+	return spans
+}
+
+func within(spans []lockInterval, pos token.Pos, key string) bool {
+	for _, sp := range spans {
+		if sp.key == key && sp.start <= pos && pos < sp.end {
+			return true
+		}
+	}
+	return false
+}
+
+func checkScope(pass *analysis.Pass, s *scope, held []lockInterval, lockedMutexes []string,
+	atomicFields map[*types.Var]bool, atomicUses map[*ast.SelectorExpr]bool,
+	guarded map[*types.Var]guard, inComposite []lockInterval) {
+	info := pass.TypesInfo
+	ast.Inspect(s.body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || !s.inScope(sel.Pos()) {
+			return true
+		}
+		fv := fieldOf(info, sel)
+		if fv == nil {
+			return true
+		}
+		// Rule 1: plain access of an atomically-accessed field.
+		if atomicFields[fv] && !atomicUses[sel] {
+			pass.Reportf(sel.Pos(),
+				"plain access of %s.%s, which is accessed with sync/atomic elsewhere: every access must be atomic",
+				fieldOwner(fv), fv.Name())
+		}
+		// Rule 2: guarded field without its mutex.
+		g, ok := guarded[fv]
+		if !ok {
+			return true
+		}
+		for _, m := range lockedMutexes {
+			if m == g.mutex {
+				return true
+			}
+		}
+		if within(inComposite, sel.Pos(), "") {
+			return true // construction, not shared access
+		}
+		base := baseString(sel.X)
+		if base == "" {
+			return true // unmatchable base; assume a wrapper manages it
+		}
+		key := base + "." + g.mutex
+		if !within(held, sel.Pos(), key) {
+			pass.Reportf(sel.Pos(),
+				"access of %s.%s without holding %s (field is //axsnn:guardedby %s)",
+				base, fv.Name(), key, g.mutex)
+		}
+		return true
+	})
+}
+
+// fieldOwner names the struct type a field belongs to, for messages.
+func fieldOwner(fv *types.Var) string {
+	// The owner is not directly reachable from the field object; fall
+	// back to the package-qualified field position's best description.
+	if fv.Pkg() != nil {
+		return fv.Pkg().Name()
+	}
+	return "?"
+}

@@ -1,0 +1,12 @@
+package atomicguard_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/atomicguard"
+)
+
+func TestAtomicGuard(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicguard.Analyzer)
+}

@@ -1,0 +1,126 @@
+// Package guard exercises both atomicguard rules: mixed plain/atomic
+// access of a field, and //axsnn:guardedby mutex discipline.
+package guard
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter mixes an atomic counter with a mutex-guarded table.
+type Counter struct {
+	n     int64
+	mu    sync.Mutex
+	state map[string]int //axsnn:guardedby mu
+}
+
+// NewCounter constructs: composite-literal initialization is exempt.
+func NewCounter() *Counter {
+	return &Counter{state: map[string]int{}}
+}
+
+// Inc is the sanctioned atomic access.
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+// Load is also sanctioned.
+func (c *Counter) Load() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+// BadRead reads the atomic field plainly.
+func (c *Counter) BadRead() int64 {
+	return c.n // want `plain access of guard.n`
+}
+
+// BadWrite writes it plainly.
+func (c *Counter) BadWrite() {
+	c.n = 0 // want `plain access of guard.n`
+}
+
+// Get holds the mutex for the whole call via defer.
+func (c *Counter) Get(k string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state[k]
+}
+
+// Race reads the guarded table with no lock.
+func (c *Counter) Race(k string) int {
+	return c.state[k] // want `access of c.state without holding c.mu`
+}
+
+// Window holds the lock for part of the function: the access after
+// Unlock races.
+func (c *Counter) Window(k string) int {
+	c.mu.Lock()
+	v := c.state[k]
+	c.mu.Unlock()
+	v += c.state[k] // want `access of c.state without holding c.mu`
+	return v
+}
+
+// EarlyExit unlocks on the early-return branch only; the fall-through
+// path still holds mu, so the access after the branch is guarded.
+func (c *Counter) EarlyExit(k string, skip bool) int {
+	c.mu.Lock()
+	if skip {
+		c.mu.Unlock()
+		return 0
+	}
+	v := c.state[k]
+	c.mu.Unlock()
+	return v
+}
+
+// flushLocked documents that its callers hold mu.
+//
+//axsnn:locked mu
+func (c *Counter) flushLocked() {
+	clear(c.state)
+}
+
+// Flush takes the lock and delegates.
+func (c *Counter) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.flushLocked()
+}
+
+// Async returns a closure that takes the lock itself: clean.
+func (c *Counter) Async(k string) func() int {
+	return func() int {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.state[k]
+	}
+}
+
+// Goroutine leaks a guarded access into a goroutine that outlives the
+// critical section.
+func (c *Counter) Goroutine(k string, out chan<- int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		out <- c.state[k] // want `access of c.state without holding c.mu`
+	}()
+}
+
+// Typed atomics are safe by construction: no diagnostics.
+type Typed struct {
+	v atomic.Int64
+}
+
+func (t *Typed) Inc() int64 {
+	return t.v.Add(1)
+}
+
+func (t *Typed) Get() int64 {
+	return t.v.Load()
+}
+
+// BadDecl omits the mutex name.
+type BadDecl struct {
+	v int /* want `guardedby directive must name the guarding mutex field` */ //axsnn:guardedby
+}

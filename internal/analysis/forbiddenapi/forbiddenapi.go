@@ -1,0 +1,216 @@
+// Package forbiddenapi bans APIs that have no business inside
+// hot-path functions (the same set hotpathalloc checks: annotated
+// //axsnn:hotpath roots, *Into/*Scratch kernels, and their in-package
+// static call closure):
+//
+//   - time.Now — kernels must be time-free so runs are reproducible;
+//     timing belongs to callers and benchmarks.
+//   - global math/rand functions — they serialize on the global
+//     source's lock and are not seedable per worker; hot code threads
+//     explicit *rand.Rand state (internal/rng).
+//   - fmt.* — formats through reflection and allocates.
+//   - reflect.* — never on a hot path.
+//   - panic with a non-constant argument — building the panic value
+//     allocates, and a non-constant panic in kernel code is usually a
+//     formatted message on a path that can fire inside shared pool
+//     worker goroutines, where an uncaught panic kills the process.
+//     Constant-message panics (invariant guards) are allowed.
+//
+// Violations inside module dependencies are carried by function facts,
+// so a hot kernel calling a helper that calls time.Now is caught at
+// the call site. //axsnn:allow-alloc <reason> excuses a statement or
+// function here exactly as it does for hotpathalloc (a cold
+// shape-guard panic excused for allocation is excused for its
+// formatted panic too, under one directive).
+package forbiddenapi
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "forbiddenapi",
+	Doc:  "no time.Now, global math/rand, fmt, reflect, or non-constant panic in hot-path functions",
+	Run:  run,
+}
+
+type violation struct {
+	pos token.Pos
+	msg string
+}
+
+func run(pass *analysis.Pass) error {
+	funcs := analysis.PackageFuncs(pass)
+	exc := map[*ast.File]*analysis.Excusals{}
+	for _, f := range pass.Files {
+		exc[f] = analysis.CollectExcusals(pass.Fset, f, "allow-alloc")
+	}
+
+	own := map[*types.Func][]violation{}
+	for obj, fi := range funcs {
+		own[obj] = scanBody(pass, fi, exc[fi.File])
+	}
+
+	memo := map[*types.Func]string{}
+	onStack := map[*types.Func]bool{}
+	var fact func(obj *types.Func) string
+	fact = func(obj *types.Func) string {
+		if f, ok := memo[obj]; ok {
+			return f
+		}
+		if onStack[obj] {
+			return ""
+		}
+		fi := funcs[obj]
+		if analysis.FuncExcused(fi.Decl) {
+			memo[obj] = ""
+			return ""
+		}
+		if vs := own[obj]; len(vs) > 0 {
+			f := fmt.Sprintf("%s (at %s)", vs[0].msg, shortPos(pass.Fset, vs[0].pos))
+			memo[obj] = f
+			return f
+		}
+		onStack[obj] = true
+		defer delete(onStack, obj)
+		for _, callee := range fi.CallOrder {
+			if _, excused := exc[fi.File].Excused(fi.Calls[callee]); excused {
+				continue
+			}
+			var cf string
+			if _, inPkg := funcs[callee]; inPkg {
+				cf = fact(callee)
+			} else if sv := stdlibViolation(callee); sv != "" {
+				// The direct rule outranks an imported fact so a vet
+				// run that built facts for stdlib dependencies reports
+				// the same message as the standalone mode.
+				cf = sv
+			} else if imported, ok := pass.ReadFact(callee); ok {
+				cf = imported
+			}
+			if cf != "" {
+				f := fmt.Sprintf("calls %s: %s", calleeName(callee), cf)
+				memo[obj] = f
+				return f
+			}
+		}
+		memo[obj] = ""
+		return ""
+	}
+
+	hot := analysis.HotpathSet(pass, funcs)
+	var hotObjs []*types.Func
+	for obj := range hot {
+		hotObjs = append(hotObjs, obj)
+	}
+	sort.Slice(hotObjs, func(i, j int) bool {
+		return hot[hotObjs[i]].Info.Decl.Pos() < hot[hotObjs[j]].Info.Decl.Pos()
+	})
+	for _, obj := range hotObjs {
+		h := hot[obj]
+		for _, v := range own[obj] {
+			pass.Reportf(v.pos, "%s in hot-path function %s (%s)", v.msg, obj.Name(), h.Why)
+		}
+		for _, callee := range h.Info.CallOrder {
+			if _, inPkg := funcs[callee]; inPkg {
+				continue
+			}
+			pos := h.Info.Calls[callee]
+			if _, excused := exc[h.Info.File].Excused(pos); excused {
+				continue
+			}
+			var cf string
+			if sv := stdlibViolation(callee); sv != "" {
+				cf = sv
+			} else if imported, ok := pass.ReadFact(callee); ok {
+				cf = imported
+			}
+			if cf != "" {
+				pass.Reportf(pos, "hot-path function %s (%s) calls %s: %s",
+					obj.Name(), h.Why, calleeName(callee), cf)
+			}
+		}
+	}
+
+	for obj := range funcs {
+		pass.ExportFact(obj, fact(obj))
+	}
+	return nil
+}
+
+// stdlibViolation classifies a direct call to a function outside the
+// analyzed module. Only the named APIs are forbidden; everything else
+// is hotpathalloc's concern.
+func stdlibViolation(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	switch {
+	case pkg == "time" && fn.Name() == "Now":
+		return "time.Now is forbidden (kernels must be time-free and reproducible)"
+	case (pkg == "math/rand" || pkg == "math/rand/v2") && recv == nil:
+		return fmt.Sprintf("global math/rand.%s is forbidden (serializes on the global source; thread a *rand.Rand)", fn.Name())
+	case pkg == "fmt":
+		return fmt.Sprintf("fmt.%s is forbidden (reflection-based formatting)", fn.Name())
+	case pkg == "reflect":
+		return fmt.Sprintf("reflect.%s is forbidden", fn.Name())
+	}
+	return ""
+}
+
+// scanBody collects the function's own forbidden constructs: panics
+// with non-constant arguments. Forbidden calls are resolved through
+// the call graph, not here.
+func scanBody(pass *analysis.Pass, fi *analysis.FuncInfo, exc *analysis.Excusals) []violation {
+	var out []violation
+	info := pass.TypesInfo
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "panic" || len(call.Args) != 1 {
+			return true
+		}
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+			return true
+		}
+		if info.Types[call.Args[0]].Value != nil {
+			return true // constant-message invariant guard
+		}
+		if _, excused := exc.Excused(call.Pos()); excused {
+			return true
+		}
+		out = append(out, violation{call.Pos(),
+			"panic with non-constant argument (allocates; can kill pool workers)"})
+		return true
+	})
+	return out
+}
+
+func calleeName(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	key := analysis.FuncKey(fn)
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		key = key[i+1:]
+	}
+	return key
+}
+
+func shortPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}

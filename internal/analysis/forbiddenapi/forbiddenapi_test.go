@@ -1,0 +1,12 @@
+package forbiddenapi_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/forbiddenapi"
+)
+
+func TestForbiddenAPI(t *testing.T) {
+	analysistest.Run(t, "testdata", forbiddenapi.Analyzer)
+}

@@ -1,0 +1,9 @@
+// Package caller exercises cross-package fact flow for forbidden APIs.
+package caller
+
+import "fix/dep"
+
+//axsnn:hotpath
+func Hot() int64 {
+	return dep.Stamp() // want `calls dep.Stamp: calls time.Now: time.Now is forbidden`
+}

@@ -1,0 +1,10 @@
+// Package dep provides a helper whose forbidden call must surface in
+// importers through facts.
+package dep
+
+import "time"
+
+// Stamp calls time.Now; hot callers must not use it.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,64 @@
+// Package hot exercises the forbidden-API set inside hot-path code:
+// time.Now, global math/rand, fmt, and non-constant panics.
+package hot
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+//axsnn:hotpath
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `calls time.Now: time.Now is forbidden`
+}
+
+//axsnn:hotpath
+func Jitter() float64 {
+	return rand.Float64() // want `global math/rand.Float64 is forbidden`
+}
+
+//axsnn:hotpath
+func Format(x int) string {
+	return fmt.Sprintf("%d", x) // want `calls fmt.Sprintf: fmt.Sprintf is forbidden`
+}
+
+// ConstGuard panics with a constant message: an invariant guard, allowed.
+//
+//axsnn:hotpath
+func ConstGuard(n int) {
+	if n < 0 {
+		panic("n must be non-negative")
+	}
+}
+
+//axsnn:hotpath
+func VarGuard(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("bad n=%d", n)) // want `panic with non-constant argument` `calls fmt.Sprintf`
+	}
+}
+
+//axsnn:hotpath
+func ExcusedGuard(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("bad n=%d", n)) //axsnn:allow-alloc cold misuse guard; formats once before dying
+	}
+}
+
+// Entry pulls stamp into the hot-path set; the forbidden call is
+// reported inside stamp.
+//
+//axsnn:hotpath
+func Entry() int64 {
+	return stamp()
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `calls time.Now`
+}
+
+// ColdLog is not hot: every API is fine here.
+func ColdLog(x int) string {
+	return fmt.Sprintf("%d at %v", x, time.Now())
+}

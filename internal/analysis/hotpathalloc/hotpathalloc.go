@@ -1,0 +1,445 @@
+// Package hotpathalloc checks the repo's zero-allocation invariant:
+// hot-path functions — those annotated //axsnn:hotpath, the *Into /
+// *Scratch kernel entry points of internal/tensor and internal/snn,
+// and everything transitively reachable from them through static
+// in-package calls — must not contain allocating constructs.
+//
+// Flagged constructs: make, new, append (growth can allocate),
+// composite literals, function literals (closures; literals deferred
+// directly are exempt — open-coded defers are stack-allocated), string
+// concatenation and string<->slice conversions, interface boxing of
+// non-pointer values, go statements, and calls into packages that are
+// not allocation-checked (anything outside a small allocation-free
+// stdlib allowlist). Cross-package calls inside the module resolve
+// through function facts exported when the callee's package was
+// analyzed, so a stream kernel calling an allocating dvs helper is
+// caught at the call site.
+//
+// The escape hatch is //axsnn:allow-alloc <reason>: on the line of (or
+// line above) an allocating statement it excuses that statement; in a
+// function's doc comment it excuses the whole function and stops
+// hot-path propagation through it. A directive without a reason is
+// itself a diagnostic — the excuse must say why the allocation is
+// acceptable (amortized, cold guard path, documented non-zero-alloc
+// mode, ...).
+package hotpathalloc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "hot-path functions (//axsnn:hotpath and *Into/*Scratch kernels, transitively) must not allocate",
+	Run:  run,
+}
+
+// cleanStdlib are the stdlib packages whose functions the analyzer
+// trusts not to allocate on any path hot code uses.
+var cleanStdlib = map[string]bool{
+	"math":        true,
+	"math/bits":   true,
+	"sync":        true,
+	"sync/atomic": true,
+	"unsafe":      true,
+}
+
+// A violation is one allocating construct.
+type violation struct {
+	pos token.Pos
+	msg string
+}
+
+func run(pass *analysis.Pass) error {
+	funcs := analysis.PackageFuncs(pass)
+	exc := map[*ast.File]*analysis.Excusals{}
+	for _, f := range pass.Files {
+		exc[f] = analysis.CollectExcusals(pass.Fset, f, "allow-alloc")
+		for _, d := range exc[f].MissingReasons() {
+			pass.Reportf(d.Pos, "allow-alloc directive must carry a reason")
+		}
+	}
+	for _, fi := range funcs {
+		if d, ok := analysis.FuncDirective(fi.Decl, "allow-alloc"); ok && d.Args == "" {
+			pass.Reportf(d.Pos, "allow-alloc directive must carry a reason")
+		}
+	}
+
+	// Scan every function body once; facts need all of them, hot or not.
+	own := map[*types.Func][]violation{}
+	for obj, fi := range funcs {
+		own[obj] = scanBody(pass, fi, exc[fi.File])
+	}
+
+	// fact returns the function's allocation summary: its first own
+	// violation, or the first dirty callee (in-package via recursion,
+	// cross-package via imported facts). Cycles read as clean while on
+	// the stack; any real allocation in the cycle is still found from
+	// the function that owns it.
+	memo := map[*types.Func]string{}
+	onStack := map[*types.Func]bool{}
+	var fact func(obj *types.Func) string
+	fact = func(obj *types.Func) string {
+		if f, ok := memo[obj]; ok {
+			return f
+		}
+		if onStack[obj] {
+			return ""
+		}
+		fi := funcs[obj]
+		if analysis.FuncExcused(fi.Decl) {
+			memo[obj] = ""
+			return ""
+		}
+		if vs := own[obj]; len(vs) > 0 {
+			f := fmt.Sprintf("%s (at %s)", vs[0].msg, shortPos(pass.Fset, vs[0].pos))
+			memo[obj] = f
+			return f
+		}
+		onStack[obj] = true
+		defer delete(onStack, obj)
+		for _, callee := range fi.CallOrder {
+			if _, excused := exc[fi.File].Excused(fi.Calls[callee]); excused {
+				continue
+			}
+			var cf string
+			var known bool
+			if _, inPkg := funcs[callee]; inPkg {
+				cf, known = fact(callee), true
+			} else {
+				cf, known = calleeFact(pass, callee)
+			}
+			if !known {
+				cf = fmt.Sprintf("calls %s, which is not allocation-checked", calleeName(callee))
+			}
+			if cf != "" {
+				f := fmt.Sprintf("calls %s: %s", calleeName(callee), cf)
+				memo[obj] = f
+				return f
+			}
+		}
+		memo[obj] = ""
+		return ""
+	}
+
+	hot := analysis.HotpathSet(pass, funcs)
+	var hotObjs []*types.Func
+	for obj := range hot {
+		hotObjs = append(hotObjs, obj)
+	}
+	sort.Slice(hotObjs, func(i, j int) bool {
+		return hot[hotObjs[i]].Info.Decl.Pos() < hot[hotObjs[j]].Info.Decl.Pos()
+	})
+	for _, obj := range hotObjs {
+		h := hot[obj]
+		for _, v := range own[obj] {
+			pass.Reportf(v.pos, "%s in hot-path function %s (%s)", v.msg, obj.Name(), h.Why)
+		}
+		// Cross-package callees: report dirty or unchecked ones at the
+		// call site. In-package callees report themselves — they are in
+		// the hot-path set by reachability.
+		for _, callee := range h.Info.CallOrder {
+			if _, inPkg := funcs[callee]; inPkg {
+				continue
+			}
+			pos := h.Info.Calls[callee]
+			if _, excused := exc[h.Info.File].Excused(pos); excused {
+				continue
+			}
+			cf, known := calleeFact(pass, callee)
+			if !known {
+				pass.Reportf(pos, "hot-path function %s (%s) calls %s, which is not allocation-checked",
+					obj.Name(), h.Why, calleeName(callee))
+			} else if cf != "" {
+				pass.Reportf(pos, "hot-path function %s (%s) calls %s, which allocates: %s",
+					obj.Name(), h.Why, calleeName(callee), cf)
+			}
+		}
+	}
+
+	// Export one fact per declared function so importing packages can
+	// query cleanliness without re-reading bodies.
+	for obj := range funcs {
+		pass.ExportFact(obj, fact(obj))
+	}
+	return nil
+}
+
+// calleeFact resolves a cross-package callee's allocation summary:
+// the stdlib allowlist first — it wins even when a fact exists, so a
+// vet run that built facts for stdlib dependencies agrees with the
+// standalone mode, which never analyzes their sources — then the
+// imported fact when the callee's package was analyzed.
+func calleeFact(pass *analysis.Pass, callee *types.Func) (fact string, known bool) {
+	if callee.Pkg() != nil && cleanStdlib[callee.Pkg().Path()] {
+		return "", true
+	}
+	if f, ok := pass.ReadFact(callee); ok {
+		return f, true
+	}
+	return "", false
+}
+
+func calleeName(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	key := analysis.FuncKey(fn)
+	// Trim the package path down to its base for readability.
+	if i := strings.LastIndex(key, "/"); i >= 0 {
+		key = key[i+1:]
+	}
+	return key
+}
+
+func shortPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+// flagLit reports a heap-allocating composite literal once: literals
+// nested inside an already-flagged one are part of the same allocation
+// event and stay silent.
+func flagLit(lit *ast.CompositeLit, pos token.Pos, flagged *[]ast.Node, add func(token.Pos, string, ...any)) {
+	for _, fl := range *flagged {
+		if fl.Pos() <= lit.Pos() && lit.End() <= fl.End() {
+			return
+		}
+	}
+	*flagged = append(*flagged, lit)
+	add(pos, "composite literal allocates")
+}
+
+// scanBody collects fi's own allocating constructs, skipping excused
+// statements.
+func scanBody(pass *analysis.Pass, fi *analysis.FuncInfo, exc *analysis.Excusals) []violation {
+	var out []violation
+	info := pass.TypesInfo
+	add := func(pos token.Pos, format string, args ...any) {
+		if _, excused := exc.Excused(pos); excused {
+			return
+		}
+		out = append(out, violation{pos, fmt.Sprintf(format, args...)})
+	}
+
+	// Function literals deferred directly are stack-allocated
+	// (open-coded defers); collect them for exemption. Composite
+	// literals nested inside an already-flagged one are not re-flagged.
+	deferredLits := map[*ast.FuncLit]bool{}
+	var flaggedLits []ast.Node
+	// Enclosing signatures for return-statement boxing checks.
+	type fnScope struct {
+		body *ast.BlockStmt
+		sig  *types.Signature
+	}
+	var scopes []fnScope
+	if sig, ok := info.Defs[fi.Decl.Name].(*types.Func); ok {
+		scopes = append(scopes, fnScope{fi.Decl.Body, sig.Type().(*types.Signature)})
+	}
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				deferredLits[lit] = true
+			}
+		case *ast.FuncLit:
+			if sig, ok := info.Types[n].Type.(*types.Signature); ok {
+				scopes = append(scopes, fnScope{n.Body, sig})
+			}
+		}
+		return true
+	})
+	enclosingSig := func(pos token.Pos) *types.Signature {
+		var best *fnScope
+		for i := range scopes {
+			s := &scopes[i]
+			if s.body.Pos() <= pos && pos < s.body.End() {
+				if best == nil || (s.body.Pos() >= best.body.Pos() && s.body.End() <= best.body.End()) {
+					best = s
+				}
+			}
+		}
+		if best == nil {
+			return nil
+		}
+		return best.sig
+	}
+
+	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			add(n.Pos(), "go statement allocates a goroutine")
+		case *ast.FuncLit:
+			if !deferredLits[n] {
+				add(n.Pos(), "function literal allocates its closure")
+			}
+		case *ast.UnaryExpr:
+			// &T{...} forces the literal to the heap; value struct
+			// literals without the & are plain stack values.
+			if n.Op == token.AND {
+				if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					flagLit(cl, n.Pos(), &flaggedLits, add)
+				}
+			}
+		case *ast.CompositeLit:
+			// Slice and map literals always allocate their backing
+			// store; pointer-typed literals (the elided & inside
+			// []*T{{...}}) allocate the pointee. Value struct/array
+			// literals do not allocate by themselves — if they box
+			// into an interface or escape via &, the boxing check or
+			// the UnaryExpr case above catches them.
+			if t := info.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map, *types.Pointer:
+					flagLit(n, n.Pos(), &flaggedLits, add)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(info.Types[n].Type) {
+				add(n.Pos(), "string concatenation allocates")
+			}
+		case *ast.CallExpr:
+			scanCall(info, n, add)
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) && n.Tok == token.ASSIGN {
+				for i := range n.Rhs {
+					if lt := info.Types[n.Lhs[i]].Type; lt != nil {
+						checkBox(info, n.Rhs[i], lt, add)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if n.Type != nil {
+				if t := info.Types[n.Type].Type; t != nil {
+					for _, v := range n.Values {
+						checkBox(info, v, t, add)
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			sig := enclosingSig(n.Pos())
+			if sig != nil && len(n.Results) == sig.Results().Len() {
+				for i, r := range n.Results {
+					checkBox(info, r, sig.Results().At(i).Type(), add)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// scanCall flags allocating builtins, allocating conversions and
+// interface-boxing arguments of one call.
+func scanCall(info *types.Info, call *ast.CallExpr, add func(token.Pos, string, ...any)) {
+	tv := info.Types[call.Fun]
+	// Type conversions.
+	if tv.IsType() {
+		if len(call.Args) == 1 {
+			to, from := tv.Type, info.Types[call.Args[0]].Type
+			switch {
+			case isString(to) && isByteOrRuneSlice(from), isByteOrRuneSlice(to) && isString(from):
+				add(call.Pos(), "string conversion allocates")
+			default:
+				checkBox(info, call.Args[0], to, add)
+			}
+		}
+		return
+	}
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				add(call.Pos(), "make allocates")
+			case "new":
+				add(call.Pos(), "new allocates")
+			case "append":
+				add(call.Pos(), "append may grow its backing array")
+			case "print", "println":
+				add(call.Pos(), "%s allocates", id.Name)
+			}
+			return
+		}
+	}
+	// Interface boxing of arguments (any call, static or dynamic).
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		checkBox(info, arg, pt, add)
+	}
+}
+
+// checkBox flags expr if assigning it to target boxes a non-pointer
+// value into an interface (the allocation the escape analyzer cannot
+// remove when the interface escapes).
+func checkBox(info *types.Info, expr ast.Expr, target types.Type, add func(token.Pos, string, ...any)) {
+	if target == nil || !types.IsInterface(target) {
+		return
+	}
+	tv := info.Types[expr]
+	if tv.Type == nil || tv.IsNil() || types.IsInterface(tv.Type) {
+		return
+	}
+	if pointerShaped(tv.Type) {
+		return
+	}
+	add(expr.Pos(), "%s value boxed into interface (allocates)", tv.Type.String())
+}
+
+// pointerShaped reports whether values of t fit an interface's data
+// word without heap allocation.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	case *types.Struct:
+		return u.NumFields() == 0 // zero-size: boxed as a static sentinel
+	}
+	return false
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

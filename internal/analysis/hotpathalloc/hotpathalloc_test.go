@@ -1,0 +1,15 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/hotpathalloc"
+)
+
+func TestHotpathAlloc(t *testing.T) {
+	analysis.HotpathNamePackages["fix/kernels"] = true
+	defer delete(analysis.HotpathNamePackages, "fix/kernels")
+	analysistest.Run(t, "testdata", hotpathalloc.Analyzer)
+}

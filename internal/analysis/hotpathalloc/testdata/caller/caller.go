@@ -1,0 +1,23 @@
+// Package caller exercises cross-package fact flow: dep is analyzed
+// first (dependency order), and its exported facts surface here at the
+// call sites.
+package caller
+
+import "fix/dep"
+
+//axsnn:hotpath
+func Hot(n int) int {
+	buf := dep.Alloc(n) // want `calls dep.Alloc, which allocates: make allocates`
+	return len(buf) + dep.Clean(n)
+}
+
+//axsnn:hotpath
+func HotIndirect(n int) int {
+	return dep.Indirect(n) // want `calls dep.Indirect, which allocates: calls dep.Alloc: make allocates`
+}
+
+//axsnn:hotpath
+func HotExcusedCall(n int) int {
+	buf := dep.Alloc(n) //axsnn:allow-alloc warmup fill; runs before serving starts
+	return len(buf)
+}

@@ -1,0 +1,18 @@
+// Package dep provides cross-package callees whose allocation facts
+// must flow to importers.
+package dep
+
+// Alloc allocates on every call.
+func Alloc(n int) []int {
+	return make([]int, n)
+}
+
+// Clean never allocates.
+func Clean(x int) int {
+	return x &^ 1
+}
+
+// Indirect allocates through Alloc: the fact is transitive.
+func Indirect(n int) int {
+	return len(Alloc(n))
+}

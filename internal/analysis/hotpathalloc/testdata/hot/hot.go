@@ -1,0 +1,168 @@
+// Package hot exercises annotated hot-path roots: every allocating
+// construct class, reachability through in-package calls, and the
+// allow-alloc escape hatches.
+package hot
+
+import (
+	"strconv"
+	"sync"
+)
+
+// Sum is clean: loops and arithmetic only.
+//
+//axsnn:hotpath
+func Sum(xs []int) int {
+	acc := 0
+	for _, x := range xs {
+		acc += x
+	}
+	return acc
+}
+
+//axsnn:hotpath
+func Make(n int) []int {
+	buf := make([]int, n) // want `make allocates`
+	return buf
+}
+
+//axsnn:hotpath
+func New() *int {
+	return new(int) // want `new allocates`
+}
+
+//axsnn:hotpath
+func Append(dst []int, x int) []int {
+	dst = append(dst, x) // want `append may grow its backing array`
+	return dst
+}
+
+//axsnn:hotpath
+func Composite() []int {
+	return []int{1, 2, 3} // want `composite literal allocates`
+}
+
+type pair struct{ a, b int }
+
+// ValueLit builds a plain value struct literal: a stack value, not an
+// allocation, so no diagnostic.
+//
+//axsnn:hotpath
+func ValueLit(x, y int) int {
+	p := pair{x, y}
+	return p.a + p.b
+}
+
+//axsnn:hotpath
+func HeapLit(x int) *pair {
+	return &pair{a: x} // want `composite literal allocates`
+}
+
+//axsnn:hotpath
+func ElidedHeapLit(x int) []*pair {
+	ps := []*pair{{a: x}} // want `composite literal allocates`
+	return ps
+}
+
+//axsnn:hotpath
+func Spawn(f func()) {
+	go f() // want `go statement allocates a goroutine`
+}
+
+//axsnn:hotpath
+func Closure(xs []int) func() int {
+	f := func() int { return len(xs) } // want `function literal allocates its closure`
+	return f
+}
+
+// Locked defers a function literal directly: open-coded defers are
+// stack-allocated, so no diagnostic.
+//
+//axsnn:hotpath
+func Locked(mu *sync.Mutex) {
+	mu.Lock()
+	defer func() { mu.Unlock() }()
+}
+
+//axsnn:hotpath
+func Concat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//axsnn:hotpath
+func Bytes(s string) []byte {
+	return []byte(s) // want `string conversion allocates`
+}
+
+//axsnn:hotpath
+func Box(x int) any {
+	var v any = x // want `int value boxed into interface`
+	return v
+}
+
+//axsnn:hotpath
+func Itoa(x int) string {
+	return strconv.Itoa(x) // want `calls strconv.Itoa, which is not allocation-checked`
+}
+
+// Entry pulls helper into the hot-path set by reachability; the
+// violation is reported inside helper.
+//
+//axsnn:hotpath
+func Entry(n int) int {
+	return helper(n)
+}
+
+func helper(n int) int {
+	m := make([]int, n) // want `make allocates`
+	return len(m)
+}
+
+//axsnn:hotpath
+func ExcusedLine(n int) []int {
+	buf := make([]int, n) //axsnn:allow-alloc grows only on first use; amortized across the run
+	return buf
+}
+
+// ExcusedDispatch carries a trailing directive on the first line of a
+// multi-line call: the whole statement, closure included, is excused.
+//
+//axsnn:hotpath
+func ExcusedDispatch(xs []int, acc *int) {
+	forEach(len(xs), func(i int) { //axsnn:allow-alloc dispatch closure, amortized over the batch
+		*acc += xs[i]
+	})
+}
+
+func forEach(n int, f func(int)) {
+	for i := 0; i < n; i++ {
+		f(i)
+	}
+}
+
+//axsnn:hotpath
+func CallsOptedOut(n int) int {
+	return optedOut(n)
+}
+
+// optedOut opts out of hot-path checking entirely, with a reason.
+//
+//axsnn:allow-alloc cold configuration path, runs once per reload
+func optedOut(n int) int {
+	return len(make([]int, n))
+}
+
+//axsnn:hotpath
+func MissingReason(n int) []int {
+	/* want `allow-alloc directive must carry a reason` */ //axsnn:allow-alloc
+	buf := make([]int, n)
+	return buf
+}
+
+// ColdSetup allocates freely: it is not hot and nothing hot calls it.
+func ColdSetup(n int) map[int][]int {
+	out := map[int][]int{}
+	for i := 0; i < n; i++ {
+		out[i] = make([]int, i)
+	}
+	return out
+}

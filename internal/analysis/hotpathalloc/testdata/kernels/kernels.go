@@ -1,0 +1,25 @@
+// Package kernels exercises name-implied hot-path roots: the test
+// registers fix/kernels as a kernel package, so *Into / *Scratch
+// functions are hot with no annotation.
+package kernels
+
+// AddInto is hot by name and clean.
+func AddInto(dst, a, b []float32) {
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// ScaleInto is hot by name and allocates.
+func ScaleInto(dst []float32, s float32) []float32 {
+	tmp := make([]float32, len(dst)) // want `make allocates`
+	for i := range dst {
+		tmp[i] = dst[i] * s
+	}
+	return tmp
+}
+
+// NewBufInto is a constructor despite the suffix: exempt by prefix.
+func NewBufInto(n int) []float32 {
+	return make([]float32, n)
+}

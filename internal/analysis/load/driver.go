@@ -1,0 +1,81 @@
+package load
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/analysis"
+)
+
+// A Finding is one resolved diagnostic.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Run applies every analyzer to every package, in the given (dependency)
+// order, threading facts through store. Findings are sorted by position.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*analysis.Analyzer, store *FactStore) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		fs, err := RunPackage(fset, pkg, analyzers, store)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// RunPackage applies the analyzers to one package, reading and writing
+// facts in store.
+func RunPackage(fset *token.FileSet, pkg *Package, analyzers []*analysis.Analyzer, store *FactStore) ([]Finding, error) {
+	var findings []Finding
+	for _, a := range analyzers {
+		a := a
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     pkg.NonTest,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Report: func(d analysis.Diagnostic) {
+				findings = append(findings, Finding{
+					Analyzer: a.Name,
+					Pos:      fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			},
+			ReadFact: func(fn *types.Func) (string, bool) {
+				return store.Get(a.Name, analysis.FuncKey(fn))
+			},
+			ExportFact: func(fn *types.Func, fact string) {
+				store.Set(a.Name, analysis.FuncKey(fn), fact)
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
+		}
+	}
+	return findings, nil
+}

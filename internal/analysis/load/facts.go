@@ -1,0 +1,85 @@
+package load
+
+import (
+	"encoding/gob"
+	"os"
+	"sync"
+)
+
+// A FactStore holds per-analyzer function facts, keyed by
+// analysis.FuncKey. In the standalone driver one store spans the whole
+// run (packages are analyzed in dependency order, so callee facts are
+// present before callers ask). In vet-tool mode each process loads the
+// stores serialized by its dependencies' processes and serializes its
+// own accumulated view — facts travel transitively, so a caller can
+// ask about a function two imports away.
+type FactStore struct {
+	mu sync.Mutex
+	// m[analyzer][funcKey] = fact ("" = analyzed, clean).
+	m map[string]map[string]string
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: map[string]map[string]string{}}
+}
+
+// Get returns the fact recorded by analyzer for key.
+func (s *FactStore) Get(analyzer, key string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.m[analyzer][key]
+	return f, ok
+}
+
+// Set records a fact.
+func (s *FactStore) Set(analyzer, key, fact string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m[analyzer] == nil {
+		s.m[analyzer] = map[string]string{}
+	}
+	s.m[analyzer][key] = fact
+}
+
+// Merge copies every fact serialized in the gob file at path into the
+// store (vet-tool mode: one file per dependency package).
+func (s *FactStore) Merge(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var m map[string]map[string]string
+	if err := gob.NewDecoder(f).Decode(&m); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for a, facts := range m {
+		if s.m[a] == nil {
+			s.m[a] = map[string]string{}
+		}
+		for k, v := range facts {
+			s.m[a][k] = v
+		}
+	}
+	return nil
+}
+
+// Save serializes the store's full contents to path (the vet tool's
+// VetxOutput). An empty store still writes a file: the go command
+// treats the output as a build artifact and caches it.
+func (s *FactStore) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	err = gob.NewEncoder(f).Encode(s.m)
+	s.mu.Unlock()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

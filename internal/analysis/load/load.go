@@ -1,0 +1,159 @@
+// Package load is the driver side of the analysis framework: it
+// resolves package patterns with the go command, type-checks the
+// module's sources against the toolchain's export data, and runs
+// analyzers over the result in dependency order so function facts flow
+// from callee packages to caller packages.
+//
+// Export data (not source) is how imports resolve: `go list -export`
+// has the toolchain compile (or fetch from the build cache) every
+// dependency and report its export file, and go/importer's gc mode
+// reads those through a lookup hook. That keeps the loader fast — only
+// the packages being analyzed are parsed — and wholly standard-library.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one type-checked module package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File // all compiled files, test files included
+	NonTest    []*ast.File // the subset analyzers see
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader reads.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Module loads the packages matching patterns (resolved in dir) plus
+// nothing else: dependencies are imported from export data. The
+// returned slice is in dependency order — a package precedes every
+// package that imports it — which is the order facts must flow.
+func Module(dir string, patterns ...string) (*token.FileSet, []*Package, error) {
+	args := append([]string{
+		"list", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,Incomplete,Error",
+		"-deps",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var mod []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if derr := dec.Decode(&p); derr == io.EOF {
+			break
+		} else if derr != nil {
+			return nil, nil, fmt.Errorf("go list output: %v", derr)
+		}
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard {
+			mod = append(mod, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, exports)
+	var pkgs []*Package
+	for _, lp := range mod {
+		var files []string
+		for _, gf := range lp.GoFiles {
+			files = append(files, filepath.Join(lp.Dir, gf))
+		}
+		pkg, err := Check(fset, imp, lp.ImportPath, lp.Dir, files)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return fset, pkgs, nil
+}
+
+// ExportImporter returns a go/types importer resolving import paths
+// through a map of compiled export-data files (as produced by
+// `go list -export` or handed over in a vet tool config).
+func ExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// Check parses and type-checks one package from explicit file paths.
+func Check(fset *token.FileSet, imp types.Importer, importPath, dir string, files []string) (*Package, error) {
+	var syntax []*ast.File
+	for _, path := range files {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", importPath, err)
+	}
+	pkg := &Package{ImportPath: importPath, Dir: dir, Files: syntax, Types: tpkg, Info: info}
+	for _, f := range syntax {
+		name := fset.Position(f.Pos()).Filename
+		if !strings.HasSuffix(name, "_test.go") {
+			pkg.NonTest = append(pkg.NonTest, f)
+		}
+	}
+	return pkg, nil
+}
+
+// NewInfo returns a types.Info with every map analyzers consume.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}

@@ -1,0 +1,40 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/atomicguard"
+	"repro/internal/analysis/forbiddenapi"
+	"repro/internal/analysis/hotpathalloc"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/poolrelease"
+)
+
+// TestRepoClean runs every axsnn-lint analyzer over the whole module —
+// the in-process form of `axsnn-lint ./...` — and fails on any finding.
+// This is the regression gate: a change that allocates on an annotated
+// hot path, drops a deferred Release, or races a guarded field fails
+// here even when CI's standalone lint step is skipped.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module; skipped in -short")
+	}
+	fset, pkgs, err := load.Module("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	analyzers := []*analysis.Analyzer{
+		hotpathalloc.Analyzer,
+		poolrelease.Analyzer,
+		atomicguard.Analyzer,
+		forbiddenapi.Analyzer,
+	}
+	findings, err := load.Run(fset, pkgs, analyzers, load.NewFactStore())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -84,6 +84,8 @@ func (s *Stream) Voxelize(steps int) []*tensor.Tensor {
 // allocation-free form the streaming pipeline runs per window. frames
 // must hold len(frames) tensors of shape (2, H, W); they are zeroed
 // first. Results are bit-identical to Voxelize(len(frames)).
+//
+//axsnn:hotpath
 func (s *Stream) VoxelizeInto(frames []*tensor.Tensor) {
 	VoxelizeWindowInto(frames, s.Events, s.W, s.H, 0, s.Duration)
 }

@@ -39,6 +39,8 @@ func NumWindows(duration, windowMS float64) int {
 // windowMS. Off-sensor events are skipped (defense in depth, mirroring
 // Voxelize); events before `start` or past the window clamp into the
 // first/last bin.
+//
+//axsnn:hotpath
 func VoxelizeWindowInto(frames []*tensor.Tensor, events []Event, w, h int, start, windowMS float64) {
 	for i := range frames {
 		frames[i].Zero()

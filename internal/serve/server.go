@@ -62,15 +62,15 @@ type Server struct {
 
 	units   chan *unit
 	cloneMu sync.Mutex
-	byClone map[*snn.Network]*unit
+	byClone map[*snn.Network]*unit //axsnn:guardedby cloneMu
 
 	sem    chan struct{}
 	active atomic.Int64
 	served atomic.Int64
 	mu     sync.Mutex
-	closed bool
-	lns    map[net.Listener]struct{}
-	conns  map[net.Conn]struct{}
+	closed bool                      //axsnn:guardedby mu
+	lns    map[net.Listener]struct{} //axsnn:guardedby mu
+	conns  map[net.Conn]struct{}     //axsnn:guardedby mu
 	wg     sync.WaitGroup
 }
 

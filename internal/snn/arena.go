@@ -89,7 +89,7 @@ type Scratch struct {
 }
 
 func newScratch() *Scratch {
-	return &Scratch{m: make(map[slotKey]*scratchEntry)}
+	return &Scratch{m: make(map[slotKey]*scratchEntry)} //axsnn:allow-alloc builds the arena once; recycled via the free list thereafter
 }
 
 // begin opens a new forward pass: persistent state buffers (membranes)
@@ -108,7 +108,7 @@ func (s *Scratch) entry(layer, slot int) *scratchEntry {
 	k := slotKey{layer, slot}
 	e := s.m[k]
 	if e == nil {
-		e = &scratchEntry{}
+		e = &scratchEntry{} //axsnn:allow-alloc one entry per (layer, slot), created on first use
 		s.m[k] = e
 	}
 	return e
@@ -120,7 +120,7 @@ func (s *Scratch) entry(layer, slot int) *scratchEntry {
 func (s *Scratch) sized(layer, slot, n int) *scratchEntry {
 	e := s.entry(layer, slot)
 	if e.t == nil || len(e.t.Data) != n {
-		e.t = &tensor.Tensor{Data: make([]float32, n)}
+		e.t = &tensor.Tensor{Data: make([]float32, n)} //axsnn:allow-alloc reallocates only when the slot size changes (new shape or batch)
 		if e.state {
 			// A resized state buffer is fresh (zero) by construction.
 			e.t.Zero()
@@ -140,21 +140,21 @@ func setShape1(t *tensor.Tensor, a int) {
 
 func setShape2(t *tensor.Tensor, a, b int) {
 	if len(t.Shape) != 2 {
-		t.Shape = make([]int, 2)
+		t.Shape = make([]int, 2) //axsnn:allow-alloc rank changes at most once per slot
 	}
 	t.Shape[0], t.Shape[1] = a, b
 }
 
 func setShape3(t *tensor.Tensor, a, b, c int) {
 	if len(t.Shape) != 3 {
-		t.Shape = make([]int, 3)
+		t.Shape = make([]int, 3) //axsnn:allow-alloc rank changes at most once per slot
 	}
 	t.Shape[0], t.Shape[1], t.Shape[2] = a, b, c
 }
 
 func setShape4(t *tensor.Tensor, a, b, c, d int) {
 	if len(t.Shape) != 4 {
-		t.Shape = make([]int, 4)
+		t.Shape = make([]int, 4) //axsnn:allow-alloc rank changes at most once per slot
 	}
 	t.Shape[0], t.Shape[1], t.Shape[2], t.Shape[3] = a, b, c, d
 }
@@ -194,7 +194,7 @@ func (s *Scratch) bufShape(layer, slot int, shape []int) *tensor.Tensor {
 	e := s.sized(layer, slot, n)
 	t := e.t
 	if len(t.Shape) != len(shape) {
-		t.Shape = make([]int, len(shape))
+		t.Shape = make([]int, len(shape)) //axsnn:allow-alloc rank changes at most once per slot
 	}
 	copy(t.Shape, shape)
 	return t
@@ -236,7 +236,7 @@ func (s *Scratch) onceShape(layer, slot int, shape []int) (*tensor.Tensor, bool)
 func (s *Scratch) viewEntry(layer, slot int, data []float32) *scratchEntry {
 	e := s.entry(layer, slot)
 	if e.t == nil {
-		e.t = &tensor.Tensor{}
+		e.t = &tensor.Tensor{} //axsnn:allow-alloc one view header per slot, created on first use
 	}
 	e.view = true
 	e.t.Data = data
@@ -265,7 +265,7 @@ func (s *Scratch) view3(layer, slot int, data []float32, a, b, c int) *tensor.Te
 func (s *Scratch) viewShape(layer, slot int, data []float32, shape []int) *tensor.Tensor {
 	e := s.viewEntry(layer, slot, data)
 	if len(e.t.Shape) != len(shape) {
-		e.t.Shape = make([]int, len(shape))
+		e.t.Shape = make([]int, len(shape)) //axsnn:allow-alloc rank changes at most once per slot
 	}
 	copy(e.t.Shape, shape)
 	return e.t
@@ -310,11 +310,13 @@ func (n *Network) Release(s *Scratch) {
 		return
 	}
 	s.release()
-	n.scratchFree = append(n.scratchFree, s)
+	n.scratchFree = append(n.scratchFree, s) //axsnn:allow-alloc free list grows to the high-water mark of live arenas
 }
 
 // arenaCapable reports whether every layer supports the arena path,
 // caching the layer slice on first use.
+//
+//axsnn:allow-alloc caches the arena layer slice; runs once per network
 func (n *Network) arenaCapable() bool {
 	if !n.arenaInit {
 		n.arenaInit = true
@@ -378,7 +380,7 @@ func (n *Network) predictBatchScratch(samples [][]*tensor.Tensor, s *Scratch, ou
 		// The layers see the true batched shape (B, sample dims...).
 		f := s.sized(netLayer, slotFrame, batch*per).t
 		if len(f.Shape) != 1+len(shape) {
-			f.Shape = make([]int, 1+len(shape))
+			f.Shape = make([]int, 1+len(shape)) //axsnn:allow-alloc rank changes at most once per slot
 		}
 		f.Shape[0] = batch
 		copy(f.Shape[1:], shape)

@@ -31,7 +31,7 @@ func (n *Network) StepForwardBatch(x *tensor.Tensor, train bool) *tensor.Tensor 
 	for _, l := range n.Layers {
 		bl, ok := l.(BatchLayer)
 		if !ok {
-			panic(fmt.Sprintf("snn: layer %s does not implement BatchLayer", l.Name()))
+			panic(fmt.Sprintf("snn: layer %s does not implement BatchLayer", l.Name())) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 		}
 		x = bl.ForwardBatch(x, train)
 	}
@@ -81,6 +81,8 @@ func (n *Network) BackwardBatch(gradLogits *tensor.Tensor) []*tensor.Tensor {
 // ForwardSamples stacks per-sample frame sequences and runs one batched
 // forward, returning (B, classes) logits. When the network is not
 // batchable it falls back to per-sample Forward calls.
+//
+//axsnn:allow-alloc legacy allocating batch API; the zero-alloc path is PredictBatchInto
 func (n *Network) ForwardSamples(samples [][]*tensor.Tensor, train bool) *tensor.Tensor {
 	if !n.Batchable() {
 		var logits *tensor.Tensor
@@ -115,22 +117,22 @@ func (n *Network) PredictBatch(samples [][]*tensor.Tensor) []int {
 // allocation-free form of the batched hot path.
 func (n *Network) PredictBatchInto(samples [][]*tensor.Tensor, out []int) {
 	if len(out) != len(samples) {
-		panic(fmt.Sprintf("snn: PredictBatchInto out length %d, want %d", len(out), len(samples)))
+		panic(fmt.Sprintf("snn: PredictBatchInto out length %d, want %d", len(out), len(samples))) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	if len(samples) == 0 {
 		return
 	}
 	if n.arenaCapable() && n.Batchable() {
 		s := n.AcquireScratch()
+		defer n.Release(s)
 		n.predictBatchScratch(samples, s, out)
-		n.Release(s)
 		return
 	}
 	logits := n.ForwardSamples(samples, false)
 	batch := len(samples)
 	per := logits.Len() / batch
 	for b := range out {
-		row := tensor.FromSlice(logits.Data[b*per:(b+1)*per], per)
+		row := tensor.FromSlice(logits.Data[b*per:(b+1)*per], per) //axsnn:allow-alloc non-batchable fallback: one header per row on the legacy path
 		out[b] = row.Argmax()
 	}
 }
@@ -153,7 +155,7 @@ func StackFrames(samples [][]*tensor.Tensor, steps int) []*tensor.Tensor {
 		for b, fr := range samples {
 			src := fr[min(t, len(fr)-1)]
 			if src.Len() != per {
-				panic(fmt.Sprintf("snn: StackFrames sample %d frame size %d, want %d", b, src.Len(), per))
+				panic(fmt.Sprintf("snn: StackFrames sample %d frame size %d, want %d", b, src.Len(), per)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 			}
 			copy(f.Data[b*per:(b+1)*per], src.Data)
 		}

@@ -106,7 +106,7 @@ func (c *Conv2D) transposedW() *tensor.Tensor {
 // Forward implements Layer (single sample, (C,H,W)).
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Rank() != 3 {
-		panic(fmt.Sprintf("snn: Conv2D input rank %d (shape %s)", x.Rank(), shapeStr(x.Shape)))
+		panic(fmt.Sprintf("snn: Conv2D input rank %d (shape %s)", x.Rank(), shapeStr(x.Shape))) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	g := c.Geom
 	out := c.forwardBatch(x.Reshape(1, g.InC, g.InH, g.InW), train)
@@ -116,7 +116,7 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // ForwardBatch implements BatchLayer ((B,C,H,W) → (B,OutC,OutH,OutW)).
 func (c *Conv2D) ForwardBatch(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Rank() != 4 {
-		panic(fmt.Sprintf("snn: Conv2D batch input rank %d (shape %s)", x.Rank(), shapeStr(x.Shape)))
+		panic(fmt.Sprintf("snn: Conv2D batch input rank %d (shape %s)", x.Rank(), shapeStr(x.Shape))) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	return c.forwardBatch(x, train)
 }
@@ -222,7 +222,7 @@ func (c *Conv2D) forwardArena(x *tensor.Tensor, s *Scratch, li, batch int) *tens
 	ckk := g.InC * g.KH * g.KW
 	chw := g.InC * g.InH * g.InW
 	if x.Len() != b*chw {
-		panic(fmt.Sprintf("snn: Conv2D input %s does not match geom %+v (batch %d)", shapeStr(x.Shape), g, b))
+		panic(fmt.Sprintf("snn: Conv2D input %s does not match geom %+v (batch %d)", shapeStr(x.Shape), g, b)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 
 	// Effective weights, re-derived once per pass — the cadence the
@@ -293,7 +293,7 @@ func (c *Conv2D) trainEffW(ts *TrainScratch, li int) *tensor.Tensor {
 // output tensor and weight panels all reused.
 func (c *Conv2D) ForwardBatchInto(x *tensor.Tensor, ts *TrainScratch, li, t int) *tensor.Tensor {
 	if x.Rank() != 4 {
-		panic(fmt.Sprintf("snn: Conv2D batch input rank %d (shape %s)", x.Rank(), shapeStr(x.Shape)))
+		panic(fmt.Sprintf("snn: Conv2D batch input rank %d (shape %s)", x.Rank(), shapeStr(x.Shape))) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	g := c.Geom
 	batch := x.Shape[0]
@@ -510,7 +510,7 @@ func (d *Dense) nonzero(x []float32) []int {
 	idx := d.idx[:0]
 	for i, v := range x {
 		if v != 0 {
-			idx = append(idx, i)
+			idx = append(idx, i) //axsnn:allow-alloc grows d.idx to the densest frame seen, then reuses it
 		}
 	}
 	d.idx = idx
@@ -547,7 +547,7 @@ func (d *Dense) forwardInto(w, x, out *tensor.Tensor) {
 // Forward implements Layer (single sample).
 func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Len() != d.In {
-		panic(fmt.Sprintf("snn: Dense input %d, want %d", x.Len(), d.In))
+		panic(fmt.Sprintf("snn: Dense input %d, want %d", x.Len(), d.In)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	out := tensor.New(d.Out)
 	d.forwardInto(d.effectiveW(), x, out)
@@ -561,7 +561,7 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // against the transposed weights, sparse input rows skipping wholesale.
 func (d *Dense) ForwardBatch(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Rank() != 2 || x.Shape[1] != d.In {
-		panic(fmt.Sprintf("snn: Dense batch input %s, want (B,%d)", shapeStr(x.Shape), d.In))
+		panic(fmt.Sprintf("snn: Dense batch input %s, want (B,%d)", shapeStr(x.Shape), d.In)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	out := tensor.MatMul(x, d.transposedW())
 	batch := x.Shape[0]
@@ -592,7 +592,7 @@ func (d *Dense) forwardArena(x *tensor.Tensor, s *Scratch, li, batch int) *tenso
 	}
 	if batch == 0 {
 		if x.Len() != d.In {
-			panic(fmt.Sprintf("snn: Dense input %d, want %d", x.Len(), d.In))
+			panic(fmt.Sprintf("snn: Dense input %d, want %d", x.Len(), d.In)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 		}
 		out := s.buf1(li, slotOut, d.Out)
 		d.forwardInto(w, x, out)
@@ -631,7 +631,7 @@ func (d *Dense) trainEffW(ts *TrainScratch, li int) *tensor.Tensor {
 // allocating path's Clone) drawn from the arena.
 func (d *Dense) ForwardBatchInto(x *tensor.Tensor, ts *TrainScratch, li, t int) *tensor.Tensor {
 	if x.Rank() != 2 || x.Shape[1] != d.In {
-		panic(fmt.Sprintf("snn: Dense batch input %s, want (B,%d)", shapeStr(x.Shape), d.In))
+		panic(fmt.Sprintf("snn: Dense batch input %s, want (B,%d)", shapeStr(x.Shape), d.In)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	batch := x.Shape[0]
 	w := d.trainEffW(ts, li)

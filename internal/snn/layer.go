@@ -294,13 +294,13 @@ func (f *Flatten) Name() string { return "flatten" }
 
 // Forward implements Layer.
 func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	f.inShape = append(f.inShape[:0], x.Shape...)
+	f.inShape = append(f.inShape[:0], x.Shape...) //axsnn:allow-alloc grows to the input rank once, then reuses the backing array
 	return x.Reshape(x.Len())
 }
 
 // ForwardBatch implements BatchLayer: (B, d...) reshapes to (B, Πd).
 func (f *Flatten) ForwardBatch(x *tensor.Tensor, train bool) *tensor.Tensor {
-	f.inShape = append(f.inShape[:0], x.Shape...)
+	f.inShape = append(f.inShape[:0], x.Shape...) //axsnn:allow-alloc grows to the input rank once, then reuses the backing array
 	return x.Reshape(x.Shape[0], x.Len()/x.Shape[0])
 }
 
@@ -316,7 +316,7 @@ func (f *Flatten) forwardArena(x *tensor.Tensor, s *Scratch, li, batch int) *ten
 // ForwardBatchInto implements trainLayer: a cached header view over the
 // input data, like the inference arena's path.
 func (f *Flatten) ForwardBatchInto(x *tensor.Tensor, ts *TrainScratch, li, t int) *tensor.Tensor {
-	f.inShape = append(f.inShape[:0], x.Shape...)
+	f.inShape = append(f.inShape[:0], x.Shape...) //axsnn:allow-alloc grows to the input rank once, then reuses the backing array
 	return ts.view2(li, slotOutView, x.Data, x.Shape[0], x.Len()/x.Shape[0])
 }
 
@@ -342,4 +342,7 @@ func (f *Flatten) BackwardBatch(grad *tensor.Tensor) *tensor.Tensor {
 // Reset implements Layer.
 func (f *Flatten) Reset() {}
 
+// shapeStr renders a shape for cold panic messages.
+//
+//axsnn:allow-alloc cold error-path formatting, runs only on misuse
 func shapeStr(s []int) string { return fmt.Sprint(s) }

@@ -122,9 +122,8 @@ func (n *Network) Backward(gradLogits *tensor.Tensor) []*tensor.Tensor {
 func (n *Network) Predict(frames []*tensor.Tensor) int {
 	if n.arenaCapable() {
 		s := n.AcquireScratch()
-		p := n.forwardScratch(frames, s, 0).Argmax()
-		n.Release(s)
-		return p
+		defer n.Release(s)
+		return n.forwardScratch(frames, s, 0).Argmax()
 	}
 	return n.Forward(frames, false).Argmax()
 }
@@ -223,7 +222,7 @@ func (n *Network) CloneArchitecture() *Network {
 		case *Flatten:
 			out.Layers = append(out.Layers, &Flatten{})
 		default:
-			panic(fmt.Sprintf("snn: CloneArchitecture: unknown layer %T", l))
+			panic(fmt.Sprintf("snn: CloneArchitecture: unknown layer %T", l)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 		}
 	}
 	return out

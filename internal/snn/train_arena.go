@@ -129,7 +129,7 @@ func (ts *TrainScratch) ints(li, slot, t, n int) []int {
 	k := slotKey{li, tslot(slot, t)}
 	b := ts.intm[k]
 	if cap(b) < n {
-		b = make([]int, n)
+		b = make([]int, n) //axsnn:allow-alloc grows only when the slot length increases
 		ts.intm[k] = b
 	}
 	return b[:n]
@@ -161,20 +161,20 @@ func (ts *TrainScratch) StackFramesInto(samples [][]*tensor.Tensor) []*tensor.Te
 	shape := samples[0][0].Shape
 	per := samples[0][0].Len()
 	if cap(ts.frames) < ts.steps {
-		ts.frames = make([]*tensor.Tensor, ts.steps)
+		ts.frames = make([]*tensor.Tensor, ts.steps) //axsnn:allow-alloc frame ring allocated once per arena
 	}
 	frames := ts.frames[:ts.steps]
 	for t := 0; t < ts.steps; t++ {
 		f := ts.sc.sized(netLayer, tslot(slotFrame, t), batch*per).t
 		if len(f.Shape) != 1+len(shape) {
-			f.Shape = make([]int, 1+len(shape))
+			f.Shape = make([]int, 1+len(shape)) //axsnn:allow-alloc rank changes at most once per slot
 		}
 		f.Shape[0] = batch
 		copy(f.Shape[1:], shape)
 		for b, fr := range samples {
 			src := fr[min(t, len(fr)-1)]
 			if src.Len() != per {
-				panic(fmt.Sprintf("snn: StackFramesInto sample %d frame size %d, want %d", b, src.Len(), per))
+				panic(fmt.Sprintf("snn: StackFramesInto sample %d frame size %d, want %d", b, src.Len(), per)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 			}
 			copy(f.Data[b*per:(b+1)*per], src.Data)
 		}
@@ -185,6 +185,8 @@ func (ts *TrainScratch) StackFramesInto(samples [][]*tensor.Tensor) []*tensor.Te
 
 // TrainArenaCapable reports whether every layer supports the training
 // arena (all built-in layers do), caching the layer view on first use.
+//
+//axsnn:allow-alloc caches the training layer view; runs once per network
 func (n *Network) TrainArenaCapable() bool {
 	if !n.trainInit {
 		n.trainInit = true

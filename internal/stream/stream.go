@@ -199,7 +199,7 @@ type Pipeline struct {
 	// fail the session, not the server). Panics are captured here and
 	// surfaced as flush errors on the caller's goroutine.
 	panicMu  sync.Mutex
-	panicErr error
+	panicErr error //axsnn:guardedby panicMu
 }
 
 // NewPipeline builds a streaming classifier over net. The network is
@@ -351,12 +351,14 @@ func (p *Pipeline) Run(r io.Reader, emit func(Result) error) error {
 // concurrent groups ever share a network clone or an arena. (The
 // serial path hands the whole range to one call; the loop re-splits
 // it, so clone assignment is identical either way.)
+//
+//axsnn:hotpath
 func (p *Pipeline) classify(lo, hi int) {
 	defer func() {
 		if r := recover(); r != nil {
 			p.panicMu.Lock()
 			if p.panicErr == nil {
-				p.panicErr = fmt.Errorf("stream: window classification panicked: %v", r)
+				p.panicErr = fmt.Errorf("stream: window classification panicked: %v", r) //axsnn:allow-alloc panic capture: formats once per failed run
 			}
 			p.panicMu.Unlock()
 		}
@@ -375,6 +377,8 @@ func (p *Pipeline) classify(lo, hi int) {
 // group. It is a separate frame so the pooled clone's release is
 // deferred: even a panicking classification returns the unit to the
 // shared pool instead of draining it.
+//
+//axsnn:hotpath
 func (p *Pipeline) classifyBatch(lo, end int) {
 	h, w := p.runH, p.runW
 	wk := lo / p.o.Batch
@@ -398,15 +402,15 @@ func (p *Pipeline) classifyBatch(lo, end int) {
 			s.rebased = s.rebased[:0]
 			for _, e := range events {
 				e.T -= start
-				s.rebased = append(s.rebased, e)
+				s.rebased = append(s.rebased, e) //axsnn:allow-alloc grows to the window's event count, then reuses the backing array
 			}
-			view := &dvs.Stream{W: w, H: h, Duration: p.o.WindowMS, Events: s.rebased}
+			view := &dvs.Stream{W: w, H: h, Duration: p.o.WindowMS, Events: s.rebased} //axsnn:allow-alloc documented Filter cost: one stream header per filtered window
 			filtered := p.o.Filter.Filter(view)
 			events, start = filtered.Events, 0
 		}
 		dvs.VoxelizeWindowInto(s.frames, events, w, h, start, p.o.WindowMS)
 		s.kept = len(events)
-		samples = append(samples, s.frames)
+		samples = append(samples, s.frames) //axsnn:allow-alloc capped at Batch; backing array preallocated at construction
 	}
 	clone.PredictBatchInto(samples, p.out[lo:end])
 }
@@ -415,6 +419,8 @@ func (p *Pipeline) classifyBatch(lo, end int) {
 // Batch-sized window groups out over the shared worker pool, then
 // emits the results in window order. Window results are independent of
 // scheduling, so any worker count yields identical classes.
+//
+//axsnn:hotpath
 func (p *Pipeline) flush(ready int, emit func(Result) error) error {
 	if ready == 0 {
 		return nil

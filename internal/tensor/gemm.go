@@ -32,7 +32,7 @@ const (
 
 func checkGEMM(op string, a, b *Tensor) {
 	if a.Rank() != 2 || b.Rank() != 2 {
-		panic(fmt.Sprintf("tensor: %s wants rank-2, got %v × %v", op, a.Shape, b.Shape))
+		panic(fmt.Sprintf("tensor: %s wants rank-2, got %v × %v", op, a.Shape, b.Shape)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 }
 
@@ -58,7 +58,7 @@ func MatMul(a, b *Tensor) *Tensor {
 	m, k := a.Shape[0], a.Shape[1]
 	k2, n := b.Shape[0], b.Shape[1]
 	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2))
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	c := New(m, n)
 	matMulInto(c, a, b, m, k, n)
@@ -74,10 +74,10 @@ func MatMulInto(dst, a, b *Tensor) {
 	m, k := a.Shape[0], a.Shape[1]
 	k2, n := b.Shape[0], b.Shape[1]
 	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2))
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	if dst.Rank() != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
-		panic(fmt.Sprintf("tensor: MatMulInto dst %v, want [%d %d]", dst.Shape, m, n))
+		panic(fmt.Sprintf("tensor: MatMulInto dst %v, want [%d %d]", dst.Shape, m, n)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	clear(dst.Data)
 	matMulInto(dst, a, b, m, k, n)
@@ -91,7 +91,7 @@ func matMulInto(c, a, b *Tensor, m, k, n int) {
 		return
 	}
 	if m >= 2*w {
-		parallelFor(m, gemmGrain(m, k*n), func(lo, hi int) {
+		parallelFor(m, gemmGrain(m, k*n), func(lo, hi int) { //axsnn:allow-alloc parallel dispatch: one job closure per launch, amortized over its blocks
 			matMulRows(c.Data, a.Data, b.Data, lo, hi, k, n)
 		})
 		return
@@ -100,7 +100,7 @@ func matMulInto(c, a, b *Tensor, m, k, n int) {
 	// batched im2col panel): split the columns instead. Stripes write
 	// disjoint column ranges and keep the per-element accumulation
 	// order, so this stays bit-identical too.
-	parallelFor(n, gemmGrain(n, k*m), func(jlo, jhi int) {
+	parallelFor(n, gemmGrain(n, k*m), func(jlo, jhi int) { //axsnn:allow-alloc parallel dispatch: one job closure per launch, amortized over its blocks
 		matMulStripe(c.Data, a.Data, b.Data, m, k, n, jlo, jhi)
 	})
 }
@@ -182,16 +182,16 @@ func MatMulTInto(dst, a, b *Tensor) {
 	m, k := a.Shape[0], a.Shape[1]
 	n, k2 := b.Shape[0], b.Shape[1]
 	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulT inner dims %d vs %d", k, k2))
+		panic(fmt.Sprintf("tensor: MatMulT inner dims %d vs %d", k, k2)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	if dst.Rank() != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
-		panic(fmt.Sprintf("tensor: MatMulTInto dst %v, want [%d %d]", dst.Shape, m, n))
+		panic(fmt.Sprintf("tensor: MatMulTInto dst %v, want [%d %d]", dst.Shape, m, n)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	if m*k*n < gemmSerialOps || Workers() == 1 {
 		matMulTRows(dst.Data, a.Data, b.Data, 0, m, k, n)
 		return
 	}
-	parallelFor(m, gemmGrain(m, k*n), func(lo, hi int) {
+	parallelFor(m, gemmGrain(m, k*n), func(lo, hi int) { //axsnn:allow-alloc parallel dispatch: one job closure per launch, amortized over its blocks
 		matMulTRows(dst.Data, a.Data, b.Data, lo, hi, k, n)
 	})
 }
@@ -202,14 +202,14 @@ func MatMulT(a, b *Tensor) *Tensor {
 	m, k := a.Shape[0], a.Shape[1]
 	n, k2 := b.Shape[0], b.Shape[1]
 	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulT inner dims %d vs %d", k, k2))
+		panic(fmt.Sprintf("tensor: MatMulT inner dims %d vs %d", k, k2)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	c := New(m, n)
 	if m*k*n < gemmSerialOps || Workers() == 1 {
 		matMulTRows(c.Data, a.Data, b.Data, 0, m, k, n)
 		return c
 	}
-	parallelFor(m, gemmGrain(m, k*n), func(lo, hi int) {
+	parallelFor(m, gemmGrain(m, k*n), func(lo, hi int) { //axsnn:allow-alloc parallel dispatch: one job closure per launch, amortized over its blocks
 		matMulTRows(c.Data, a.Data, b.Data, lo, hi, k, n)
 	})
 	return c
@@ -242,16 +242,16 @@ func MatMulTAcc(dst, a, b *Tensor) {
 	m, k := a.Shape[0], a.Shape[1]
 	n, k2 := b.Shape[0], b.Shape[1]
 	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulT inner dims %d vs %d", k, k2))
+		panic(fmt.Sprintf("tensor: MatMulT inner dims %d vs %d", k, k2)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	if dst.Rank() != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
-		panic(fmt.Sprintf("tensor: MatMulTAcc dst %v, want [%d %d]", dst.Shape, m, n))
+		panic(fmt.Sprintf("tensor: MatMulTAcc dst %v, want [%d %d]", dst.Shape, m, n)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	if m*k*n < gemmSerialOps || Workers() == 1 {
 		matMulTAccRows(dst.Data, a.Data, b.Data, 0, m, k, n)
 		return
 	}
-	parallelFor(m, gemmGrain(m, k*n), func(lo, hi int) {
+	parallelFor(m, gemmGrain(m, k*n), func(lo, hi int) { //axsnn:allow-alloc parallel dispatch: one job closure per launch, amortized over its blocks
 		matMulTAccRows(dst.Data, a.Data, b.Data, lo, hi, k, n)
 	})
 }
@@ -290,13 +290,13 @@ func MatMulTColSkipAcc(dst, a, b *Tensor, idx []int) {
 	m, k := a.Shape[0], a.Shape[1]
 	n, k2 := b.Shape[0], b.Shape[1]
 	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMulT inner dims %d vs %d", k, k2))
+		panic(fmt.Sprintf("tensor: MatMulT inner dims %d vs %d", k, k2)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	if dst.Rank() != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
-		panic(fmt.Sprintf("tensor: MatMulTColSkipAcc dst %v, want [%d %d]", dst.Shape, m, n))
+		panic(fmt.Sprintf("tensor: MatMulTColSkipAcc dst %v, want [%d %d]", dst.Shape, m, n)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	if len(idx) < k {
-		panic(fmt.Sprintf("tensor: MatMulTColSkipAcc idx scratch %d, want >= %d", len(idx), k))
+		panic(fmt.Sprintf("tensor: MatMulTColSkipAcc idx scratch %d, want >= %d", len(idx), k)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	if m*k*n < gemmSerialOps || Workers() == 1 {
 		matMulTColSkipRows(dst.Data, a.Data, b.Data, 0, n, m, k, n, idx)
@@ -307,7 +307,7 @@ func MatMulTColSkipAcc(dst, a, b *Tensor, idx []int) {
 	// single completed-dot add — deterministic at any partitioning. The
 	// per-block index scratch is the price of parallel dispatch (which
 	// already allocates job state); serial mode reuses the caller's.
-	parallelFor(n, gemmGrain(n, m*k/4+1), func(jlo, jhi int) {
+	parallelFor(n, gemmGrain(n, m*k/4+1), func(jlo, jhi int) { //axsnn:allow-alloc parallel dispatch: job closure plus per-stripe index scratch; serial mode reuses the caller's
 		matMulTColSkipRows(dst.Data, a.Data, b.Data, jlo, jhi, m, k, n, make([]int, k))
 	})
 }
@@ -350,7 +350,7 @@ func TMatMul(a, b *Tensor) *Tensor {
 	k, m := a.Shape[0], a.Shape[1]
 	k2, n := b.Shape[0], b.Shape[1]
 	if k != k2 {
-		panic(fmt.Sprintf("tensor: TMatMul inner dims %d vs %d", k, k2))
+		panic(fmt.Sprintf("tensor: TMatMul inner dims %d vs %d", k, k2)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	c := New(m, n)
 	TMatMulAcc(c, a, b)
@@ -366,10 +366,10 @@ func TMatMulInto(dst, a, b *Tensor) {
 	k, m := a.Shape[0], a.Shape[1]
 	k2, n := b.Shape[0], b.Shape[1]
 	if k != k2 {
-		panic(fmt.Sprintf("tensor: TMatMul inner dims %d vs %d", k, k2))
+		panic(fmt.Sprintf("tensor: TMatMul inner dims %d vs %d", k, k2)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	if dst.Rank() != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
-		panic(fmt.Sprintf("tensor: TMatMulInto dst %v, want [%d %d]", dst.Shape, m, n))
+		panic(fmt.Sprintf("tensor: TMatMulInto dst %v, want [%d %d]", dst.Shape, m, n)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	clear(dst.Data)
 	TMatMulAcc(dst, a, b)
@@ -382,10 +382,10 @@ func TMatMulAcc(dst, a, b *Tensor) {
 	k, m := a.Shape[0], a.Shape[1]
 	k2, n := b.Shape[0], b.Shape[1]
 	if k != k2 {
-		panic(fmt.Sprintf("tensor: TMatMul inner dims %d vs %d", k, k2))
+		panic(fmt.Sprintf("tensor: TMatMul inner dims %d vs %d", k, k2)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	if dst.Rank() != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
-		panic(fmt.Sprintf("tensor: TMatMulAcc dst %v, want [%d %d]", dst.Shape, m, n))
+		panic(fmt.Sprintf("tensor: TMatMulAcc dst %v, want [%d %d]", dst.Shape, m, n)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	w := Workers()
 	if w == 1 || k*m*n < gemmSerialOps {
@@ -397,7 +397,7 @@ func TMatMulAcc(dst, a, b *Tensor) {
 		// stripe the columns. Each stripe re-scans A but writes a
 		// disjoint column range in the serial accumulation order, so
 		// the result is bit-identical to the serial kernel.
-		parallelFor(n, gemmGrain(n, k*m/4+1), func(jlo, jhi int) {
+		parallelFor(n, gemmGrain(n, k*m/4+1), func(jlo, jhi int) { //axsnn:allow-alloc parallel dispatch: one job closure per launch, amortized over its blocks
 			tMatMulStripe(dst.Data, a.Data, b.Data, k, m, n, jlo, jhi)
 		})
 		return
@@ -410,8 +410,8 @@ func TMatMulAcc(dst, a, b *Tensor) {
 		grain = 1
 	}
 	blocks := (k + grain - 1) / grain
-	partials := make([][]float32, blocks)
-	parallelFor(k, grain, func(lo, hi int) {
+	partials := make([][]float32, blocks)    //axsnn:allow-alloc per-call partials: the price of the deterministic parallel reduction; serial path allocates nothing
+	parallelFor(k, grain, func(lo, hi int) { //axsnn:allow-alloc parallel dispatch: job closure and per-block partial buffers
 		buf := make([]float32, m*n)
 		tMatMulRange(buf, a.Data, b.Data, lo, hi, m, n)
 		partials[lo/grain] = buf
@@ -464,7 +464,7 @@ func tMatMulRange(cd, ad, bd []float32, p0, p1, m, n int) {
 // sparsity (e.g. dWᵀ = Xᵀ·G with spike-sparse X).
 func (t *Tensor) AddTransposed(o *Tensor) *Tensor {
 	if t.Rank() != 2 || o.Rank() != 2 || t.Shape[0] != o.Shape[1] || t.Shape[1] != o.Shape[0] {
-		panic(fmt.Sprintf("tensor: AddTransposed %v += %vᵀ", t.Shape, o.Shape))
+		panic(fmt.Sprintf("tensor: AddTransposed %v += %vᵀ", t.Shape, o.Shape)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	m, n := t.Shape[0], t.Shape[1]
 	for i := 0; i < m; i++ {

@@ -21,12 +21,12 @@ func Im2Row(x *Tensor, g Conv2DGeom) *Tensor {
 // O(nnz·KH·KW) instead of O(C·KH·KW·OutH·OutW).
 func Im2RowInto(dst []float32, x *Tensor, g Conv2DGeom) {
 	if x.Rank() != 3 || x.Shape[0] != g.InC || x.Shape[1] != g.InH || x.Shape[2] != g.InW {
-		panic(fmt.Sprintf("tensor: Im2Row input %v does not match geom %+v", x.Shape, g))
+		panic(fmt.Sprintf("tensor: Im2Row input %v does not match geom %+v", x.Shape, g)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	oh, ow := g.OutH(), g.OutW()
 	ckk := g.InC * g.KH * g.KW
 	if len(dst) != oh*ow*ckk {
-		panic(fmt.Sprintf("tensor: Im2Row dst %d, want %d", len(dst), oh*ow*ckk))
+		panic(fmt.Sprintf("tensor: Im2Row dst %d, want %d", len(dst), oh*ow*ckk)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	nnz := 0
 	for _, v := range x.Data {
@@ -122,7 +122,7 @@ func im2RowDense(dst []float32, x *Tensor, g Conv2DGeom, oh, ow, ckk int) {
 // O(C·KH·KW·OutH·OutW); the panel contents are identical either way.
 func Im2ColStripeInto(dst []float32, rowStride, colOff int, x *Tensor, g Conv2DGeom) {
 	if x.Rank() != 3 || x.Shape[0] != g.InC || x.Shape[1] != g.InH || x.Shape[2] != g.InW {
-		panic(fmt.Sprintf("tensor: Im2ColStripe input %v does not match geom %+v", x.Shape, g))
+		panic(fmt.Sprintf("tensor: Im2ColStripe input %v does not match geom %+v", x.Shape, g)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	oh, ow := g.OutH(), g.OutW()
 	nnz := 0
@@ -211,7 +211,7 @@ func im2ColStripeScatter(dst []float32, rowStride, colOff int, x *Tensor, g Conv
 // matrix into the (C,H,W) input-gradient tensor x.
 func Col2ImStripeInto(x *Tensor, src []float32, rowStride, colOff int, g Conv2DGeom) {
 	if x.Rank() != 3 || x.Shape[0] != g.InC || x.Shape[1] != g.InH || x.Shape[2] != g.InW {
-		panic(fmt.Sprintf("tensor: Col2ImStripe output %v does not match geom %+v", x.Shape, g))
+		panic(fmt.Sprintf("tensor: Col2ImStripe output %v does not match geom %+v", x.Shape, g)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	oh, ow := g.OutH(), g.OutW()
 	row := 0
@@ -253,12 +253,12 @@ func Col2ImRow(rows *Tensor, g Conv2DGeom) *Tensor {
 // im2row layout) into x, which must be (C,H,W) matching g.
 func Col2ImRowInto(x *Tensor, rows []float32, g Conv2DGeom) {
 	if x.Rank() != 3 || x.Shape[0] != g.InC || x.Shape[1] != g.InH || x.Shape[2] != g.InW {
-		panic(fmt.Sprintf("tensor: Col2ImRow output %v does not match geom %+v", x.Shape, g))
+		panic(fmt.Sprintf("tensor: Col2ImRow output %v does not match geom %+v", x.Shape, g)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	oh, ow := g.OutH(), g.OutW()
 	ckk := g.InC * g.KH * g.KW
 	if len(rows) != oh*ow*ckk {
-		panic(fmt.Sprintf("tensor: Col2ImRow input %d, want %d", len(rows), oh*ow*ckk))
+		panic(fmt.Sprintf("tensor: Col2ImRow input %d, want %d", len(rows), oh*ow*ckk)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	for oi := 0; oi < oh; oi++ {
 		for oj := 0; oj < ow; oj++ {

@@ -43,7 +43,7 @@ func Workers() int {
 	if w := workerTarget.Load(); w > 0 {
 		return int(w)
 	}
-	w := runtime.GOMAXPROCS(0)
+	w := runtime.GOMAXPROCS(0) //axsnn:allow-alloc runtime query; allocates nothing
 	if w < 1 {
 		w = 1
 	}
@@ -128,8 +128,8 @@ func parallelFor(n, grain int, body func(lo, hi int)) {
 	if w > poolCap+1 {
 		w = poolCap + 1
 	}
-	job := &poolJob{blocks: blocks}
-	job.run = func(b int) {
+	job := &poolJob{blocks: blocks} //axsnn:allow-alloc one job header per parallel launch, amortized over its blocks
+	job.run = func(b int) {         //axsnn:allow-alloc one job closure per parallel launch, amortized over its blocks
 		lo := b * grain
 		hi := lo + grain
 		if hi > n {

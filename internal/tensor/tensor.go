@@ -24,7 +24,7 @@ func New(shape ...int) *Tensor {
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension %d in %v", d, shape))
+			panic(fmt.Sprintf("tensor: negative dimension %d in %v", d, shape)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 		}
 		n *= d
 	}
@@ -39,7 +39,7 @@ func FromSlice(data []float32, shape ...int) *Tensor {
 		n *= d
 	}
 	if len(data) != n {
-		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (=%d)", len(data), shape, n))
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (=%d)", len(data), shape, n)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
 }
@@ -67,7 +67,7 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 		n *= d
 	}
 	if n != len(t.Data) {
-		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.Shape, shape))
+		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.Shape, shape)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	return &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
 }
@@ -84,12 +84,12 @@ func (t *Tensor) Set(v float32, idx ...int) {
 
 func (t *Tensor) offset(idx []int) int {
 	if len(idx) != len(t.Shape) {
-		panic(fmt.Sprintf("tensor: index rank %d vs shape %v", len(idx), t.Shape))
+		panic(fmt.Sprintf("tensor: index rank %d vs shape %v", len(idx), t.Shape)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	off := 0
 	for i, x := range idx {
 		if x < 0 || x >= t.Shape[i] {
-			panic(fmt.Sprintf("tensor: index %v out of bounds for %v", idx, t.Shape))
+			panic(fmt.Sprintf("tensor: index %v out of bounds for %v", idx, t.Shape)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 		}
 		off = off*t.Shape[i] + x
 	}
@@ -111,7 +111,7 @@ func SameShape(a, b *Tensor) bool {
 
 func mustSameShape(op string, a, b *Tensor) {
 	if !SameShape(a, b) {
-		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.Shape, b.Shape))
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.Shape, b.Shape)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 }
 
@@ -285,7 +285,7 @@ func (t *Tensor) Sign() *Tensor {
 // Transpose returns the transpose of a rank-2 tensor.
 func Transpose(a *Tensor) *Tensor {
 	if a.Rank() != 2 {
-		panic(fmt.Sprintf("tensor: Transpose wants rank-2, got %v", a.Shape))
+		panic(fmt.Sprintf("tensor: Transpose wants rank-2, got %v", a.Shape)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	t := New(a.Shape[1], a.Shape[0])
 	TransposeInto(t, a)
@@ -296,7 +296,7 @@ func Transpose(a *Tensor) *Tensor {
 // overwriting its contents (the allocation-free form).
 func TransposeInto(dst, a *Tensor) {
 	if a.Rank() != 2 || dst.Rank() != 2 || dst.Shape[0] != a.Shape[1] || dst.Shape[1] != a.Shape[0] {
-		panic(fmt.Sprintf("tensor: TransposeInto %v ← %vᵀ", dst.Shape, a.Shape))
+		panic(fmt.Sprintf("tensor: TransposeInto %v ← %vᵀ", dst.Shape, a.Shape)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	m, n := a.Shape[0], a.Shape[1]
 	for i := 0; i < m; i++ {
@@ -325,7 +325,7 @@ func (g Conv2DGeom) OutW() int { return (g.InW+2*g.Pad-g.KW)/g.Stride + 1 }
 // convolution becomes one MatMul with the (OutC, C*KH*KW) filter matrix.
 func Im2Col(x *Tensor, g Conv2DGeom) *Tensor {
 	if x.Rank() != 3 || x.Shape[0] != g.InC || x.Shape[1] != g.InH || x.Shape[2] != g.InW {
-		panic(fmt.Sprintf("tensor: Im2Col input %v does not match geom %+v", x.Shape, g))
+		panic(fmt.Sprintf("tensor: Im2Col input %v does not match geom %+v", x.Shape, g)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	oh, ow := g.OutH(), g.OutW()
 	cols := New(g.InC*g.KH*g.KW, oh*ow)
@@ -360,7 +360,7 @@ func Im2Col(x *Tensor, g Conv2DGeom) *Tensor {
 func Col2Im(cols *Tensor, g Conv2DGeom) *Tensor {
 	oh, ow := g.OutH(), g.OutW()
 	if cols.Rank() != 2 || cols.Shape[0] != g.InC*g.KH*g.KW || cols.Shape[1] != oh*ow {
-		panic(fmt.Sprintf("tensor: Col2Im input %v does not match geom %+v", cols.Shape, g))
+		panic(fmt.Sprintf("tensor: Col2Im input %v does not match geom %+v", cols.Shape, g)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	x := New(g.InC, g.InH, g.InW)
 	row := 0
@@ -402,7 +402,7 @@ func AvgPool2DInto(out, x *Tensor, k int) {
 	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
 	oh, ow := (h+k-1)/k, (w+k-1)/k
 	if out.Rank() != 3 || out.Shape[0] != c || out.Shape[1] != oh || out.Shape[2] != ow {
-		panic(fmt.Sprintf("tensor: AvgPool2DInto dst %v, want [%d %d %d]", out.Shape, c, oh, ow))
+		panic(fmt.Sprintf("tensor: AvgPool2DInto dst %v, want [%d %d %d]", out.Shape, c, oh, ow)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	if k == 2 && h%2 == 0 && w%2 == 0 {
 		// The common 2×2 window on even planes: no edge handling, no
@@ -456,7 +456,7 @@ func AvgPool2DBackward(grad *Tensor, k, h, w int) *Tensor {
 func AvgPool2DBackwardInto(out, grad *Tensor, k int) {
 	c, oh, ow := grad.Shape[0], grad.Shape[1], grad.Shape[2]
 	if out.Rank() != 3 || out.Shape[0] != c {
-		panic(fmt.Sprintf("tensor: AvgPool2DBackwardInto dst %v for grad %v", out.Shape, grad.Shape))
+		panic(fmt.Sprintf("tensor: AvgPool2DBackwardInto dst %v for grad %v", out.Shape, grad.Shape)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	h, w := out.Shape[1], out.Shape[2]
 	out.Zero()
@@ -504,10 +504,10 @@ func MaxPool2DWithArgInto(out *Tensor, arg []int, x *Tensor, k int) {
 	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
 	oh, ow := (h+k-1)/k, (w+k-1)/k
 	if out.Rank() != 3 || out.Shape[0] != c || out.Shape[1] != oh || out.Shape[2] != ow {
-		panic(fmt.Sprintf("tensor: MaxPool2DWithArgInto dst %v, want [%d %d %d]", out.Shape, c, oh, ow))
+		panic(fmt.Sprintf("tensor: MaxPool2DWithArgInto dst %v, want [%d %d %d]", out.Shape, c, oh, ow)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	if len(arg) != c*oh*ow {
-		panic(fmt.Sprintf("tensor: MaxPool2DWithArgInto arg %d, want %d", len(arg), c*oh*ow))
+		panic(fmt.Sprintf("tensor: MaxPool2DWithArgInto arg %d, want %d", len(arg), c*oh*ow)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	for ci := 0; ci < c; ci++ {
 		for oi := 0; oi < oh; oi++ {
@@ -540,7 +540,7 @@ func MaxPool2DInto(out, x *Tensor, k int) {
 	c, h, w := x.Shape[0], x.Shape[1], x.Shape[2]
 	oh, ow := (h+k-1)/k, (w+k-1)/k
 	if out.Rank() != 3 || out.Shape[0] != c || out.Shape[1] != oh || out.Shape[2] != ow {
-		panic(fmt.Sprintf("tensor: MaxPool2DInto dst %v, want [%d %d %d]", out.Shape, c, oh, ow))
+		panic(fmt.Sprintf("tensor: MaxPool2DInto dst %v, want [%d %d %d]", out.Shape, c, oh, ow)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	for ci := 0; ci < c; ci++ {
 		for oi := 0; oi < oh; oi++ {
@@ -574,7 +574,7 @@ func MaxPool2DBackward(grad *Tensor, arg []int, c, h, w int) *Tensor {
 // contents — the allocation-free form the training arena uses.
 func MaxPool2DBackwardInto(out, grad *Tensor, arg []int) {
 	if len(arg) != grad.Len() {
-		panic(fmt.Sprintf("tensor: MaxPool2DBackwardInto arg %d, want %d", len(arg), grad.Len()))
+		panic(fmt.Sprintf("tensor: MaxPool2DBackwardInto arg %d, want %d", len(arg), grad.Len())) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 	out.Zero()
 	for o, idx := range arg {
