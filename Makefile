@@ -52,7 +52,7 @@ race:
 # One iteration of the hot-path benchmarks: keeps perf regressions
 # visible without burning CI minutes.
 bench:
-	$(GO) test -run '^$$' -bench 'SNNInference|TrainStep|GEMM|PGDCraft|StreamWindow|ServeWindow' -benchtime=1x . ./internal/serve
+	$(GO) test -run '^$$' -bench 'SNNInference|TrainStep|GEMM|PGDCraft|StreamWindow|ServeWindow|ServeCreditWindow|ServeSlowConsumer' -benchtime=1x . ./internal/serve
 
 # The machine-readable benchmark artifact CI archives (inference +
 # training arenas, event-domain attack/filter hot paths, the streaming
@@ -64,7 +64,7 @@ bench:
 bench-json:
 	$(GO) test -run '^$$' -bench 'Predict|NeuromorphicPerturbSet|AQFFilterSet|SNNInference|TrainStep|GEMM|Stream|Serve|IncrementalAQF' \
 		-benchtime=$(BENCHTIME) . ./internal/serve > bench.txt
-	$(GO) run ./cmd/benchjson -zeroalloc '^Benchmark(Predict|TrainStep|StreamWindow|ServeWindow)$$' < bench.txt > BENCH_pr5.json
+	$(GO) run ./cmd/benchjson -zeroalloc '^Benchmark(Predict|TrainStep|StreamWindow|ServeWindow|ServeCreditWindow)$$' < bench.txt > BENCH_pr7.json
 
 # Short coverage-guided runs of the fuzz targets — the event codec's
 # oracle contracts and the incremental AQF's bit-identity to the

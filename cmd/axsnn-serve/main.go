@@ -11,6 +11,8 @@
 //	            [-checkpoint model.gob] [-window 600] [-steps 8]
 //	            [-batch 4] [-chunk 4096] [-reorder 1024] [-qt -1]
 //	            [-perwindow] [-train 33] [-epochs 4] [-seed N]
+//	            [-metrics :7361] [-idle-timeout 2m] [-write-timeout 30s]
+//	            [-queue-timeout 0] [-result-window 256]
 //
 // Without -checkpoint a small gesture classifier is trained on
 // synthetic 32×32 DVS streams at startup (the same quick model
@@ -19,22 +21,37 @@
 // hot-swap. -qt >= 0 enables AQF denoising — cross-window incremental
 // by default, the lossy per-window form with -perwindow.
 //
+// -metrics starts an HTTP observability listener serving the counter
+// registry as JSON on /metrics (and the process-global expvar
+// namespace, including the same snapshot, on /debug/vars). The
+// hardening knobs map straight onto serve.ServerOptions: -idle-timeout
+// and -write-timeout bound per-frame I/O, -queue-timeout opts
+// connections at a full server into bounded admission queueing, and
+// -result-window caps buffered undelivered results per session.
+//
 // Load-generator mode:
 //
 //	axsnn-serve -load [-addr host:7360] [-sessions 8] [-recordings 4]
-//	            [-segments 6] [-window 600] [-seed N]
+//	            [-segments 6] [-window 600] [-seed N] [-credit-window 64]
+//	            [-dial-timeout 10s] [-metrics host:7361]
 //
 // Opens -sessions concurrent sessions, streams -recordings synthetic
 // multi-gesture flows on each, checks the protocol invariants (window
-// order, declared counts) and reports aggregate windows/s.
+// order, declared counts) and reports aggregate windows/s. Sessions
+// grant result credits per -credit-window (0 disables credit flow for
+// legacy-style streaming); with -metrics the server's metrics endpoint
+// is fetched and printed after the run.
 package main
 
 import (
 	"bytes"
+	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sync"
@@ -73,6 +90,13 @@ func main() {
 	recordings := flag.Int("recordings", 4, "recordings per session (-load)")
 	segments := flag.Int("segments", 6, "gesture segments per recording (-load)")
 	seed := flag.Uint64("seed", 4, "seed")
+	metricsAddr := flag.String("metrics", "", "metrics HTTP listen address (server) / metrics endpoint to fetch after the run (-load)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "per-frame read deadline; 0 = 2m default, negative disables")
+	writeTimeout := flag.Duration("write-timeout", 0, "per-frame write deadline; 0 = 30s default, negative disables")
+	queueTimeout := flag.Duration("queue-timeout", 0, "how long a connection may queue at a full server; 0 = refuse immediately")
+	resultWindow := flag.Int("result-window", 0, "undelivered results buffered per session under credit flow (0 = 256)")
+	creditWindow := flag.Int("credit-window", 0, "result credits a -load session keeps granted (0 = 64 default, negative disables credit flow)")
+	dialTimeout := flag.Duration("dial-timeout", 0, "-load connection timeout (0 = 10s default)")
 	flag.Parse()
 	tensor.SetWorkers(*workers)
 
@@ -80,7 +104,16 @@ func main() {
 	gcfg.Duration = *window
 
 	if *loadMode {
-		runLoad(*addr, *sessions, *recordings, *segments, gcfg, *seed)
+		copts := serve.ClientOptions{
+			CreditWindow: *creditWindow,
+			DialTimeout:  *dialTimeout,
+			IdleTimeout:  *idleTimeout,
+			WriteTimeout: *writeTimeout,
+		}
+		runLoad(*addr, *sessions, *recordings, *segments, gcfg, *seed, copts)
+		if *metricsAddr != "" {
+			fetchMetrics(*metricsAddr)
+		}
 		return
 	}
 
@@ -110,9 +143,28 @@ func main() {
 	}
 	srv, err := serve.NewServer(net_, serve.ServerOptions{
 		Pipeline: opts, MaxSessions: *sessions, PoolSize: *pool,
+		IdleTimeout: *idleTimeout, WriteTimeout: *writeTimeout,
+		QueueTimeout: *queueTimeout, ResultWindow: *resultWindow,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *metricsAddr != "" {
+		srv.PublishExpvar("axsnn_serve")
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", srv.MetricsHandler())
+		mux.Handle("/debug/vars", expvar.Handler())
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("metrics listener: %v", err)
+		}
+		fmt.Printf("metrics on http://%s/metrics\n", mln.Addr())
+		go func() {
+			if err := http.Serve(mln, mux); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
 	}
 
 	if *checkpoint != "" {
@@ -184,7 +236,7 @@ func recordingBytes(segments int, gcfg dvs.GestureConfig, seed uint64) []byte {
 // runLoad is the load-generator client: concurrent sessions, each
 // streaming several recordings, verifying protocol invariants and
 // reporting aggregate throughput.
-func runLoad(addr string, sessions, recordings, segments int, gcfg dvs.GestureConfig, seed uint64) {
+func runLoad(addr string, sessions, recordings, segments int, gcfg dvs.GestureConfig, seed uint64, copts serve.ClientOptions) {
 	var totalWindows, totalEvents atomic.Int64
 	var failures atomic.Int64
 	start := time.Now()
@@ -193,13 +245,12 @@ func runLoad(addr string, sessions, recordings, segments int, gcfg dvs.GestureCo
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			conn, err := net.Dial("tcp", addr)
+			cl, err := serve.Dial(addr, copts)
 			if err != nil {
 				log.Printf("session %d: dial: %v", s, err)
 				failures.Add(1)
 				return
 			}
-			cl := serve.NewClient(conn)
 			defer cl.Close()
 			for r := 0; r < recordings; r++ {
 				data := recordingBytes(segments, gcfg, seed+uint64(1000*s+r))
@@ -236,4 +287,21 @@ func runLoad(addr string, sessions, recordings, segments int, gcfg dvs.GestureCo
 	if failures.Load() > 0 {
 		log.Fatalf("%d session failures", failures.Load())
 	}
+}
+
+// fetchMetrics dumps the server's metrics endpoint after a load run.
+func fetchMetrics(addr string) {
+	url := "http://" + addr + "/metrics"
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Printf("fetching %s: %v", url, err)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Printf("reading %s: %v", url, err)
+		return
+	}
+	fmt.Printf("server metrics (%s):\n%s\n", url, bytes.TrimSpace(body))
 }

@@ -46,6 +46,7 @@ var pairs = map[string]string{
 	"AcquireScratch":      "Release",
 	"AcquireTrainScratch": "ReleaseTrain",
 	"AcquireClone":        "ReleaseClone",
+	"AcquireSlot":         "ReleaseSlot",
 }
 
 const escapeDirective = "allow-manual-release"

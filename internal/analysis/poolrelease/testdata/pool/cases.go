@@ -43,6 +43,19 @@ func Discard(p *Pool) {
 	p.AcquireClone() // want `result of AcquireClone is discarded`
 }
 
+// SlotGood pairs the frame-slot acquire with a deferred release.
+func SlotGood(p *Pool) float64 {
+	u := p.AcquireSlot()
+	defer p.ReleaseSlot(u)
+	return u.data[0]
+}
+
+// SlotLeak never releases the slot.
+func SlotLeak(p *Pool) float64 {
+	u := p.AcquireSlot() // want `AcquireSlot result u is never released`
+	return u.data[0]
+}
+
 // LoopDefer acquires per iteration but defers once.
 func LoopDefer(p *Pool, n int) {
 	var u *Unit

@@ -24,3 +24,5 @@ func (p *Pool) AcquireTrainScratch() *Unit { return p.AcquireScratch() }
 func (p *Pool) ReleaseTrain(u *Unit)       { p.Release(u) }
 func (p *Pool) AcquireClone() *Unit        { return p.AcquireScratch() }
 func (p *Pool) ReleaseClone(u *Unit)       { p.Release(u) }
+func (p *Pool) AcquireSlot() *Unit         { return p.AcquireScratch() }
+func (p *Pool) ReleaseSlot(u *Unit)        { p.Release(u) }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/stream"
 	"repro/internal/tensor"
@@ -31,6 +32,84 @@ func BenchmarkServeWindow(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		body(i + 1)
 	}
+}
+
+// BenchmarkServeCreditWindow measures the credit-flow additions to the
+// per-window serving path — ring staging, the credit CAS, counters and
+// the latency histogram — and is covered by CI's zero-alloc gate: the
+// backpressure machinery must stay free on the hot path.
+func BenchmarkServeCreditWindow(b *testing.B) {
+	defer tensor.SetWorkers(0)
+	tensor.SetWorkers(1)
+	master := testNet(8, 71)
+	srv, err := NewServer(master, ServerOptions{
+		Pipeline: stream.Options{WindowMS: 50, Steps: 8}, PoolSize: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ss := newTestSession(srv)
+	ss.addCredits(1 << 30)
+	body := serveCreditWindowBody(b, srv, ss)
+	body(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body(i + 1)
+	}
+}
+
+// BenchmarkServeSlowConsumer measures a 4-session server where one
+// consumer sleeps per result while three drain freely — the
+// backpressure scenario: the slow session must cost credit stalls, not
+// pool units or the fast sessions' throughput. Reports the fast
+// sessions' aggregate windows/s and the stall count per iteration.
+func BenchmarkServeSlowConsumer(b *testing.B) {
+	defer tensor.SetWorkers(0)
+	tensor.SetWorkers(1)
+	master := testNet(6, 81)
+	o := stream.Options{WindowMS: 60, Steps: 6, Batch: 2, ChunkEvents: 1024}
+	srv, err := NewServer(master, ServerOptions{
+		Pipeline: o, MaxSessions: 4, PoolSize: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := testRecording(b, 3, 360, 91)
+	windows := len(standalone(b, master, data, o))
+	stall := func(stream.Result) error { time.Sleep(time.Millisecond); return nil }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		errs := make(chan error, 4)
+		for s := 0; s < 4; s++ {
+			emit := func(stream.Result) error { return nil }
+			copts := ClientOptions{}
+			if s == 0 {
+				emit = stall
+				copts.CreditWindow = 2
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				cl, done := startSessionOptions(srv, copts)
+				defer cl.Close()
+				if _, err := cl.Stream(bytes.NewReader(data), emit); err != nil {
+					errs <- err
+					return
+				}
+				cl.Close()
+				<-done
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*3*windows)/b.Elapsed().Seconds(), "fastwindows/s")
+	b.ReportMetric(float64(srv.Metrics().CreditStalls.Load())/float64(b.N), "stalls/op")
 }
 
 // BenchmarkServeSessions measures end-to-end session throughput — the

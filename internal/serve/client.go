@@ -7,9 +7,40 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/stream"
 )
+
+// DefaultCreditWindow is how many undelivered results a client
+// authorizes the server to stream ahead of consumption.
+const DefaultCreditWindow = 64
+
+// DefaultDialTimeout bounds Dial's connection establishment.
+const DefaultDialTimeout = 10 * time.Second
+
+// ClientOptions configure a Client's flow control and deadlines.
+type ClientOptions struct {
+	// CreditWindow is the result window granted to the server: it may
+	// stream at most this many results past what emit has consumed.
+	// The client tops the window up as results are consumed, so a fast
+	// consumer never stalls the server while a slow one bounds its
+	// memory. 0 uses DefaultCreditWindow; negative disables credit
+	// flow entirely (the pre-credit protocol).
+	CreditWindow int
+	// DialTimeout bounds Dial. 0 uses DefaultDialTimeout, negative
+	// disables.
+	DialTimeout time.Duration
+	// IdleTimeout bounds the silence between server frames — a wedged
+	// server fails the Stream instead of hanging the generator. 0 uses
+	// DefaultIdleTimeout, negative disables.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each outgoing frame write. 0 uses
+	// DefaultWriteTimeout, negative disables.
+	WriteTimeout time.Duration
+}
 
 // Client speaks the serve framing protocol over one session
 // connection. It is not safe for concurrent use; one Stream call runs
@@ -17,13 +48,56 @@ import (
 type Client struct {
 	conn net.Conn
 	br   *bufio.Reader
-	fw   *frameWriter
 	pbuf []byte
+	o    ClientOptions
+
+	// wmu serializes the two frame producers — the upload goroutine's
+	// data frames and the read loop's credit grants — onto the shared
+	// frameWriter. Held per frame, so grants interleave with chunks.
+	wmu sync.Mutex
+	fw  *frameWriter
+
+	// granted is the client-side credit account: how many results the
+	// server may still send. Decremented per consumed result on the
+	// read loop, topped up under wmu, resynced from frameDone.
+	granted atomic.Int64
+	started bool
 }
 
-// NewClient wraps an established session connection (TCP or net.Pipe).
+// NewClient wraps an established session connection (TCP or net.Pipe)
+// with default options.
 func NewClient(conn net.Conn) *Client {
-	return &Client{conn: conn, br: bufio.NewReader(conn), fw: newFrameWriter(conn)}
+	return NewClientOptions(conn, ClientOptions{})
+}
+
+// NewClientOptions wraps an established session connection.
+func NewClientOptions(conn net.Conn, o ClientOptions) *Client {
+	if o.CreditWindow == 0 {
+		o.CreditWindow = DefaultCreditWindow
+	}
+	if o.CreditWindow < 0 {
+		o.CreditWindow = 0
+	}
+	o.IdleTimeout = normTimeout(o.IdleTimeout, DefaultIdleTimeout)
+	o.WriteTimeout = normTimeout(o.WriteTimeout, DefaultWriteTimeout)
+	dc := &deadlineConn{conn: conn, idle: o.IdleTimeout, write: o.WriteTimeout}
+	return &Client{conn: conn, br: bufio.NewReader(dc), fw: newFrameWriter(dc), o: o}
+}
+
+// Dial connects a session to a serve address.
+func Dial(addr string, o ClientOptions) (*Client, error) {
+	dt := normTimeout(o.DialTimeout, DefaultDialTimeout)
+	var conn net.Conn
+	var err error
+	if dt > 0 {
+		conn, err = net.DialTimeout("tcp", addr, dt)
+	} else {
+		conn, err = net.Dial("tcp", addr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return NewClientOptions(conn, o), nil
 }
 
 // Close ends the session.
@@ -34,10 +108,17 @@ func (c *Client) Close() error { return c.conn.Close() }
 // the server's window count. Sending and receiving run concurrently —
 // the server streams results while the recording is still uploading —
 // which is what makes the protocol deadlock-free over synchronous
-// transports.
+// transports. Under credit flow (the default) the initial grant rides
+// ahead of the first data frame on the upload goroutine, and top-ups
+// are sent from the read loop once half the window is consumed.
 func (c *Client) Stream(recording io.Reader, emit func(stream.Result) error) (int, error) {
+	initialGrant := 0
+	if c.o.CreditWindow > 0 && !c.started {
+		c.started = true
+		initialGrant = c.o.CreditWindow
+	}
 	writeErr := make(chan error, 1)
-	go func() { writeErr <- c.send(recording) }()
+	go func() { writeErr <- c.send(recording, initialGrant) }()
 
 	for {
 		typ, n, err := readHeader(c.br)
@@ -61,13 +142,16 @@ func (c *Client) Stream(recording io.Reader, emit func(stream.Result) error) (in
 			if err == nil && emit != nil {
 				err = emit(res)
 			}
+			if err == nil {
+				err = c.consumed()
+			}
 			if err != nil {
 				c.conn.Close()
 				<-writeErr
 				return 0, err
 			}
 		case frameDone:
-			if n != 4 {
+			if n != 4 && n != doneSize {
 				c.conn.Close()
 				<-writeErr
 				return 0, fmt.Errorf("serve: done frame of %d bytes", n)
@@ -75,6 +159,16 @@ func (c *Client) Stream(recording io.Reader, emit func(stream.Result) error) (in
 			count := int(binary.LittleEndian.Uint32(payload))
 			if err := <-writeErr; err != nil {
 				return count, err
+			}
+			if n == doneSize && c.o.CreditWindow > 0 {
+				// Resync from the server's view — it also absorbs the
+				// benign startup race where results streamed before the
+				// first grant was processed — then restore a full
+				// window for the next recording.
+				c.granted.Store(int64(binary.LittleEndian.Uint32(payload[4:])))
+				if err := c.topUp(); err != nil {
+					return count, err
+				}
 			}
 			return count, nil
 		case frameError:
@@ -92,18 +186,60 @@ func (c *Client) Stream(recording io.Reader, emit func(stream.Result) error) (in
 	}
 }
 
-// send uploads the recording as data frames and terminates it.
-func (c *Client) send(recording io.Reader) error {
+// consumed accounts one delivered result and tops the server's window
+// up once half of it is spent — batched grants, not one per result, so
+// credit traffic stays a small fraction of result traffic.
+func (c *Client) consumed() error {
+	if c.o.CreditWindow == 0 {
+		return nil
+	}
+	if c.granted.Add(-1) <= int64(c.o.CreditWindow/2) {
+		return c.topUp()
+	}
+	return nil
+}
+
+// topUp grants the server credits back to a full window.
+func (c *Client) topUp() error {
+	n := int64(c.o.CreditWindow) - c.granted.Load()
+	if n <= 0 {
+		return nil
+	}
+	if err := c.writeCredit(uint32(n)); err != nil {
+		return err
+	}
+	c.granted.Add(n)
+	return nil
+}
+
+func (c *Client) writeCredit(n uint32) error {
+	var p [creditSize]byte
+	binary.LittleEndian.PutUint32(p[:], n)
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.fw.write(frameCredit, p[:]); err != nil {
+		return err
+	}
+	return c.fw.flush()
+}
+
+// send uploads the recording as data frames and terminates it. The
+// initial credit grant (first recording of a credit session) leads the
+// upload from this goroutine: sending it synchronously from Stream
+// would deadlock a synchronous transport against a server that writes
+// before reading (e.g. the capacity refusal).
+func (c *Client) send(recording io.Reader, initialGrant int) error {
+	if initialGrant > 0 {
+		if err := c.writeCredit(uint32(initialGrant)); err != nil {
+			return err
+		}
+		c.granted.Add(int64(initialGrant))
+	}
 	buf := make([]byte, 32<<10)
 	for {
 		n, err := recording.Read(buf)
 		if n > 0 {
-			if werr := c.fw.write(frameData, buf[:n]); werr != nil {
-				return werr
-			}
-			// Flush per chunk so the server classifies while the rest
-			// of the recording uploads.
-			if werr := c.fw.flush(); werr != nil {
+			if werr := c.writeFrame(frameData, buf[:n]); werr != nil {
 				return werr
 			}
 		}
@@ -114,7 +250,16 @@ func (c *Client) send(recording io.Reader) error {
 			return err
 		}
 	}
-	if err := c.fw.write(frameEnd, nil); err != nil {
+	return c.writeFrame(frameEnd, nil)
+}
+
+// writeFrame emits and flushes one frame under the write lock. Flushed
+// per frame so the server classifies while the rest of the recording
+// uploads, and so grants never sit buffered behind a held lock.
+func (c *Client) writeFrame(typ byte, p []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.fw.write(typ, p); err != nil {
 		return err
 	}
 	return c.fw.flush()

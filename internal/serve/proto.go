@@ -16,14 +16,34 @@
 // as a sequence of frameData frames (any chunking, including the whole
 // file at once) terminated by frameEnd; the server answers with one
 // frameResult per window — in window order, streamed as soon as each
-// window classifies — then frameDone carrying the window count. After
-// frameDone the client may start the next recording with its first
-// frameData, or close the connection to end the session. A fatal error
-// at either layer is reported as a frameError carrying the message,
-// after which the connection closes.
+// window classifies — then frameDone carrying the window count and the
+// session's remaining result credits. After frameDone the client may
+// start the next recording with its first frameData, or close the
+// connection to end the session. A fatal error at either layer is
+// reported as a frameError carrying the message, after which the
+// connection closes.
+//
+// Backpressure is credit-based: a frameCredit from the client grants
+// the server permission to send that many more frameResults. Credit
+// flow is opt-in per session — it switches on at the first frameCredit
+// and stays on — and a creditless session keeps the PR5 semantics
+// (results stream as fast as TCP accepts them). Under credit flow the
+// server buffers at most ServerOptions.ResultWindow undelivered
+// results per session and stalls the result writer — never the whole
+// server — when the granted window is exhausted, so a slow consumer
+// bounds server memory instead of pinning it. frameCredit is accepted
+// at any point: mid-recording (interleaved with frameData) and between
+// recordings.
+//
 // Because results stream while data is still arriving, a client MUST
 // read concurrently with writing (Client.Stream does), or a fully
-// synchronous transport such as net.Pipe deadlocks.
+// synchronous transport such as net.Pipe deadlocks. The server reads
+// each connection on a dedicated goroutine that applies credit grants
+// the moment they arrive, so a stalled pipeline never blocks its own
+// top-ups; the one asymmetry left is a client that uploads far past
+// the server's bounded read-ahead runway while refusing to consume
+// results — its grants queue behind the unread upload bytes and the
+// session is reaped at IdleTimeout rather than waiting forever.
 package serve
 
 import (
@@ -41,8 +61,9 @@ import (
 const (
 	frameData   = 0x01 // raw AEDAT container bytes
 	frameEnd    = 0x02 // recording complete, no payload
+	frameCredit = 0x03 // grant uint32 more result credits to the server
 	frameResult = 0x81 // one window result (resultSize payload)
-	frameDone   = 0x82 // all windows emitted; payload = uint32 count
+	frameDone   = 0x82 // all windows emitted; payload = doneSize (see below)
 	frameError  = 0x83 // fatal session error; payload = UTF-8 message
 )
 
@@ -57,6 +78,17 @@ const frameHeaderSize = 5
 // resultSize is the frameResult payload: window uint32, startMS
 // float64, events uint32, class int32.
 const resultSize = 4 + 8 + 4 + 4
+
+// creditSize is the frameCredit payload: uint32 additional credits.
+const creditSize = 4
+
+// doneSize is the frameDone payload: window count uint32, then the
+// session's remaining result credits uint32 — the client resyncs its
+// credit accounting from it, which also absorbs the benign race where
+// the first grant lands after the server already streamed results
+// creditlessly. Pre-credit servers sent only the 4-byte count; the
+// client accepts both.
+const doneSize = 4 + 4
 
 // frameWriter emits frames onto a buffered writer. The header scratch
 // lives in the struct, not the stack, so the per-window result frame
@@ -121,59 +153,15 @@ func decodeResult(p []byte) (stream.Result, error) {
 	}, nil
 }
 
-// frameReader adapts the client's frameData/frameEnd sequence into the
-// io.Reader the streaming pipeline consumes: Read hands out payload
-// bytes until frameEnd, then io.EOF. It allocates nothing after
-// construction.
-type frameReader struct {
-	br        *bufio.Reader
-	remaining int // unread bytes of the current data frame
-	done      bool
-}
-
-func (r *frameReader) Read(p []byte) (int, error) {
-	for r.remaining == 0 {
-		if r.done {
-			return 0, io.EOF
-		}
-		typ, n, err := readHeader(r.br)
-		if err != nil {
-			return 0, err
-		}
-		switch typ {
-		case frameData:
-			r.remaining = n
-		case frameEnd:
-			if n != 0 {
-				return 0, fmt.Errorf("serve: end frame carries %d payload bytes", n)
-			}
-			r.done = true
-		default:
-			return 0, fmt.Errorf("serve: unexpected frame type 0x%02x from client", typ)
-		}
+// readCreditPayload consumes a frameCredit payload whose header was
+// already read and returns the granted credit count.
+func readCreditPayload(br *bufio.Reader, n int) (int64, error) {
+	if n != creditSize {
+		return 0, fmt.Errorf("serve: credit frame of %d bytes, want %d", n, creditSize)
 	}
-	if len(p) > r.remaining {
-		p = p[:r.remaining]
+	var p [creditSize]byte
+	if _, err := io.ReadFull(br, p[:]); err != nil {
+		return 0, err
 	}
-	n, err := r.br.Read(p)
-	r.remaining -= n
-	return n, err
-}
-
-// drain consumes the recording's framing tail through frameEnd. The
-// AEDAT decoder reads exactly the event count its header declares and
-// never touches the bytes after it, so without this the end-of-record
-// frame would leak into the next recording on the session. Payload
-// bytes past the container are discarded, not errors: the framing
-// layer delimits recordings, the codec validates them.
-func (r *frameReader) drain() error {
-	var sink [512]byte
-	for {
-		if _, err := r.Read(sink[:]); err != nil {
-			if err == io.EOF {
-				return nil
-			}
-			return err
-		}
-	}
+	return int64(binary.LittleEndian.Uint32(p[:])), nil
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports that the race detector is instrumenting this
+// build: timing-sensitive soak bounds carry extra slack for its
+// overhead.
+const raceEnabled = true

@@ -43,10 +43,16 @@ func testRecording(t testing.TB, class int, durMS float64, seed uint64) []byte {
 
 // startSession connects a client to srv over an in-process pipe.
 func startSession(srv *Server) (*Client, chan error) {
+	return startSessionOptions(srv, ClientOptions{})
+}
+
+// startSessionOptions is startSession with explicit client options
+// (credit window, deadlines).
+func startSessionOptions(srv *Server, o ClientOptions) (*Client, chan error) {
 	cs, ss := net.Pipe()
 	done := make(chan error, 1)
 	go func() { done <- srv.ServeConn(ss) }()
-	return NewClient(cs), done
+	return NewClientOptions(cs, o), done
 }
 
 // standalone is the reference: the same recording through a fresh

@@ -1,8 +1,6 @@
 package serve
 
 import (
-	"bufio"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -10,6 +8,8 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"syscall"
+	"time"
 
 	"repro/internal/snn"
 	"repro/internal/stream"
@@ -30,13 +30,32 @@ type ServerOptions struct {
 	// MaxSessions bounds how many sessions run concurrently; further
 	// connections are refused with ErrAtCapacity instead of queueing
 	// (a loaded serving tier fails fast so the balancer can retry
-	// elsewhere). <= 0 uses 16.
+	// elsewhere) unless QueueTimeout opts into bounded waiting. <= 0
+	// uses 16.
 	MaxSessions int
-	// PoolSize is the shared clone/arena pool capacity — how many
+	// PoolSize is the shared clone/arena/slot pool capacity — how many
 	// window batches classify at once across ALL sessions. <= 0 sizes
-	// it by tensor.Workers(): the pool matches the compute budget, so
+	// it by tensor.Workers(): the pools match the compute budget, so
 	// memory stays O(workers × batch), not O(sessions × batch).
 	PoolSize int
+	// QueueTimeout, when positive, queues connections arriving at a
+	// full server for up to this long before refusing them — bounded
+	// admission waiting instead of fail-fast. Zero (the default) keeps
+	// the immediate ErrAtCapacity refusal.
+	QueueTimeout time.Duration
+	// IdleTimeout bounds peer silence: every frame read arms it, and a
+	// credit stall (an exhausted window the client never tops up) is
+	// reaped by it too. 0 uses DefaultIdleTimeout, negative disables.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds every frame write, including the capacity
+	// refusal to a client that never reads. 0 uses
+	// DefaultWriteTimeout, negative disables.
+	WriteTimeout time.Duration
+	// ResultWindow caps the undelivered results buffered per session
+	// under credit flow (the ring between the pipeline and the wire
+	// writer); the pipeline stalls beyond it. <= 0 uses 256 — at 20
+	// bytes per staged result the worst case is ~5 KB per session.
+	ResultWindow int
 }
 
 // unit is one pooled evaluation resource: a weight-sharing clone (its
@@ -64,7 +83,16 @@ type Server struct {
 	cloneMu sync.Mutex
 	byClone map[*snn.Network]*unit //axsnn:guardedby cloneMu
 
+	// slots is the shared frame-slot pool every session pipeline draws
+	// from — sized like the clone pool, so full occupancy costs
+	// O(PoolSize × Batch × window) frames however many sessions run.
+	slots *stream.SlotPool
+
+	metrics Metrics
+	start   time.Time
+
 	sem    chan struct{}
+	done   chan struct{} // closed by Close: unblocks queued admissions and stalled writers
 	active atomic.Int64
 	served atomic.Int64
 	mu     sync.Mutex
@@ -83,11 +111,23 @@ func NewServer(master *snn.Network, o ServerOptions) (*Server, error) {
 	if o.PoolSize <= 0 {
 		o.PoolSize = tensor.Workers()
 	}
+	o.IdleTimeout = normTimeout(o.IdleTimeout, DefaultIdleTimeout)
+	o.WriteTimeout = normTimeout(o.WriteTimeout, DefaultWriteTimeout)
+	if o.ResultWindow <= 0 {
+		o.ResultWindow = 256
+	}
+	batch := o.Pipeline.Batch
+	if batch <= 0 {
+		batch = stream.DefaultBatch
+	}
 	s := &Server{
 		opts:    o,
 		units:   make(chan *unit, o.PoolSize),
 		byClone: make(map[*snn.Network]*unit, o.PoolSize),
+		slots:   stream.NewSlotPool(o.PoolSize, batch),
+		start:   time.Now(),
 		sem:     make(chan struct{}, o.MaxSessions),
+		done:    make(chan struct{}),
 		lns:     make(map[net.Listener]struct{}),
 		conns:   make(map[net.Conn]struct{}),
 	}
@@ -99,11 +139,16 @@ func NewServer(master *snn.Network, o ServerOptions) (*Server, error) {
 	// connection: a probe pipeline exercises the same option checks.
 	probe := o.Pipeline
 	probe.Clones = s
+	probe.Slots = s.slots
 	if _, err := stream.NewPipeline(master, probe); err != nil {
 		return nil, err
 	}
 	return s, nil
 }
+
+// Slots exposes the shared frame-slot pool (occupancy and high-water
+// gauges feed the metrics endpoint and the soak assertions).
+func (s *Server) Slots() *stream.SlotPool { return s.slots }
 
 // AcquireClone implements stream.CloneSource over the shared pool,
 // refreshing stale units so a hot-swapped checkpoint reaches every
@@ -175,32 +220,81 @@ func (s *Server) ServedSessions() int64 { return s.served.Load() }
 
 // Serve accepts sessions from ln until the listener fails or the
 // server closes. Each connection is one session, served concurrently.
+// Transient accept errors — timeouts, aborted handshakes, fd
+// exhaustion (EMFILE/ENFILE) — are retried with capped exponential
+// backoff instead of killing the listener: under fd pressure the
+// server degrades to slower accepts, not to deafness.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return errors.New("serve: server closed")
+		return errServerClosed
 	}
 	s.lns[ln] = struct{}{}
 	s.mu.Unlock()
+	var backoff time.Duration
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			s.mu.Lock()
 			closed := s.closed
-			delete(s.lns, ln)
 			s.mu.Unlock()
 			if closed {
+				s.forgetListener(ln)
 				return nil
 			}
+			if isTransientAccept(err) {
+				s.metrics.AcceptRetries.Add(1)
+				if backoff == 0 {
+					backoff = 5 * time.Millisecond
+				} else if backoff *= 2; backoff > time.Second {
+					backoff = time.Second
+				}
+				t := time.NewTimer(backoff)
+				select {
+				case <-t.C:
+				case <-s.done:
+					t.Stop()
+					s.forgetListener(ln)
+					return nil
+				}
+				continue
+			}
+			s.forgetListener(ln)
 			return err
 		}
+		backoff = 0
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
 			_ = s.ServeConn(conn)
 		}()
 	}
+}
+
+func (s *Server) forgetListener(ln net.Listener) {
+	s.mu.Lock()
+	delete(s.lns, ln)
+	s.mu.Unlock()
+}
+
+// isTransientAccept classifies accept errors worth retrying: listener
+// timeouts and the classic load-shedding errnos. Everything else
+// (closed listener, fatal socket state) ends Serve.
+func isTransientAccept(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	for _, errno := range []syscall.Errno{
+		syscall.ECONNABORTED, syscall.ECONNRESET,
+		syscall.EMFILE, syscall.ENFILE, syscall.EINTR,
+	} {
+		if errors.Is(err, errno) {
+			return true
+		}
+	}
+	return false
 }
 
 // ServeConn serves one session on conn (closing it when the session
@@ -212,7 +306,7 @@ func (s *Server) ServeConn(conn net.Conn) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return errors.New("serve: server closed")
+		return errServerClosed
 	}
 	s.conns[conn] = struct{}{}
 	s.mu.Unlock()
@@ -222,10 +316,13 @@ func (s *Server) ServeConn(conn net.Conn) error {
 		s.mu.Unlock()
 	}()
 
-	select {
-	case s.sem <- struct{}{}:
-	default:
-		fw := newFrameWriter(conn)
+	// All session I/O — including the refusal below — rides per-frame
+	// deadlines: a half-open peer can stall one frame for at most
+	// IdleTimeout/WriteTimeout, never a session slot forever.
+	dc := &deadlineConn{conn: conn, idle: s.opts.IdleTimeout, write: s.opts.WriteTimeout}
+	if !s.admit() {
+		s.metrics.SessionsRefused.Add(1)
+		fw := newFrameWriter(dc)
 		_ = fw.write(frameError, []byte(ErrAtCapacity.Error()))
 		_ = fw.flush()
 		return ErrAtCapacity
@@ -236,67 +333,98 @@ func (s *Server) ServeConn(conn net.Conn) error {
 		s.served.Add(1)
 		<-s.sem
 	}()
-	return s.serveSession(conn)
+	err := s.serveSession(dc)
+	if err != nil {
+		s.metrics.SessionErrors.Add(1)
+	}
+	return err
+}
+
+// admit takes a session slot. A full server refuses immediately unless
+// QueueTimeout opts into bounded waiting, in which case the connection
+// queues until a slot frees, the deadline passes, or the server closes.
+func (s *Server) admit() bool {
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	default:
+	}
+	if s.opts.QueueTimeout <= 0 {
+		return false
+	}
+	s.metrics.SessionsQueued.Add(1)
+	t := time.NewTimer(s.opts.QueueTimeout)
+	defer t.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-t.C:
+		s.metrics.QueueTimeouts.Add(1)
+		return false
+	case <-s.done:
+		return false
+	}
 }
 
 // serveSession runs one session: a reusable pipeline classifying one
-// or more framed recordings back to back, streaming every window's
-// result as soon as it is known. A session failure — protocol, codec,
-// windowing or classification — is reported as a frameError and ends
-// the session; it never takes the server down.
-func (s *Server) serveSession(conn net.Conn) (err error) {
-	br := bufio.NewReader(conn)
-	fw := newFrameWriter(conn)
+// or more framed recordings back to back. The pipeline runs on this
+// goroutine over the reader goroutine's demuxed chunks and stages
+// results into the session's bounded ring; the session's writer
+// goroutine streams them to the client as credits allow (see session).
+// A session failure — protocol, codec, windowing, classification, a
+// write error or a reaped credit stall — is reported as a frameError
+// (after the writer has stopped, so the error frame cannot interleave
+// with a result) and ends the session; it never takes the server down.
+func (s *Server) serveSession(dc *deadlineConn) (err error) {
+	ss := newSession(s, dc)
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("serve: session panic: %v", p)
 		}
-		if err != nil {
-			_ = fw.write(frameError, []byte(err.Error()))
-			_ = fw.flush()
+		ss.stopWriter(err != nil)
+		if werr := ss.writeErr(); werr != nil && werr != errWriterStopped &&
+			(err == nil || err == errWriterStopped) {
+			err = werr
 		}
+		if err == errWriterStopped {
+			err = errors.New("serve: session writer exited")
+		}
+		if err != nil {
+			_ = ss.fw.write(frameError, []byte(err.Error()))
+			_ = ss.fw.flush()
+		}
+		ss.stopReader()
 	}()
 
 	o := s.opts.Pipeline
 	o.Clones = s
+	o.Slots = s.slots
+	o.Observer = s
 	p, err := stream.NewPipeline(s.master.Load(), o)
 	if err != nil {
 		return err
 	}
 
-	rbuf := make([]byte, 0, resultSize)
 	for {
-		// Between recordings a clean connection close ends the session.
-		if _, perr := br.Peek(1); perr != nil {
-			if perr == io.EOF {
-				return nil
-			}
-			return perr
+		more, err := ss.nextRecording()
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
 		}
 		windows := uint32(0)
-		fr := &frameReader{br: br}
-		err = p.Run(fr, func(r stream.Result) error {
-			rbuf = appendResult(rbuf[:0], r)
-			if werr := fw.write(frameResult, rbuf); werr != nil {
-				return werr
-			}
+		err = p.Run(ss, func(r stream.Result) error {
 			windows++
-			// Flush per window: results are the serving heartbeat, not
-			// a batch artifact — a slow recording still answers live.
-			return fw.flush()
+			return ss.emit(r)
 		})
 		if err != nil {
 			return err
 		}
-		if err = fr.drain(); err != nil {
+		if err = ss.drainRecording(); err != nil {
 			return err
 		}
-		var cnt [4]byte
-		binary.LittleEndian.PutUint32(cnt[:], windows)
-		if err = fw.write(frameDone, cnt[:]); err != nil {
-			return err
-		}
-		if err = fw.flush(); err != nil {
+		if err = ss.finishRecording(windows); err != nil {
 			return err
 		}
 	}
@@ -306,6 +434,7 @@ func (s *Server) serveSession(conn net.Conn) (err error) {
 // session goroutines started by Serve to drain.
 func (s *Server) Close() error {
 	s.mu.Lock()
+	first := !s.closed
 	s.closed = true
 	for ln := range s.lns {
 		ln.Close()
@@ -314,6 +443,10 @@ func (s *Server) Close() error {
 		conn.Close()
 	}
 	s.mu.Unlock()
+	if first {
+		// Unblocks queued admissions and credit-stalled writers.
+		close(s.done)
+	}
 	s.wg.Wait()
 	return nil
 }

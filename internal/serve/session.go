@@ -1,0 +1,459 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stream"
+)
+
+var (
+	// errCreditStall is the slow-consumer reap: the client let the
+	// credit window sit exhausted for a full IdleTimeout.
+	errCreditStall = errors.New("serve: credit window exhausted past the idle timeout (slow consumer)")
+	// errWriterStopped marks an abort-path writer exit; it is internal
+	// bookkeeping, never surfaced as the session error.
+	errWriterStopped = errors.New("serve: session writer stopped")
+	errServerClosed  = errors.New("serve: server closed")
+)
+
+// wireCmd is one unit of the session's result ring: either a window
+// result or the end-of-recording marker. Fixed-size by construction —
+// ring traffic moves by value and allocates nothing.
+type wireCmd struct {
+	done    bool
+	windows uint32 // done: the recording's window count
+	res     stream.Result
+}
+
+// Inbound chunk queue geometry: the reader goroutine relays data bytes
+// to the pipeline through readBuffers recycled chunks of readChunk
+// bytes — a bounded upload runway (256 KB) the server will read ahead
+// of a stalled pipeline, past which the socket itself backpressures
+// the uploader.
+const (
+	readChunk   = 32 << 10
+	readBuffers = 8
+)
+
+// rmsg is one message from the reader goroutine to the session
+// goroutine: a data chunk, a recording boundary, a clean connection
+// close, or a read error. Fixed-size, moved by value.
+type rmsg struct {
+	kind byte
+	buf  []byte // rData: a free-list chunk holding payload bytes
+	err  error  // rErr
+}
+
+const (
+	rData = iota // payload bytes of the current recording
+	rEnd         // frameEnd: the recording is complete
+	rEOF         // connection closed cleanly
+	rErr         // read or protocol error
+)
+
+// session is one connection's serving state, three goroutines wide:
+//
+//   - the reader owns the connection's receive side, demuxing
+//     frameCredit grants into the credit account the moment they
+//     arrive and relaying data bytes through a bounded chunk queue;
+//   - the session goroutine runs the pipeline over those chunks and
+//     stages results into a bounded ring;
+//   - the writer drains the ring onto the wire, pausing when the
+//     client's credit window is exhausted.
+//
+// The reader's independence is what makes credit-based backpressure
+// deadlock-free on one full-duplex connection: top-ups keep flowing
+// even while the pipeline is blocked on a full result ring. Undelivered
+// state per session is capped at ResultWindow staged results plus the
+// readBuffers×readChunk upload runway plus one in-flight round — none
+// of it pooled memory (classifyBatch releases slots and clones before
+// emit can block).
+type session struct {
+	srv *Server
+	dc  *deadlineConn
+	br  *bufio.Reader // reader-goroutine-only after newSession
+	fw  *frameWriter
+
+	credits    atomic.Int64 // results the client has authorized
+	creditMode atomic.Bool  // latched by the first frameCredit
+	topup      chan struct{}
+
+	msgs chan rmsg   // reader → session
+	free chan []byte // recycled data chunks
+
+	// Session-goroutine-only demux state: the staged-back message and
+	// the partially consumed chunk.
+	pending    rmsg
+	hasPending bool
+	cur        []byte
+	curBuf     []byte
+
+	cmds       chan wireCmd
+	quit       chan struct{} // closed on abort: unblocks a stalled writer
+	writerDone chan struct{}
+	stopped    bool // session-goroutine-only
+
+	errMu sync.Mutex
+	werr  error //axsnn:guardedby errMu
+}
+
+func newSession(srv *Server, dc *deadlineConn) *session {
+	ss := &session{
+		srv:        srv,
+		dc:         dc,
+		br:         bufio.NewReader(dc),
+		fw:         newFrameWriter(dc),
+		topup:      make(chan struct{}, 1),
+		msgs:       make(chan rmsg, readBuffers+2),
+		free:       make(chan []byte, readBuffers),
+		cmds:       make(chan wireCmd, srv.opts.ResultWindow),
+		quit:       make(chan struct{}),
+		writerDone: make(chan struct{}),
+	}
+	for i := 0; i < readBuffers; i++ {
+		ss.free <- make([]byte, readChunk)
+	}
+	go ss.reader()
+	go ss.writer()
+	return ss
+}
+
+// reader owns the connection's receive side for the whole session. It
+// consumes frames as they arrive — applying frameCredit grants inline,
+// relaying data through the bounded chunk queue — so a pipeline
+// stalled on a full result ring never stops the credit top-ups that
+// will unblock it. The price of the bounded queue: a client that
+// uploads more than the runway ahead while refusing to consume results
+// stalls its own grants behind the unread upload and is reaped at
+// IdleTimeout.
+func (ss *session) reader() {
+	defer close(ss.msgs)
+	for {
+		typ, n, err := readHeader(ss.br)
+		if err != nil {
+			if err == io.EOF {
+				ss.msgs <- rmsg{kind: rEOF}
+			} else {
+				ss.msgs <- rmsg{kind: rErr, err: err}
+			}
+			return
+		}
+		switch typ {
+		case frameCredit:
+			grant, cerr := readCreditPayload(ss.br, n)
+			if cerr != nil {
+				ss.msgs <- rmsg{kind: rErr, err: cerr}
+				return
+			}
+			ss.addCredits(grant)
+		case frameData:
+			for n > 0 {
+				buf := <-ss.free
+				m := n
+				if m > readChunk {
+					m = readChunk
+				}
+				if _, err := io.ReadFull(ss.br, buf[:m]); err != nil {
+					ss.msgs <- rmsg{kind: rErr, err: err}
+					return
+				}
+				ss.msgs <- rmsg{kind: rData, buf: buf[:m]}
+				n -= m
+			}
+		case frameEnd:
+			if n != 0 {
+				ss.msgs <- rmsg{kind: rErr, err: fmt.Errorf("serve: end frame carries %d payload bytes", n)}
+				return
+			}
+			ss.msgs <- rmsg{kind: rEnd}
+		default:
+			ss.msgs <- rmsg{kind: rErr, err: fmt.Errorf("serve: unexpected frame type 0x%02x from client", typ)}
+			return
+		}
+	}
+}
+
+// takeMsg returns the staged-back message, if any, else the next one
+// from the reader. Session-goroutine only.
+func (ss *session) takeMsg() (rmsg, bool) {
+	if ss.hasPending {
+		ss.hasPending = false
+		return ss.pending, true
+	}
+	m, ok := <-ss.msgs
+	return m, ok
+}
+
+// recycle returns a fully consumed chunk to the free list.
+func (ss *session) recycle() {
+	if len(ss.cur) == 0 && ss.curBuf != nil {
+		ss.free <- ss.curBuf[:cap(ss.curBuf)]
+		ss.curBuf, ss.cur = nil, nil
+	}
+}
+
+// Read hands the current recording's payload bytes to the pipeline's
+// decoder, ending with io.EOF at the recording boundary (or at a
+// connection close mid-recording, which the decoder then rejects as a
+// truncated container). It is the session goroutine's view of the
+// reader's demuxed chunk queue and allocates nothing.
+func (ss *session) Read(p []byte) (int, error) {
+	for {
+		if len(ss.cur) > 0 {
+			n := copy(p, ss.cur)
+			ss.cur = ss.cur[n:]
+			ss.recycle()
+			return n, nil
+		}
+		m, ok := ss.takeMsg()
+		if !ok {
+			return 0, io.ErrUnexpectedEOF
+		}
+		switch m.kind {
+		case rData:
+			ss.cur, ss.curBuf = m.buf, m.buf
+		case rEnd:
+			return 0, io.EOF
+		case rEOF:
+			// Stage the close back so the between-recordings loop sees
+			// the clean session end after the drain.
+			ss.pending, ss.hasPending = m, true
+			return 0, io.EOF
+		default: // rErr
+			return 0, m.err
+		}
+	}
+}
+
+// drainRecording discards the recording's framing tail through its
+// frameEnd. The AEDAT decoder reads exactly the event count its header
+// declares and never touches the bytes after it; without the drain the
+// tail would leak into the next recording on the session. Payload
+// bytes past the container are discarded, not errors: the framing
+// layer delimits recordings, the codec validates them.
+func (ss *session) drainRecording() error {
+	ss.cur = nil
+	ss.recycle()
+	for {
+		m, ok := ss.takeMsg()
+		if !ok {
+			return nil
+		}
+		switch m.kind {
+		case rData:
+			ss.free <- m.buf[:cap(m.buf)]
+		case rEnd:
+			return nil
+		case rEOF:
+			ss.pending, ss.hasPending = m, true
+			return nil
+		default: // rErr
+			return m.err
+		}
+	}
+}
+
+// nextRecording blocks until the next recording's first frame arrives,
+// returning false on a clean session end (connection closed between
+// recordings). Credit top-ups never surface here — the reader applies
+// them inline.
+func (ss *session) nextRecording() (bool, error) {
+	m, ok := ss.takeMsg()
+	if !ok {
+		return false, nil
+	}
+	switch m.kind {
+	case rEOF:
+		return false, nil
+	case rErr:
+		return false, m.err
+	default:
+		// rData or rEnd opens the next recording (an immediate rEnd is
+		// an empty recording the decoder will reject).
+		ss.pending, ss.hasPending = m, true
+		return true, nil
+	}
+}
+
+// stopReader ends the reader goroutine and waits for it: closing the
+// connection unblocks a reader parked in a socket read, draining the
+// queue unblocks one parked on a full queue. Session-goroutine only,
+// after the writer has stopped and any error frame has been written.
+func (ss *session) stopReader() {
+	ss.dc.conn.Close()
+	for range ss.msgs {
+	}
+}
+
+// addCredits applies one frameCredit grant. Called from the reader
+// goroutine while the writer may be waiting in awaitCredit.
+func (ss *session) addCredits(n int64) {
+	if n <= 0 {
+		return
+	}
+	ss.credits.Add(n)
+	ss.creditMode.Store(true)
+	select {
+	case ss.topup <- struct{}{}:
+	default:
+	}
+}
+
+// emit is the pipeline's result sink: stage the window into the ring.
+// Blocks when the ring is full (the sanctioned backpressure point) and
+// fails fast once the writer has died.
+func (ss *session) emit(r stream.Result) error {
+	select {
+	case ss.cmds <- wireCmd{res: r}:
+		ss.srv.metrics.ResultsBuffered.Add(1)
+		return nil
+	case <-ss.writerDone:
+		if err := ss.writeErr(); err != nil && err != errWriterStopped {
+			return err
+		}
+		return errWriterStopped
+	}
+}
+
+// finishRecording stages the end-of-recording marker.
+func (ss *session) finishRecording(windows uint32) error {
+	select {
+	case ss.cmds <- wireCmd{done: true, windows: windows}:
+		return nil
+	case <-ss.writerDone:
+		if err := ss.writeErr(); err != nil && err != errWriterStopped {
+			return err
+		}
+		return errWriterStopped
+	}
+}
+
+// writer drains the ring onto the wire: one credit per result, a
+// per-window flush (results are the serving heartbeat, not a batch
+// artifact), frameDone echoing the remaining credits. Write deadlines
+// ride the deadlineConn underneath the frameWriter.
+func (ss *session) writer() {
+	defer close(ss.writerDone)
+	rbuf := make([]byte, 0, resultSize)
+	for cmd := range ss.cmds {
+		if cmd.done {
+			var p [doneSize]byte
+			binary.LittleEndian.PutUint32(p[0:], cmd.windows)
+			binary.LittleEndian.PutUint32(p[4:], creditU32(ss.credits.Load()))
+			if err := ss.fw.write(frameDone, p[:]); err != nil {
+				ss.setWriteErr(err)
+				return
+			}
+			if err := ss.fw.flush(); err != nil {
+				ss.setWriteErr(err)
+				return
+			}
+			continue
+		}
+		if err := ss.awaitCredit(); err != nil {
+			ss.setWriteErr(err)
+			return
+		}
+		rbuf = appendResult(rbuf[:0], cmd.res)
+		if err := ss.fw.write(frameResult, rbuf); err != nil {
+			ss.setWriteErr(err)
+			return
+		}
+		if err := ss.fw.flush(); err != nil {
+			ss.setWriteErr(err)
+			return
+		}
+		ss.srv.metrics.ResultsBuffered.Add(-1)
+		ss.srv.metrics.ResultsSent.Add(1)
+	}
+}
+
+// awaitCredit consumes one result credit, waiting for a top-up when
+// the window is exhausted. Creditless sessions (no frameCredit seen
+// yet) pass straight through — the legacy flow. The fast path is one
+// CAS, no allocation; the stall path is cold and metered.
+func (ss *session) awaitCredit() error {
+	if !ss.creditMode.Load() {
+		return nil
+	}
+	for {
+		if c := ss.credits.Load(); c > 0 {
+			if ss.credits.CompareAndSwap(c, c-1) {
+				return nil
+			}
+			continue
+		}
+		ss.srv.metrics.CreditStalls.Add(1)
+		var timeout <-chan time.Time
+		var t *time.Timer
+		if idle := ss.srv.opts.IdleTimeout; idle > 0 {
+			t = time.NewTimer(idle)
+			timeout = t.C
+		}
+		select {
+		case <-ss.topup:
+		case <-timeout:
+			return errCreditStall
+		case <-ss.quit:
+			stopTimer(t)
+			return errWriterStopped
+		case <-ss.srv.done:
+			stopTimer(t)
+			return errServerClosed
+		}
+		stopTimer(t)
+	}
+}
+
+func stopTimer(t *time.Timer) {
+	if t != nil {
+		t.Stop()
+	}
+}
+
+// stopWriter ends the writer goroutine and waits for it. Graceful stop
+// lets the writer drain every staged result; abort (session error)
+// releases it immediately, even mid-stall. Session-goroutine only.
+func (ss *session) stopWriter(abort bool) {
+	if ss.stopped {
+		return
+	}
+	ss.stopped = true
+	if abort {
+		close(ss.quit)
+	}
+	close(ss.cmds)
+	<-ss.writerDone
+}
+
+func (ss *session) setWriteErr(err error) {
+	ss.errMu.Lock()
+	if ss.werr == nil {
+		ss.werr = err
+	}
+	ss.errMu.Unlock()
+}
+
+func (ss *session) writeErr() error {
+	ss.errMu.Lock()
+	defer ss.errMu.Unlock()
+	return ss.werr
+}
+
+// creditU32 clamps the credit gauge for the frameDone field.
+func creditU32(c int64) uint32 {
+	if c < 0 {
+		return 0
+	}
+	if c > int64(^uint32(0)) {
+		return ^uint32(0)
+	}
+	return uint32(c)
+}

@@ -1,0 +1,139 @@
+package stream
+
+import (
+	"sync/atomic"
+
+	"repro/internal/tensor"
+)
+
+// SlotPool is the bounded shared pool of window-batch classification
+// slots. One BatchSlot carries the reusable frame tensors for up to
+// Batch windows plus the PredictBatchInto sample view built over them —
+// the dominant per-window memory (steps × 2 × H × W floats per window;
+// the staged event copies a pipeline keeps per session are small next
+// to it). Pipelines acquire a slot only for the duration of one batched
+// classification (classifyBatch holds it across voxelize + predict and
+// releases it before any result is emitted), so a server sharing one
+// SlotPool across all sessions serves full occupancy with
+// O(PoolSize × Batch × window) frames instead of
+// O(sessions × Workers × Batch × window) — and a session stalled on a
+// slow consumer holds zero pooled slots while it waits.
+//
+// Acquire order is fixed across the serving stack: BatchSlot first,
+// then the evaluation clone (serve's CloneSource). Every holder obeys
+// the same order, so the two bounded pools cannot deadlock against
+// each other.
+//
+// A SlotPool is safe for concurrent use by any number of pipelines.
+// All counters are plain atomics: reading them from a metrics
+// endpoint costs no locks and the acquire/release hot path performs
+// zero allocations.
+type SlotPool struct {
+	units     chan *BatchSlot
+	batch     int
+	occupancy atomic.Int64
+	highWater atomic.Int64
+	waits     atomic.Int64
+}
+
+// BatchSlot is one pooled classification unit: per-window frame sets
+// and the sample view one PredictBatchInto call consumes. Frame
+// tensors are sized lazily on first use (or on a sensor/step change)
+// and recycled forever after.
+type BatchSlot struct {
+	frames  [][]*tensor.Tensor
+	samples [][]*tensor.Tensor
+}
+
+// Frames returns the i'th window's frame set sized (steps, 2, h, w),
+// reallocating only when the step count or sensor changes. The check
+// is on the full shape, not the element count: (2,8,32) and (2,16,16)
+// tensors are the same size but must not be conflated.
+//
+//axsnn:allow-alloc sizes frame tensors on first use or sensor/step change; the steady state reuses them
+func (b *BatchSlot) Frames(i, steps, h, w int) []*tensor.Tensor {
+	fs := b.frames[i]
+	if len(fs) == steps && steps > 0 {
+		sh := fs[0].Shape
+		if len(sh) == 3 && sh[0] == 2 && sh[1] == h && sh[2] == w {
+			return fs
+		}
+	}
+	fs = make([]*tensor.Tensor, steps)
+	for j := range fs {
+		fs[j] = tensor.New(2, h, w)
+	}
+	b.frames[i] = fs
+	return fs
+}
+
+// Samples returns the slot's reusable PredictBatchInto view, emptied:
+// append one Frames set per window, capacity is the pool's batch
+// width. Valid only while the slot is held.
+func (b *BatchSlot) Samples() [][]*tensor.Tensor { return b.samples[:0] }
+
+// NewSlotPool builds a pool of size BatchSlots, each covering batch
+// windows. A serving tier sizes it like its clone pool (one slot per
+// concurrently classifying batch); a standalone pipeline sizes it by
+// its worker budget so acquisition never blocks.
+func NewSlotPool(size, batch int) *SlotPool {
+	if size < 1 {
+		size = 1
+	}
+	if batch < 1 {
+		batch = DefaultBatch
+	}
+	p := &SlotPool{units: make(chan *BatchSlot, size), batch: batch}
+	for i := 0; i < size; i++ {
+		p.units <- &BatchSlot{
+			frames:  make([][]*tensor.Tensor, batch),
+			samples: make([][]*tensor.Tensor, 0, batch),
+		}
+	}
+	return p
+}
+
+// AcquireSlot returns a slot to classify one window batch on, blocking
+// until one is free. A blocked acquire is counted in Waits — the
+// contention signal a metrics endpoint exposes.
+func (p *SlotPool) AcquireSlot() *BatchSlot {
+	var u *BatchSlot
+	select {
+	case u = <-p.units:
+	default:
+		p.waits.Add(1)
+		u = <-p.units
+	}
+	occ := p.occupancy.Add(1)
+	for {
+		hw := p.highWater.Load()
+		if occ <= hw || p.highWater.CompareAndSwap(hw, occ) {
+			break
+		}
+	}
+	return u
+}
+
+// ReleaseSlot returns a slot obtained from AcquireSlot.
+func (p *SlotPool) ReleaseSlot(u *BatchSlot) {
+	if u == nil {
+		panic("stream: ReleaseSlot of a nil BatchSlot")
+	}
+	p.occupancy.Add(-1)
+	p.units <- u
+}
+
+// Size is the pool capacity in BatchSlots.
+func (p *SlotPool) Size() int { return cap(p.units) }
+
+// Batch is how many windows one BatchSlot covers.
+func (p *SlotPool) Batch() int { return p.batch }
+
+// Occupancy is how many slots are currently acquired.
+func (p *SlotPool) Occupancy() int64 { return p.occupancy.Load() }
+
+// HighWater is the maximum concurrent occupancy observed.
+func (p *SlotPool) HighWater() int64 { return p.highWater.Load() }
+
+// Waits counts acquisitions that had to block for a free slot.
+func (p *SlotPool) Waits() int64 { return p.waits.Load() }

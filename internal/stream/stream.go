@@ -14,7 +14,10 @@
 //   - Peak state is O(Workers × Batch × window) — chunk buffer, window
 //     slots and arena scratch — independent of recording length; a
 //     recording arbitrarily larger than the chunk buffer streams
-//     through in constant space.
+//     through in constant space. The frame tensors (the dominant term)
+//     live in a SlotPool that concurrent pipelines can share, so a
+//     serving tier's frame memory scales with the pool, not with the
+//     session count.
 //   - Steady state performs 0 tensor allocations per window (without a
 //     Filter): slots, frames, clones and arenas are recycled; only the
 //     per-recording setup (reader, windower) allocates.
@@ -31,6 +34,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
 	"repro/internal/defense"
 	"repro/internal/dvs"
@@ -83,6 +87,18 @@ type Options struct {
 	// clones between batches. AcquireClone may block until a clone is
 	// free; every acquired clone is released after its batch.
 	Clones CloneSource
+	// Slots, when non-nil, is the shared pool the pipeline draws its
+	// window-batch frame slots from — the serving form: all sessions'
+	// frame memory is bounded by the pool instead of growing with the
+	// session count. Its batch width must match Batch. When nil the
+	// pipeline builds a private pool of Workers slots, which never
+	// blocks (at most Workers batches classify concurrently).
+	Slots *SlotPool
+	// Observer, when non-nil, receives one ObserveRound per
+	// classification round — the serving tier's latency/throughput
+	// tap. The calls happen on the pipeline's Run goroutine, outside
+	// the reproducible kernels; implementations must not block.
+	Observer Observer
 	// SensorW/SensorH, when set, are the sensor resolution the network
 	// was built for: Run rejects any recording that declares different
 	// dimensions (a mismatched frame layout would otherwise alias into
@@ -90,6 +106,24 @@ type Options struct {
 	// first recording's dimensions are adopted and every later Run must
 	// match them.
 	SensorW, SensorH int
+}
+
+// DefaultBatch is the window-batch width used when Options.Batch is
+// unset; serve sizes its shared SlotPool with the same resolution
+// rule.
+const DefaultBatch = 4
+
+// Observer taps a pipeline's classification rounds for telemetry. One
+// round is one flush: up to Workers×Batch windows voxelized and
+// predicted across the worker pool. The latency covers the whole round
+// — including any wait for shared clone/slot pool units, which is
+// exactly the cross-session contention a serving tier wants to see —
+// but excludes upload pacing and consumer stalls, which are the
+// client's own doing.
+type Observer interface {
+	// ObserveRound reports one classification round of `windows`
+	// windows that took latencyNs wall-clock nanoseconds.
+	ObserveRound(windows int, latencyNs int64)
 }
 
 // CloneSource hands out weight-sharing evaluation clones of a served
@@ -121,13 +155,17 @@ func (o Options) withDefaults(net *snn.Network) (Options, error) {
 		o.Workers = tensor.Workers()
 	}
 	if o.Batch <= 0 {
-		o.Batch = 4
+		o.Batch = DefaultBatch
 	}
 	if o.ChunkEvents <= 0 {
 		o.ChunkEvents = 4096
 	}
 	if o.ReorderWindow < 0 {
 		o.ReorderWindow = 0
+	}
+	if o.Slots != nil && o.Slots.Batch() != o.Batch {
+		return o, fmt.Errorf("stream: shared SlotPool covers %d-window batches, pipeline wants %d",
+			o.Slots.Batch(), o.Batch)
 	}
 	return o, nil
 }
@@ -144,32 +182,20 @@ type Result struct {
 	Class int
 }
 
-// slot is one recycled in-flight window: its events (copied out of the
-// windower), its reusable frame tensors and its result fields.
+// slot is one recycled in-flight staging window: its events (copied
+// out of the windower) and its result fields. The frame tensors the
+// events voxelize into are NOT here — they live in pooled BatchSlots,
+// acquired only while a batch actually classifies. The split is
+// deliberate: event staging must be held while the session reads its
+// input (so it stays per-pipeline and cannot be pinned by a slow
+// uploader), while the far heavier frame memory is borrowed for the
+// classification instant and shared across sessions.
 type slot struct {
 	index   int
 	start   float64
 	events  []dvs.Event
 	rebased []dvs.Event // filter scratch: window-rebased timestamps
-	frames  []*tensor.Tensor
-	kept    int // events voxelized (post-filter)
-}
-
-// ensure sizes the slot's frame tensors for a (steps, 2, h, w) window,
-// reallocating only when the sensor or step count changes. The check is
-// on the full shape, not the element count: (2,8,32) and (2,16,16)
-// tensors are the same size but must not be conflated.
-func (s *slot) ensure(steps, h, w int) {
-	if len(s.frames) == steps && len(s.frames) > 0 {
-		sh := s.frames[0].Shape
-		if len(sh) == 3 && sh[0] == 2 && sh[1] == h && sh[2] == w {
-			return
-		}
-	}
-	s.frames = make([]*tensor.Tensor, steps)
-	for i := range s.frames {
-		s.frames[i] = tensor.New(2, h, w)
-	}
+	kept    int         // events voxelized (post-filter)
 }
 
 // Pipeline is a reusable streaming classifier: construct once per
@@ -179,14 +205,14 @@ func (s *slot) ensure(steps, h, w int) {
 // Pipeline is not safe for concurrent Runs; concurrent serving uses
 // one Pipeline per goroutine (clones share the trained weights).
 type Pipeline struct {
-	net     *snn.Network
-	o       Options
-	clones  []*snn.Network // one per worker; weight-sharing evaluation clones (nil with o.Clones)
-	slots   []*slot        // Workers×Batch recycled window slots
-	chunk   []dvs.Event
-	samples [][][]*tensor.Tensor // per-worker PredictBatchInto views
-	out     []int                // per-round predictions, aligned with slots
-	inc     *defense.IncrementalAQF
+	net    *snn.Network
+	o      Options
+	clones []*snn.Network // one per worker; weight-sharing evaluation clones (nil with o.Clones)
+	slots  []*slot        // Workers×Batch recycled staging windows
+	pool   *SlotPool      // frame memory: o.Slots or a private Workers-sized pool
+	chunk  []dvs.Event
+	out    []int // per-round predictions, aligned with slots
+	inc    *defense.IncrementalAQF
 
 	// classify's bound-method closure, created once so the steady-state
 	// flush does not allocate; runH/runW are the current recording's
@@ -211,15 +237,17 @@ func NewPipeline(net *snn.Network, o Options) (*Pipeline, error) {
 		return nil, err
 	}
 	p := &Pipeline{net: net, o: o}
-	p.samples = make([][][]*tensor.Tensor, o.Workers)
 	if o.Clones == nil {
 		p.clones = make([]*snn.Network, o.Workers)
-	}
-	for i := range p.samples {
-		if p.clones != nil {
+		for i := range p.clones {
 			p.clones[i] = net.CloneArchitecture()
 		}
-		p.samples[i] = make([][]*tensor.Tensor, 0, o.Batch)
+	}
+	p.pool = o.Slots
+	if p.pool == nil {
+		// Private pool: at most min(tensor.Workers(), Workers) batches
+		// classify concurrently, so Workers slots can never block.
+		p.pool = NewSlotPool(o.Workers, o.Batch)
 	}
 	p.slots = make([]*slot, o.Workers*o.Batch)
 	for i := range p.slots {
@@ -279,7 +307,6 @@ func (p *Pipeline) Run(r io.Reader, emit func(Result) error) error {
 		s := p.slots[ready]
 		s.index, s.start = idx, start
 		s.events = append(s.events[:0], evs...)
-		s.ensure(p.o.Steps, h, w)
 		ready++
 		if ready == len(p.slots) {
 			if err := p.flush(ready, emit); err != nil {
@@ -374,14 +401,19 @@ func (p *Pipeline) classify(lo, hi int) {
 }
 
 // classifyBatch filters, voxelizes and predicts one Batch-aligned slot
-// group. It is a separate frame so the pooled clone's release is
-// deferred: even a panicking classification returns the unit to the
-// shared pool instead of draining it.
+// group. It is a separate frame so the pooled units' releases are
+// deferred: even a panicking classification returns the frame slot and
+// the clone to their shared pools instead of draining them. Acquire
+// order is fixed — BatchSlot first, then clone — and uniform across
+// every session, so the two bounded pools cannot deadlock against each
+// other; both are released before flush emits any result, so a session
+// stalled on a slow consumer holds no pooled memory.
 //
 //axsnn:hotpath
 func (p *Pipeline) classifyBatch(lo, end int) {
 	h, w := p.runH, p.runW
-	wk := lo / p.o.Batch
+	bs := p.pool.AcquireSlot()
+	defer p.pool.ReleaseSlot(bs)
 	var clone *snn.Network
 	if p.o.Clones != nil {
 		// Serving mode: draw a clone from the shared bounded pool
@@ -390,10 +422,10 @@ func (p *Pipeline) classifyBatch(lo, end int) {
 		clone = p.o.Clones.AcquireClone()
 		defer p.o.Clones.ReleaseClone(clone)
 	} else {
-		clone = p.clones[wk]
+		clone = p.clones[lo/p.o.Batch]
 	}
-	samples := p.samples[wk][:0]
-	for _, s := range p.slots[lo:end] {
+	samples := bs.Samples()
+	for j, s := range p.slots[lo:end] {
 		events, start := s.events, s.start
 		if p.o.Filter != nil {
 			// Rebase the window to t=0 so the filter sees the same
@@ -408,9 +440,10 @@ func (p *Pipeline) classifyBatch(lo, end int) {
 			filtered := p.o.Filter.Filter(view)
 			events, start = filtered.Events, 0
 		}
-		dvs.VoxelizeWindowInto(s.frames, events, w, h, start, p.o.WindowMS)
+		frames := bs.Frames(j, p.o.Steps, h, w)
+		dvs.VoxelizeWindowInto(frames, events, w, h, start, p.o.WindowMS)
 		s.kept = len(events)
-		samples = append(samples, s.frames) //axsnn:allow-alloc capped at Batch; backing array preallocated at construction
+		samples = append(samples, frames) //axsnn:allow-alloc capped at Batch; backing array preallocated at pool construction
 	}
 	clone.PredictBatchInto(samples, p.out[lo:end])
 }
@@ -425,6 +458,10 @@ func (p *Pipeline) flush(ready int, emit func(Result) error) error {
 	if ready == 0 {
 		return nil
 	}
+	var t0 int64
+	if p.o.Observer != nil {
+		t0 = time.Now().UnixNano() //axsnn:allow-alloc observability clock read, once per round, outside the reproducible kernels
+	}
 	tensor.ParallelFor(ready, p.o.Batch, p.body)
 	p.panicMu.Lock()
 	perr := p.panicErr
@@ -435,6 +472,12 @@ func (p *Pipeline) flush(ready int, emit func(Result) error) error {
 		// mismatches the network's input layout) fails this run, not the
 		// process: pool worker goroutines have no recover of their own.
 		return perr
+	}
+	if p.o.Observer != nil {
+		// Observed before the emit loop: a consumer stalling emit (a
+		// credit-blocked session) must not smear the classification
+		// latency other sessions are measured against.
+		p.o.Observer.ObserveRound(ready, time.Now().UnixNano()-t0) //axsnn:allow-alloc observability clock read, once per round, outside the reproducible kernels
 	}
 	for i, s := range p.slots[:ready] {
 		r := Result{Window: s.index, StartMS: s.start, Events: s.kept, Class: p.out[i]}
