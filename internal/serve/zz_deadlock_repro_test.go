@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// Repro: session errors (bad frame from codec) while the client keeps
+// uploading past the 256KB runway. stopReader must not deadlock.
+func TestServeAbortWhileClientUploads(t *testing.T) {
+	master := testNet(8, 71)
+	srv, err := NewServer(master, ServerOptions{
+		Pipeline: stream.Options{WindowMS: 50, Steps: 8}, PoolSize: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliConn, srvConn := net.Pipe()
+	done := make(chan error, 1)
+	go func() { done <- srv.ServeConn(srvConn) }()
+
+	// Upload garbage data frames forever: the codec rejects the
+	// container early, the session aborts, the client keeps pushing.
+	go func() {
+		fw := newFrameWriter(cliConn)
+		junk := make([]byte, 32<<10)
+		for {
+			if err := fw.write(frameData, junk); err != nil {
+				return
+			}
+			if err := fw.flush(); err != nil {
+				return
+			}
+		}
+	}()
+	// Drain server->client so the error frame write doesn't block on
+	// the synchronous pipe.
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			if _, err := cliConn.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+
+	select {
+	case err := <-done:
+		t.Logf("session ended: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("deadlock: session never ended while client kept uploading")
+	}
+}
