@@ -13,6 +13,8 @@
 //	            [-perwindow] [-train 33] [-epochs 4] [-seed N]
 //	            [-metrics :7361] [-idle-timeout 2m] [-write-timeout 30s]
 //	            [-queue-timeout 0] [-result-window 256]
+//	            [-shared-batch] [-max-batch 16] [-tick-interval 0]
+//	            [-fair-share 4]
 //
 // Without -checkpoint a small gesture classifier is trained on
 // synthetic 32×32 DVS streams at startup (the same quick model
@@ -29,6 +31,12 @@
 // connections at a full server into bounded admission queueing, and
 // -result-window caps buffered undelivered results per session.
 //
+// Sessions share one continuous-batching scheduler by default: ready
+// windows from every connection coalesce into classifier batches of up
+// to -max-batch, with -fair-share capping any one session's take per
+// batch and -tick-interval optionally trading latency for fill.
+// -shared-batch=false reverts the server to per-session batching.
+//
 // Load-generator mode:
 //
 //	axsnn-serve -load [-addr host:7360] [-sessions 8] [-recordings 4]
@@ -39,8 +47,9 @@
 // multi-gesture flows on each, checks the protocol invariants (window
 // order, declared counts) and reports aggregate windows/s. Sessions
 // grant result credits per -credit-window (0 disables credit flow for
-// legacy-style streaming); with -metrics the server's metrics endpoint
-// is fetched and printed after the run.
+// legacy-style streaming); -private-batch opts every generator session
+// out of the server's shared scheduler; with -metrics the server's
+// metrics endpoint is fetched and printed after the run.
 package main
 
 import (
@@ -95,8 +104,13 @@ func main() {
 	writeTimeout := flag.Duration("write-timeout", 0, "per-frame write deadline; 0 = 30s default, negative disables")
 	queueTimeout := flag.Duration("queue-timeout", 0, "how long a connection may queue at a full server; 0 = refuse immediately")
 	resultWindow := flag.Int("result-window", 0, "undelivered results buffered per session under credit flow (0 = 256)")
+	sharedBatch := flag.Bool("shared-batch", true, "coalesce windows from all sessions into shared classifier batches")
+	maxBatch := flag.Int("max-batch", 0, "windows per shared classifier batch (0 = 16)")
+	tickInterval := flag.Duration("tick-interval", 0, "how long a shared batch accumulates before classifying (0 = greedy)")
+	fairShare := flag.Int("fair-share", 0, "max windows one session takes per shared batch (0 = max-batch/4)")
 	creditWindow := flag.Int("credit-window", 0, "result credits a -load session keeps granted (0 = 64 default, negative disables credit flow)")
 	dialTimeout := flag.Duration("dial-timeout", 0, "-load connection timeout (0 = 10s default)")
+	privateBatch := flag.Bool("private-batch", false, "-load sessions opt out of the server's shared scheduler")
 	flag.Parse()
 	tensor.SetWorkers(*workers)
 
@@ -109,6 +123,7 @@ func main() {
 			DialTimeout:  *dialTimeout,
 			IdleTimeout:  *idleTimeout,
 			WriteTimeout: *writeTimeout,
+			PrivateBatch: *privateBatch,
 		}
 		runLoad(*addr, *sessions, *recordings, *segments, gcfg, *seed, copts)
 		if *metricsAddr != "" {
@@ -145,6 +160,8 @@ func main() {
 		Pipeline: opts, MaxSessions: *sessions, PoolSize: *pool,
 		IdleTimeout: *idleTimeout, WriteTimeout: *writeTimeout,
 		QueueTimeout: *queueTimeout, ResultWindow: *resultWindow,
+		SharedBatch: serve.Bool(*sharedBatch), MaxBatch: *maxBatch,
+		TickInterval: *tickInterval, FairShare: *fairShare,
 	})
 	if err != nil {
 		log.Fatal(err)

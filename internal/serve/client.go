@@ -40,6 +40,11 @@ type ClientOptions struct {
 	// WriteTimeout bounds each outgoing frame write. 0 uses
 	// DefaultWriteTimeout, negative disables.
 	WriteTimeout time.Duration
+	// PrivateBatch opts this session out of the server's shared-batch
+	// scheduler onto a private pipeline (a frameMode frame sent ahead
+	// of the first recording). Results are bit-identical either way;
+	// this is the bit-exactness debugging escape hatch.
+	PrivateBatch bool
 }
 
 // Client speaks the serve framing protocol over one session
@@ -112,13 +117,16 @@ func (c *Client) Close() error { return c.conn.Close() }
 // ahead of the first data frame on the upload goroutine, and top-ups
 // are sent from the read loop once half the window is consumed.
 func (c *Client) Stream(recording io.Reader, emit func(stream.Result) error) (int, error) {
-	initialGrant := 0
-	if c.o.CreditWindow > 0 && !c.started {
+	initialGrant, sendMode := 0, false
+	if !c.started {
 		c.started = true
-		initialGrant = c.o.CreditWindow
+		sendMode = c.o.PrivateBatch
+		if c.o.CreditWindow > 0 {
+			initialGrant = c.o.CreditWindow
+		}
 	}
 	writeErr := make(chan error, 1)
-	go func() { writeErr <- c.send(recording, initialGrant) }()
+	go func() { writeErr <- c.send(recording, initialGrant, sendMode) }()
 
 	for {
 		typ, n, err := readHeader(c.br)
@@ -224,11 +232,18 @@ func (c *Client) writeCredit(n uint32) error {
 }
 
 // send uploads the recording as data frames and terminates it. The
-// initial credit grant (first recording of a credit session) leads the
-// upload from this goroutine: sending it synchronously from Stream
-// would deadlock a synchronous transport against a server that writes
-// before reading (e.g. the capacity refusal).
-func (c *Client) send(recording io.Reader, initialGrant int) error {
+// session-opening frames — the mode opt-out, then the initial credit
+// grant (first recording of the session) — lead the upload from this
+// goroutine: sending them synchronously from Stream would deadlock a
+// synchronous transport against a server that writes before reading
+// (e.g. the capacity refusal). The mode frame precedes the first data
+// frame, as the server's pipeline-build latch requires.
+func (c *Client) send(recording io.Reader, initialGrant int, sendMode bool) error {
+	if sendMode {
+		if err := c.writeFrame(frameMode, []byte{modePrivate}); err != nil {
+			return err
+		}
+	}
 	if initialGrant > 0 {
 		if err := c.writeCredit(uint32(initialGrant)); err != nil {
 			return err

@@ -137,9 +137,12 @@ type Metrics struct {
 // embedders; HTTP scraping goes through MetricsHandler).
 func (s *Server) Metrics() *Metrics { return &s.metrics }
 
-// ObserveRound implements stream.Observer for the server's sessions:
-// every pipeline classification round lands in the shared histogram
-// and the windows-served counter.
+// ObserveRound implements stream.Observer for the server's sessions
+// and its shared scheduler: every classification round — a private
+// pipeline's flush or a coalesced scheduler tick — lands in the shared
+// histogram and the windows-served counter. Exactly one of the two
+// observes any given window (shared sessions run with a nil pipeline
+// observer), so nothing double-counts.
 func (s *Server) ObserveRound(windows int, latencyNs int64) {
 	s.metrics.WindowsServed.Add(int64(windows))
 	s.metrics.Latency.Observe(latencyNs, int64(windows))
@@ -165,6 +168,19 @@ type MetricsSnapshot struct {
 	CreditStalls    int64 `json:"credit_stalls"`
 	ResultsBuffered int64 `json:"results_buffered"`
 
+	// Continuous-batching gauges (zero when SharedBatch is off): how
+	// full the coalesced GEMMs run, how deep the submission queue sits,
+	// and the fairness-cap high water (never above FairShare).
+	SharedBatch     bool    `json:"shared_batch"`
+	SchedTicks      int64   `json:"sched_ticks"`
+	SchedWindows    int64   `json:"sched_windows"`
+	BatchFillAvg    float64 `json:"batch_fill_avg"`
+	BatchFillHist   []int64 `json:"batch_fill_hist,omitempty"`
+	SchedQueueDepth int64   `json:"sched_queue_depth"`
+	SchedDeferrals  int64   `json:"sched_deferrals"`
+	SchedFailures   int64   `json:"sched_failures"`
+	SchedMaxPerTick int64   `json:"sched_max_per_tick"`
+
 	SlotCap       int64 `json:"slot_cap"`
 	SlotOccupancy int64 `json:"slot_occupancy"`
 	SlotHighWater int64 `json:"slot_high_water"`
@@ -185,7 +201,7 @@ func (s *Server) MetricsSnapshot() MetricsSnapshot {
 	if up > 0 {
 		wps = float64(m.WindowsServed.Load()) / up
 	}
-	return MetricsSnapshot{
+	snap := MetricsSnapshot{
 		SessionsActive:  s.active.Load(),
 		SessionsServed:  s.served.Load(),
 		SessionsRefused: m.SessionsRefused.Load(),
@@ -213,6 +229,19 @@ func (s *Server) MetricsSnapshot() MetricsSnapshot {
 		SwapGeneration: s.swaps.Load(),
 		UptimeSec:      up,
 	}
+	if s.sched != nil {
+		st := s.sched.Stats()
+		snap.SharedBatch = true
+		snap.SchedTicks = st.Ticks
+		snap.SchedWindows = st.Windows
+		snap.BatchFillAvg = st.AvgFill()
+		snap.BatchFillHist = st.Fill
+		snap.SchedQueueDepth = st.QueueDepth
+		snap.SchedDeferrals = st.Deferrals
+		snap.SchedFailures = st.Failures
+		snap.SchedMaxPerTick = st.MaxPerTick
+	}
+	return snap
 }
 
 // MetricsHandler serves MetricsSnapshot as JSON — the handler

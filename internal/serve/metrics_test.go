@@ -108,8 +108,33 @@ func TestServeMetricsEndpoint(t *testing.T) {
 	if snap.SlotCap != 1 || snap.CloneCap != 1 {
 		t.Fatalf("slot_cap=%d clone_cap=%d, want 1/1", snap.SlotCap, snap.CloneCap)
 	}
-	if snap.SlotOccupancy != 0 || snap.SlotHighWater != 1 {
-		t.Fatalf("slot occupancy=%d high_water=%d, want 0/1", snap.SlotOccupancy, snap.SlotHighWater)
+	// The session rode the default shared-batch scheduler, so frame
+	// memory lived in its entry pool — the slot pool stayed untouched —
+	// and every window must show up in the continuous-batching gauges.
+	if snap.SlotOccupancy != 0 || snap.SlotHighWater != 0 {
+		t.Fatalf("slot occupancy=%d high_water=%d, want 0/0 under shared batching", snap.SlotOccupancy, snap.SlotHighWater)
+	}
+	if !snap.SharedBatch {
+		t.Fatal("shared_batch = false, want true by default")
+	}
+	if snap.SchedWindows != int64(len(want)) || snap.SchedTicks <= 0 {
+		t.Fatalf("sched windows=%d ticks=%d, want %d windows over > 0 ticks", snap.SchedWindows, snap.SchedTicks, len(want))
+	}
+	if snap.BatchFillAvg <= 0 {
+		t.Fatalf("batch_fill_avg = %v, want > 0", snap.BatchFillAvg)
+	}
+	var filled int64
+	for n, c := range snap.BatchFillHist {
+		filled += int64(n) * c
+	}
+	if filled != snap.SchedWindows {
+		t.Fatalf("batch_fill_hist sums to %d windows, counters say %d", filled, snap.SchedWindows)
+	}
+	if snap.SchedQueueDepth != 0 {
+		t.Fatalf("sched_queue_depth = %d after drain, want 0", snap.SchedQueueDepth)
+	}
+	if fair := int64(srv.Scheduler().FairShare()); snap.SchedMaxPerTick > fair {
+		t.Fatalf("sched_max_per_tick = %d exceeds the fairness cap %d", snap.SchedMaxPerTick, fair)
 	}
 	if snap.WindowLatencyP99Ms <= 0 || snap.WindowsPerSec <= 0 || snap.UptimeSec <= 0 {
 		t.Fatalf("p99=%v windows/s=%v uptime=%v, want all positive",

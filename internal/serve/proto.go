@@ -35,6 +35,15 @@
 // at any point: mid-recording (interleaved with frameData) and between
 // recordings.
 //
+// Classification is continuously batched by default: sessions submit
+// voxelized windows to one shared stream.Scheduler that coalesces
+// ready windows from all sessions into large GEMMs and demuxes the
+// classes back per session (ServerOptions.SharedBatch). Results are
+// bit-identical to per-session batching — the batched forward is
+// per-sample exact — and a client can still opt its session onto a
+// private pipeline with a frameMode frame (modePrivate) sent before
+// its first frameData, the bit-exactness debugging escape hatch.
+//
 // Because results stream while data is still arriving, a client MUST
 // read concurrently with writing (Client.Stream does), or a fully
 // synchronous transport such as net.Pipe deadlocks. The server reads
@@ -62,10 +71,23 @@ const (
 	frameData   = 0x01 // raw AEDAT container bytes
 	frameEnd    = 0x02 // recording complete, no payload
 	frameCredit = 0x03 // grant uint32 more result credits to the server
+	frameMode   = 0x04 // session mode bits (modeSize payload, see modePrivate)
 	frameResult = 0x81 // one window result (resultSize payload)
 	frameDone   = 0x82 // all windows emitted; payload = doneSize (see below)
 	frameError  = 0x83 // fatal session error; payload = UTF-8 message
 )
+
+// modePrivate, set in a frameMode payload, opts the session out of the
+// server's shared-batch scheduler onto a private pipeline — the
+// bit-exactness debugging escape hatch (results are bit-identical
+// either way; a private pipeline isolates the session's GEMMs).
+// A frameMode must precede the session's first frameData to take
+// effect: the mode is latched when the session's pipeline is built,
+// at the first recording. Unknown bits are reserved and ignored.
+const modePrivate = 0x01
+
+// modeSize is the frameMode payload: one byte of mode bits.
+const modeSize = 1
 
 // maxFramePayload bounds a frame a peer may declare, so a corrupt or
 // hostile length prefix cannot balloon a read buffer. Data frames are
@@ -151,6 +173,19 @@ func decodeResult(p []byte) (stream.Result, error) {
 		Events:  int(binary.LittleEndian.Uint32(p[12:])),
 		Class:   int(int32(binary.LittleEndian.Uint32(p[16:]))),
 	}, nil
+}
+
+// readModePayload consumes a frameMode payload whose header was
+// already read and returns the mode bits.
+func readModePayload(br *bufio.Reader, n int) (byte, error) {
+	if n != modeSize {
+		return 0, fmt.Errorf("serve: mode frame of %d bytes, want %d", n, modeSize)
+	}
+	b, err := br.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	return b, nil
 }
 
 // readCreditPayload consumes a frameCredit payload whose header was

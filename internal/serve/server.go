@@ -56,7 +56,33 @@ type ServerOptions struct {
 	// writer); the pipeline stalls beyond it. <= 0 uses 256 — at 20
 	// bytes per staged result the worst case is ~5 KB per session.
 	ResultWindow int
+	// SharedBatch enables cross-session continuous batching: sessions
+	// submit voxelized windows to one shared stream.Scheduler that
+	// coalesces ready windows from all sessions into large GEMMs and
+	// demuxes the classes back per session. Results are bit-identical
+	// to per-session batching. nil (the zero value) and &true enable
+	// it; &false pins every session to a private pipeline. Individual
+	// clients can still opt out per session with a frameMode frame
+	// (the bit-exactness debugging escape hatch). Use Bool.
+	SharedBatch *bool
+	// MaxBatch caps how many windows one scheduler tick coalesces into
+	// a single batched classify. <= 0 uses stream.DefaultMaxBatch.
+	MaxBatch int
+	// TickInterval is how long a scheduler tick waits to fill its
+	// batch after the first ready window — trading latency for fill.
+	// 0 (the default) classifies whatever is ready immediately.
+	TickInterval time.Duration
+	// FairShare caps how many of one session's windows a single tick
+	// may take, so a saturating session cannot starve light ones.
+	// <= 0 uses max(1, MaxBatch/4).
+	FairShare int
+	// SchedQueue bounds the scheduler's submission queue (total
+	// windows staged across all sessions). <= 0 uses 2×MaxBatch.
+	SchedQueue int
 }
+
+// Bool is a *bool literal helper for ServerOptions.SharedBatch.
+func Bool(v bool) *bool { return &v }
 
 // unit is one pooled evaluation resource: a weight-sharing clone (its
 // inference arena rides inside, recycled by PredictBatchInto) tagged
@@ -87,6 +113,11 @@ type Server struct {
 	// from — sized like the clone pool, so full occupancy costs
 	// O(PoolSize × Batch × window) frames however many sessions run.
 	slots *stream.SlotPool
+
+	// sched is the shared continuous-batching classifier (nil when
+	// SharedBatch is off). Sessions default onto it; frameMode lets a
+	// client pin its session to a private pipeline instead.
+	sched *stream.Scheduler
 
 	metrics Metrics
 	start   time.Time
@@ -143,8 +174,42 @@ func NewServer(master *snn.Network, o ServerOptions) (*Server, error) {
 	if _, err := stream.NewPipeline(master, probe); err != nil {
 		return nil, err
 	}
+	if o.SharedBatch == nil || *o.SharedBatch {
+		steps := o.Pipeline.Steps
+		if steps <= 0 {
+			steps = master.Cfg.Steps
+		}
+		sched, err := stream.NewScheduler(stream.SchedulerOptions{
+			Steps:        steps,
+			MaxBatch:     o.MaxBatch,
+			Queue:        o.SchedQueue,
+			FairShare:    o.FairShare,
+			TickInterval: o.TickInterval,
+			Clones:       s,
+			Observer:     s,
+			SensorW:      o.Pipeline.SensorW,
+			SensorH:      o.Pipeline.SensorH,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Probe the shared-mode pipeline configuration too: it is what
+		// most sessions will actually build.
+		shared := o.Pipeline
+		shared.Scheduler = sched
+		if _, err := stream.NewPipeline(master, shared); err != nil {
+			sched.Close()
+			return nil, err
+		}
+		s.sched = sched
+	}
 	return s, nil
 }
+
+// Scheduler exposes the shared continuous-batching classifier — nil
+// when SharedBatch is off. Its Stats feed the metrics endpoint and the
+// fairness assertions.
+func (s *Server) Scheduler() *stream.Scheduler { return s.sched }
 
 // Slots exposes the shared frame-slot pool (occupancy and high-water
 // gauges feed the metrics endpoint and the soak assertions).
@@ -381,7 +446,7 @@ func (s *Server) serveSession(dc *deadlineConn) (err error) {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("serve: session panic: %v", p)
 		}
-		ss.stopWriter(err != nil)
+		ss.stopWriter()
 		if werr := ss.writeErr(); werr != nil && werr != errWriterStopped &&
 			(err == nil || err == errWriterStopped) {
 			err = werr
@@ -396,15 +461,12 @@ func (s *Server) serveSession(dc *deadlineConn) (err error) {
 		ss.stopReader()
 	}()
 
-	o := s.opts.Pipeline
-	o.Clones = s
-	o.Slots = s.slots
-	o.Observer = s
-	p, err := stream.NewPipeline(s.master.Load(), o)
-	if err != nil {
-		return err
-	}
-
+	// The pipeline is built lazily, at the first recording: by then the
+	// reader has processed any frameMode the client led with (frames
+	// are relayed in wire order), so the shared-vs-private choice is
+	// latched correctly. It is then reused for every recording on the
+	// session.
+	var p *stream.Pipeline
 	for {
 		more, err := ss.nextRecording()
 		if err != nil {
@@ -412,6 +474,24 @@ func (s *Server) serveSession(dc *deadlineConn) (err error) {
 		}
 		if !more {
 			return nil
+		}
+		if p == nil {
+			o := s.opts.Pipeline
+			if s.sched != nil && !ss.privateBatch.Load() {
+				// Shared batching: this session produces windows for the
+				// server-wide scheduler. The scheduler observes its own
+				// coalesced ticks — a producer-side observer would count
+				// every window twice.
+				o.Scheduler = s.sched
+			} else {
+				o.Clones = s
+				o.Slots = s.slots
+				o.Observer = s
+			}
+			p, err = stream.NewPipeline(s.master.Load(), o)
+			if err != nil {
+				return err
+			}
 		}
 		windows := uint32(0)
 		err = p.Run(ss, func(r stream.Result) error {
@@ -448,5 +528,13 @@ func (s *Server) Close() error {
 		close(s.done)
 	}
 	s.wg.Wait()
+	if first && s.sched != nil {
+		// After the session drain: an active producer round would
+		// otherwise fail with ErrSchedulerClosed instead of finishing.
+		// Sessions driven through ServeConn directly (not Serve) that
+		// are still mid-round unblock through the scheduler's stop
+		// channel rather than hanging.
+		s.sched.Close()
+	}
 	return nil
 }

@@ -85,6 +85,12 @@ type session struct {
 	creditMode atomic.Bool  // latched by the first frameCredit
 	topup      chan struct{}
 
+	// privateBatch opts the session out of the server's shared-batch
+	// scheduler (frameMode/modePrivate). Set by the reader goroutine,
+	// read by the session goroutine when it builds the pipeline at the
+	// first recording.
+	privateBatch atomic.Bool
+
 	msgs chan rmsg   // reader → session
 	free chan []byte // recycled data chunks
 
@@ -96,7 +102,7 @@ type session struct {
 	curBuf     []byte
 
 	cmds       chan wireCmd
-	quit       chan struct{} // closed on abort: unblocks a stalled writer
+	quit       chan struct{} // closed at stop: once the receive side is done no credit can arrive, so a stalled writer must not wait out the idle timeout
 	writerDone chan struct{}
 	stopped    bool // session-goroutine-only
 
@@ -153,6 +159,13 @@ func (ss *session) reader() {
 				return
 			}
 			ss.addCredits(grant)
+		case frameMode:
+			bits, merr := readModePayload(ss.br, n)
+			if merr != nil {
+				ss.msgs <- rmsg{kind: rErr, err: merr}
+				return
+			}
+			ss.privateBatch.Store(bits&modePrivate != 0)
 		case frameData:
 			for n > 0 {
 				buf := <-ss.free
@@ -284,11 +297,18 @@ func (ss *session) nextRecording() (bool, error) {
 
 // stopReader ends the reader goroutine and waits for it: closing the
 // connection unblocks a reader parked in a socket read, draining the
-// queue unblocks one parked on a full queue. Session-goroutine only,
-// after the writer has stopped and any error frame has been written.
+// queue unblocks one parked on a full queue — and the drain must
+// recycle data chunks, because a reader that exhausted the free list
+// (a client uploading past the runway while the session was aborting)
+// is parked on the free channel, where only a returned chunk can
+// reach it. Session-goroutine only, after the writer has stopped and
+// any error frame has been written.
 func (ss *session) stopReader() {
 	ss.dc.conn.Close()
-	for range ss.msgs {
+	for m := range ss.msgs {
+		if m.kind == rData {
+			ss.free <- m.buf[:cap(m.buf)]
+		}
 	}
 }
 
@@ -357,22 +377,35 @@ func (ss *session) writer() {
 			}
 			continue
 		}
-		if err := ss.awaitCredit(); err != nil {
+		if err := ss.sendResult(cmd.res, &rbuf); err != nil {
+			// The result in hand was counted into the buffered gauge at
+			// emit, will never be delivered, and is no longer in the ring
+			// for stopWriter's drain to see — account for it here or the
+			// gauge leaks one phantom result per writer that dies
+			// mid-delivery.
+			ss.srv.metrics.ResultsBuffered.Add(-1)
 			ss.setWriteErr(err)
 			return
 		}
-		rbuf = appendResult(rbuf[:0], cmd.res)
-		if err := ss.fw.write(frameResult, rbuf); err != nil {
-			ss.setWriteErr(err)
-			return
-		}
-		if err := ss.fw.flush(); err != nil {
-			ss.setWriteErr(err)
-			return
-		}
-		ss.srv.metrics.ResultsBuffered.Add(-1)
-		ss.srv.metrics.ResultsSent.Add(1)
 	}
+}
+
+// sendResult delivers one staged result: wait for a credit, frame it,
+// flush it, move it from the buffered gauge to the sent counter.
+func (ss *session) sendResult(r stream.Result, rbuf *[]byte) error {
+	if err := ss.awaitCredit(); err != nil {
+		return err
+	}
+	*rbuf = appendResult((*rbuf)[:0], r)
+	if err := ss.fw.write(frameResult, *rbuf); err != nil {
+		return err
+	}
+	if err := ss.fw.flush(); err != nil {
+		return err
+	}
+	ss.srv.metrics.ResultsBuffered.Add(-1)
+	ss.srv.metrics.ResultsSent.Add(1)
+	return nil
 }
 
 // awaitCredit consumes one result credit, waiting for a top-up when
@@ -391,6 +424,13 @@ func (ss *session) awaitCredit() error {
 			continue
 		}
 		ss.srv.metrics.CreditStalls.Add(1)
+		// A grant that raced past the credit check wins over the quit
+		// signal: results that can still be delivered are delivered.
+		select {
+		case <-ss.topup:
+			continue
+		default:
+		}
 		var timeout <-chan time.Time
 		var t *time.Timer
 		if idle := ss.srv.opts.IdleTimeout; idle > 0 {
@@ -418,19 +458,31 @@ func stopTimer(t *time.Timer) {
 	}
 }
 
-// stopWriter ends the writer goroutine and waits for it. Graceful stop
-// lets the writer drain every staged result; abort (session error)
-// releases it immediately, even mid-stall. Session-goroutine only.
-func (ss *session) stopWriter(abort bool) {
+// stopWriter ends the writer goroutine and waits for it. The writer
+// keeps draining staged results while credits last, but a *stalled*
+// writer is released immediately: stopWriter only runs once the
+// session's receive side is done (clean EOF or error), after which no
+// credit top-up can ever arrive — waiting out the idle timeout on a
+// dead connection would just pin the session slot. Session-goroutine
+// only.
+func (ss *session) stopWriter() {
 	if ss.stopped {
 		return
 	}
 	ss.stopped = true
-	if abort {
-		close(ss.quit)
-	}
+	close(ss.quit)
 	close(ss.cmds)
 	<-ss.writerDone
+	// The writer can exit early — a write error, a reaped credit stall,
+	// the abort itself — leaving staged results in the closed ring it
+	// never drained. They were counted into the buffered gauge at emit,
+	// so they must come off it here or the gauge leaks one session's
+	// ring worth of phantom results forever.
+	for cmd := range ss.cmds {
+		if !cmd.done {
+			ss.srv.metrics.ResultsBuffered.Add(-1)
+		}
+	}
 }
 
 func (ss *session) setWriteErr(err error) {

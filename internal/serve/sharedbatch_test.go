@@ -1,0 +1,343 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/defense"
+	"repro/internal/dvs"
+	"repro/internal/stream"
+	"repro/internal/tensor"
+)
+
+// TestServeSharedMatchesPrivate is the serve-tier half of the
+// continuous-batching equivalence gate: sessions riding the shared
+// scheduler and sessions opted out onto private pipelines run
+// concurrently against one server — plain and AQF-filtered pipeline
+// shapes — and every one of them must stream results bit-identical to
+// the standalone reference. The scheduler's counters must account for
+// exactly the shared sessions' windows, no more and no fewer.
+func TestServeSharedMatchesPrivate(t *testing.T) {
+	defer tensor.SetWorkers(0)
+	tensor.SetWorkers(2)
+	aqf := defense.DefaultAQFParams(0.01)
+	configs := []struct {
+		name string
+		o    stream.Options
+	}{
+		{"plain", stream.Options{WindowMS: 45, Steps: 4, Batch: 2, ChunkEvents: 64}},
+		{"aqf", stream.Options{WindowMS: 50, Steps: 4, Batch: 3, ChunkEvents: 48, AQF: &aqf}},
+	}
+	for _, cfg := range configs {
+		t.Run(cfg.name, func(t *testing.T) {
+			master := testNet(4, 61)
+			srv, err := NewServer(master, ServerOptions{
+				Pipeline: cfg.o, MaxSessions: 6, PoolSize: 2, MaxBatch: 4,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const sessions = 6 // even indices shared, odd opted out
+			type job struct {
+				data []byte
+				want []stream.Result
+			}
+			jobs := make([][]job, sessions)
+			sharedWant := 0
+			for i := range jobs {
+				jobs[i] = make([]job, 2)
+				for r := range jobs[i] {
+					data := testRecording(t, (i+r)%dvs.GestureClasses, 220, uint64(500+10*i+r))
+					jobs[i][r] = job{data: data, want: standalone(t, master, data, cfg.o)}
+					if i%2 == 0 {
+						sharedWant += len(jobs[i][r].want)
+					}
+				}
+			}
+			var wg sync.WaitGroup
+			errs := make(chan error, sessions)
+			for i := 0; i < sessions; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					cl, done := startSessionOptions(srv, ClientOptions{PrivateBatch: i%2 == 1})
+					defer cl.Close()
+					for r, j := range jobs[i] {
+						var got []stream.Result
+						if _, err := cl.Stream(bytes.NewReader(j.data), func(res stream.Result) error {
+							got = append(got, res)
+							return nil
+						}); err != nil {
+							errs <- fmt.Errorf("session %d recording %d: %w", i, r, err)
+							return
+						}
+						if len(got) != len(j.want) {
+							errs <- fmt.Errorf("session %d recording %d: %d results, want %d", i, r, len(got), len(j.want))
+							return
+						}
+						for k := range j.want {
+							if got[k] != j.want[k] {
+								errs <- fmt.Errorf("session %d recording %d: result %d = %+v, want %+v",
+									i, r, k, got[k], j.want[k])
+								return
+							}
+						}
+					}
+					cl.Close()
+					<-done
+				}(i)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+			st := srv.Scheduler().Stats()
+			if st.Windows != int64(sharedWant) {
+				t.Fatalf("scheduler classified %d windows; the shared sessions streamed %d (opted-out windows must not ride it)",
+					st.Windows, sharedWant)
+			}
+			if fair := int64(srv.Scheduler().FairShare()); st.MaxPerTick > fair {
+				t.Fatalf("one session took %d windows in a tick, fairness cap is %d", st.MaxPerTick, fair)
+			}
+			if st.Failures != 0 {
+				t.Fatalf("%d scheduler failures during a clean run", st.Failures)
+			}
+		})
+	}
+}
+
+// TestServeSharedOptOut pins the escape hatch by itself: a PrivateBatch
+// client on a shared-default server gets exact results from a private
+// pipeline — the scheduler sees zero traffic, the slot pool sees all
+// of it.
+func TestServeSharedOptOut(t *testing.T) {
+	defer tensor.SetWorkers(0)
+	tensor.SetWorkers(1)
+	master := testNet(4, 61)
+	o := stream.Options{WindowMS: 45, Steps: 4, Batch: 2, ChunkEvents: 64}
+	srv, err := NewServer(master, ServerOptions{Pipeline: o, MaxSessions: 2, PoolSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := testRecording(t, 2, 300, 37)
+	want := standalone(t, master, data, o)
+
+	cl, done := startSessionOptions(srv, ClientOptions{PrivateBatch: true})
+	defer cl.Close()
+	var got []stream.Result
+	if _, err := cl.Stream(bytes.NewReader(data), func(r stream.Result) error {
+		got = append(got, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	<-done
+	assertResults(t, "opted-out session", want, got)
+	if st := srv.Scheduler().Stats(); st.Windows != 0 || st.Ticks != 0 {
+		t.Fatalf("scheduler saw %d windows over %d ticks from an opted-out session, want none", st.Windows, st.Ticks)
+	}
+	if hw := srv.Slots().HighWater(); hw < 1 {
+		t.Fatalf("slot high water = %d: the opted-out session did not ride the private slot pool", hw)
+	}
+}
+
+// TestServeSharedStarvation is the fairness soak: one heavy session
+// with a deep backlog (round width 4 against FairShare 1) shares the
+// scheduler with three light sessions. The cap must hold — no tick
+// gives any session more than FairShare windows — deferrals must
+// actually happen, and every session, heavy included, still gets exact
+// results. (go test -race runs this in CI's race job.)
+func TestServeSharedStarvation(t *testing.T) {
+	defer tensor.SetWorkers(0)
+	tensor.SetWorkers(2)
+	master := testNet(4, 61)
+	o := stream.Options{WindowMS: 40, Steps: 4, Batch: 4, ChunkEvents: 48}
+	srv, err := NewServer(master, ServerOptions{
+		Pipeline: o, MaxSessions: 4, PoolSize: 2,
+		MaxBatch: 2, FairShare: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy := testRecording(t, 1, 1200, 83) // ~30 windows, 4 in flight at a time
+	light := testRecording(t, 2, 160, 84)  // ~4 windows
+	heavyWant := standalone(t, master, heavy, o)
+	lightWant := standalone(t, master, light, o)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	run := func(name string, data []byte, want []stream.Result, repeats int) {
+		defer wg.Done()
+		cl, done := startSession(srv)
+		defer cl.Close()
+		for rec := 0; rec < repeats; rec++ {
+			var got []stream.Result
+			if _, err := cl.Stream(bytes.NewReader(data), func(r stream.Result) error {
+				got = append(got, r)
+				return nil
+			}); err != nil {
+				errs <- fmt.Errorf("%s recording %d: %w", name, rec, err)
+				return
+			}
+			if len(got) != len(want) {
+				errs <- fmt.Errorf("%s recording %d: %d results, want %d", name, rec, len(got), len(want))
+				return
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					errs <- fmt.Errorf("%s recording %d: result %d = %+v, want %+v", name, rec, k, got[k], want[k])
+					return
+				}
+			}
+		}
+		cl.Close()
+		<-done
+	}
+	wg.Add(4)
+	go run("heavy", heavy, heavyWant, 2)
+	for i := 0; i < 3; i++ {
+		go run(fmt.Sprintf("light-%d", i), light, lightWant, 4)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := srv.Scheduler().Stats()
+	if st.MaxPerTick > 1 {
+		t.Fatalf("a session got %d windows in one tick; FairShare=1 must cap it at 1", st.MaxPerTick)
+	}
+	if st.Deferrals == 0 {
+		t.Fatal("a 4-wide round against FairShare=1 produced no deferrals; the test did not exercise the cap")
+	}
+	if st.QueueDepth != 0 {
+		t.Fatalf("queue depth %d after every session drained, want 0", st.QueueDepth)
+	}
+}
+
+// TestServeSharedCreditInterleave is the satellite regression for
+// frame-done accounting when windows complete across tick boundaries:
+// tiny credit and result windows (2 each) against FairShare 1 and
+// MaxBatch 2 force every session's rounds to interleave with other
+// sessions' ticks and with its own credit top-ups. Window order, done
+// counts and the client/server credit resync must all survive several
+// recordings back to back, and nothing may stay buffered at the end.
+// (go test -race runs this in CI's race job.)
+func TestServeSharedCreditInterleave(t *testing.T) {
+	defer tensor.SetWorkers(0)
+	tensor.SetWorkers(2)
+	master := testNet(4, 61)
+	o := stream.Options{WindowMS: 40, Steps: 4, Batch: 4, ChunkEvents: 48}
+	srv, err := NewServer(master, ServerOptions{
+		Pipeline: o, MaxSessions: 3, PoolSize: 2,
+		MaxBatch: 2, FairShare: 1, ResultWindow: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := testRecording(t, 3, 600, 71)
+	want := standalone(t, master, data, o)
+	if len(want) < 8 {
+		t.Fatalf("recording yields %d windows; need a multiple of the 2-credit window to interleave", len(want))
+	}
+
+	const sessions = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl, done := startSessionOptions(srv, ClientOptions{CreditWindow: 2})
+			defer cl.Close()
+			for rec := 0; rec < 3; rec++ {
+				next := 0
+				n, err := cl.Stream(bytes.NewReader(data), func(r stream.Result) error {
+					if r.Window != next {
+						return fmt.Errorf("window %d delivered out of order (want %d)", r.Window, next)
+					}
+					if r != want[next] {
+						return fmt.Errorf("window %d = %+v, want %+v", next, r, want[next])
+					}
+					next++
+					return nil
+				})
+				if err != nil {
+					errs <- fmt.Errorf("session %d recording %d: %w", i, rec, err)
+					return
+				}
+				if n != len(want) || next != len(want) {
+					errs <- fmt.Errorf("session %d recording %d: declared %d, delivered %d, want %d",
+						i, rec, n, next, len(want))
+					return
+				}
+			}
+			cl.Close()
+			<-done
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	m := srv.Metrics()
+	if b := m.ResultsBuffered.Load(); b != 0 {
+		t.Fatalf("%d results still buffered after every session drained", b)
+	}
+	if st := srv.Scheduler().Stats(); st.Deferrals == 0 {
+		t.Fatal("no deferrals: the credit interleave never crossed a tick boundary")
+	}
+	if n := srv.ActiveSessions(); n != 0 {
+		t.Fatalf("%d sessions still active after drain", n)
+	}
+}
+
+// TestServeSharedAbortDrainsBufferedGauge is the gauge-leak regression:
+// a 1-credit client that consumes one result and then dies leaves the
+// session with staged, undeliverable results. Aborting the session
+// must hand every one of them back to the ResultsBuffered gauge — a
+// server that leaks the gauge here reports phantom buffered results
+// forever.
+func TestServeSharedAbortDrainsBufferedGauge(t *testing.T) {
+	defer tensor.SetWorkers(0)
+	tensor.SetWorkers(1)
+	master := testNet(4, 61)
+	o := stream.Options{WindowMS: 40, Steps: 4, Batch: 2, ChunkEvents: 48}
+	srv, err := NewServer(master, ServerOptions{Pipeline: o, MaxSessions: 1, PoolSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := testRecording(t, 1, 500, 57)
+	if want := standalone(t, master, data, o); len(want) < 4 {
+		t.Fatalf("recording yields %d windows; need enough to stay staged past 1 credit", len(want))
+	}
+
+	cl, done := startSessionOptions(srv, ClientOptions{CreditWindow: 1})
+	defer cl.Close()
+	seen := 0
+	_, err = cl.Stream(bytes.NewReader(data), func(stream.Result) error {
+		seen++
+		return fmt.Errorf("consumer died")
+	})
+	if err == nil {
+		t.Fatal("Stream returned nil after the emit callback failed")
+	}
+	if seen != 1 {
+		t.Fatalf("consumer saw %d results before dying, want 1", seen)
+	}
+	cl.Close()
+	<-done
+	if n := srv.ActiveSessions(); n != 0 {
+		t.Fatalf("%d sessions still active after the abort", n)
+	}
+	if b := srv.Metrics().ResultsBuffered.Load(); b != 0 {
+		t.Fatalf("results_buffered = %d after the aborted session tore down, want 0 (gauge leak)", b)
+	}
+}

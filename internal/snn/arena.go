@@ -114,15 +114,24 @@ func (s *Scratch) entry(layer, slot int) *scratchEntry {
 	return e
 }
 
-// sized returns the entry with a data buffer of exactly n elements,
-// reallocating only when the size changes (a shape change, e.g. a new
-// batch size).
+// sized returns the entry with a data buffer of exactly n elements.
+// Reuse is capacity-based: the buffer reallocates only when n exceeds
+// the largest size the slot has ever held and shrinks by reslicing —
+// so a caller whose batch width varies pass to pass (the serve tier's
+// shared scheduler coalesces whatever windows are ready: 16, 3, 7, …)
+// settles at the high-water size and then never allocates again.
 func (s *Scratch) sized(layer, slot, n int) *scratchEntry {
 	e := s.entry(layer, slot)
-	if e.t == nil || len(e.t.Data) != n {
-		e.t = &tensor.Tensor{Data: make([]float32, n)} //axsnn:allow-alloc reallocates only when the slot size changes (new shape or batch)
+	switch {
+	case e.t == nil || cap(e.t.Data) < n:
+		e.t = &tensor.Tensor{Data: make([]float32, n)} //axsnn:allow-alloc grows only past the slot's high-water capacity (a larger shape or batch); smaller sizes reslice
+	case len(e.t.Data) != n:
+		// Reslicing can expose stale values a larger pass left beyond
+		// the previous length. Working buffers are overwritten by
+		// contract (see buf1..4); state buffers must open the pass at
+		// zero, and begin() only zeroed the previous length.
+		e.t.Data = e.t.Data[:n]
 		if e.state {
-			// A resized state buffer is fresh (zero) by construction.
 			e.t.Zero()
 		}
 	}

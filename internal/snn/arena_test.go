@@ -214,6 +214,44 @@ func TestPredictBatchIntoZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestPredictBatchIntoVariableBatchZeroAllocs pins the capacity-based
+// arena reuse the shared-batch scheduler depends on: once an arena has
+// seen its high-water batch, every *smaller* batch must reslice the
+// same buffers — zero allocations — and still classify each sample
+// exactly as the per-sample path does (a shorter batch reslices state
+// buffers over memory a larger pass dirtied, so this doubles as the
+// stale-state regression).
+func TestPredictBatchIntoVariableBatchZeroAllocs(t *testing.T) {
+	tensor.SetWorkers(1)
+	defer tensor.SetWorkers(0)
+	for _, tc := range arenaCases() {
+		r := rng.New(21)
+		samples := make([][]*tensor.Tensor, 8)
+		for b := range samples {
+			samples[b] = spikeFrames(r, tc.net.Cfg.Steps, tc.shape)
+		}
+		out := make([]int, len(samples))
+		tc.net.PredictBatchInto(samples, out) // high-water warm at batch 8
+		for _, batch := range []int{3, 5, 1, 8, 7} {
+			sub, subOut := samples[:batch], out[:batch]
+			avg := testing.AllocsPerRun(10, func() { tc.net.PredictBatchInto(sub, subOut) })
+			if avg != 0 {
+				t.Errorf("%s: batch %d after a warm batch 8 allocates %.1f objects/op, want 0 (capacity reuse)",
+					tc.name, batch, avg)
+			}
+			for b := 0; b < batch; b++ {
+				if want := tc.net.Predict(samples[b]); subOut[b] != want {
+					t.Fatalf("%s: batch %d sample %d classified %d, want %d (resliced arena must stay exact)",
+						tc.name, batch, b, subOut[b], want)
+				}
+			}
+			// Re-warm at the high water so Predict's batch-1 pass above
+			// doesn't define the next iteration's length transition.
+			tc.net.PredictBatchInto(samples, out)
+		}
+	}
+}
+
 // TestPredictScratchReuse exercises a caller-held arena across many
 // predictions, the long-evaluation-loop pattern.
 func TestPredictScratchReuse(t *testing.T) {
