@@ -65,15 +65,17 @@ bench:
 bench-json:
 	$(GO) test -run '^$$' -bench 'Predict|NeuromorphicPerturbSet|AQFFilterSet|SNNInference|TrainStep|GEMM|Stream|Scheduler|Serve|IncrementalAQF' \
 		-benchtime=$(BENCHTIME) . ./internal/stream ./internal/serve > bench.txt
-	$(GO) run ./cmd/benchjson -zeroalloc '^Benchmark(Predict|TrainStep|StreamWindow|SchedulerTick/fill=[0-9]+|ServeWindow|ServeCreditWindow)$$' < bench.txt > BENCH_pr8.json
+	$(GO) run ./cmd/benchjson -zeroalloc '^Benchmark(Predict(Int8)?|TrainStep|StreamWindow|SchedulerTick/fill=[0-9]+|ServeWindow|ServeCreditWindow)$$' < bench.txt > BENCH_pr9.json
 
 # Short coverage-guided runs of the fuzz targets — the event codec's
-# oracle contracts and the incremental AQF's bit-identity to the
-# whole-stream filter. Fails fast on the first failing target.
+# oracle contracts, the incremental AQF's bit-identity to the
+# whole-stream filter, and the serve framing layer against hostile
+# client byte streams. Fails fast on the first failing target.
 fuzz-smoke:
 	@set -e; \
 	for spec in "./internal/dvs FuzzStreamReader" "./internal/dvs FuzzStreamRoundTrip" \
-		"./internal/dvs FuzzReadAEDAT" "./internal/defense FuzzIncrementalAQF"; do \
+		"./internal/dvs FuzzReadAEDAT" "./internal/defense FuzzIncrementalAQF" \
+		"./internal/serve FuzzServeFraming"; do \
 		set -- $$spec; \
 		echo "== $$2 ($$1)"; \
 		$(GO) test $$1 -run '^$$' -fuzz "^$$2$$" -fuzztime $(FUZZTIME) || { echo "FUZZ FAILURE: $$2 in $$1"; exit 1; }; \

@@ -348,6 +348,37 @@ func BenchmarkPredict(b *testing.B) {
 	}
 }
 
+// BenchmarkPredictInt8 measures the same steady-state inference hot
+// path through the quantized INT8 tier: per-channel int8 weight panels
+// (built cold, before the timer), int32 accumulation, float32 epilogue.
+// Runs in deterministic serial mode so allocs/op stays 0 — the parallel
+// int8 kernel allocates per-block scratch, exactly like the parallel
+// paths the other gated benchmarks pin out. CI's zero-alloc and ns/op
+// gates cover this benchmark; compare against BenchmarkPredict for the
+// quantization speedup on this topology.
+func BenchmarkPredictInt8(b *testing.B) {
+	tensor.SetWorkers(1)
+	defer tensor.SetWorkers(0)
+	r := rng.New(1)
+	cfg := snn.DefaultConfig(0.5, 8)
+	net := snn.MNISTNet(cfg, 1, 16, 16, true, r)
+	if err := net.BuildInt8Panels(); err != nil {
+		b.Fatal(err)
+	}
+	if err := net.SetTier(snn.TierINT8); err != nil {
+		b.Fatal(err)
+	}
+	dcfg := dataset.DefaultSynthConfig()
+	img := dataset.RenderDigit(3, dcfg, r)
+	frames := encoding.Rate{}.Encode(img, cfg.Steps, r)
+	net.Predict(frames) // warm the arena
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = net.Predict(frames)
+	}
+}
+
 // BenchmarkPredictFresh is the pre-arena baseline: the same inference
 // through the allocating Forward path.
 func BenchmarkPredictFresh(b *testing.B) {

@@ -41,14 +41,16 @@
 //
 //	axsnn-serve -load [-addr host:7360] [-sessions 8] [-recordings 4]
 //	            [-segments 6] [-window 600] [-seed N] [-credit-window 64]
-//	            [-dial-timeout 10s] [-metrics host:7361]
+//	            [-dial-timeout 10s] [-int8] [-metrics host:7361]
 //
 // Opens -sessions concurrent sessions, streams -recordings synthetic
 // multi-gesture flows on each, checks the protocol invariants (window
 // order, declared counts) and reports aggregate windows/s. Sessions
 // grant result credits per -credit-window (0 disables credit flow for
 // legacy-style streaming); -private-batch opts every generator session
-// out of the server's shared scheduler; with -metrics the server's
+// out of the server's shared scheduler; -int8 requests the quantized
+// INT8 precision tier on every session (the server rejects it if the
+// served model carries no int8 panels); with -metrics the server's
 // metrics endpoint is fetched and printed after the run.
 package main
 
@@ -111,6 +113,7 @@ func main() {
 	creditWindow := flag.Int("credit-window", 0, "result credits a -load session keeps granted (0 = 64 default, negative disables credit flow)")
 	dialTimeout := flag.Duration("dial-timeout", 0, "-load connection timeout (0 = 10s default)")
 	privateBatch := flag.Bool("private-batch", false, "-load sessions opt out of the server's shared scheduler")
+	int8Tier := flag.Bool("int8", false, "-load sessions request the quantized INT8 precision tier")
 	flag.Parse()
 	tensor.SetWorkers(*workers)
 
@@ -124,6 +127,7 @@ func main() {
 			IdleTimeout:  *idleTimeout,
 			WriteTimeout: *writeTimeout,
 			PrivateBatch: *privateBatch,
+			Int8:         *int8Tier,
 		}
 		runLoad(*addr, *sessions, *recordings, *segments, gcfg, *seed, copts)
 		if *metricsAddr != "" {

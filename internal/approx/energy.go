@@ -1,8 +1,6 @@
 package approx
 
 import (
-	"math"
-
 	"repro/internal/snn"
 	"repro/internal/tensor"
 )
@@ -26,37 +24,51 @@ func (e EnergyReport) TotalEnergyJ() float64 { return e.SOPs * e.EnergyPerSOpJ }
 
 // Savings returns PossibleSOPs/SOPs, the energy-efficiency factor versus
 // the accurate network (1.0 = no saving). A fully pruned network that
-// performs no synaptic work at all reports +Inf.
+// performs no synaptic work at all clamps to PossibleSOPs — the factor
+// as if a single SOP remained — so the value stays finite: the old +Inf
+// broke encoding/json, which rejects infinities. FullyPruned reports
+// whether the clamp fired.
 func (e EnergyReport) Savings() float64 {
 	if e.SOPs == 0 {
 		if e.PossibleSOPs == 0 {
 			return 1
 		}
-		return math.Inf(1)
+		return e.PossibleSOPs
 	}
 	return e.PossibleSOPs / e.SOPs
 }
+
+// FullyPruned reports whether the network performed no synaptic work at
+// all while an unpruned one would have — the case Savings clamps.
+func (e EnergyReport) FullyPruned() bool { return e.SOPs == 0 && e.PossibleSOPs > 0 }
 
 // defaultEnergyPerSOp is a representative 45 nm digital synaptic-op
 // energy (≈ one 32-bit MAC), used only to express results in joules.
 const defaultEnergyPerSOp = 3.2e-12
 
-// MeasureEnergy runs the network over the workload counting SOPs. For
-// each weighted layer, every incoming spike costs one SOP per live
-// (unpruned) synapse it fans into; the accurate baseline pays fan-out on
-// every synapse. Spiking activity is taken from the actual run, so the
-// two counts share one activity profile.
-func MeasureEnergy(net *snn.Network, workload [][]*tensor.Tensor) EnergyReport {
-	rep := EnergyReport{Samples: len(workload), EnergyPerSOpJ: defaultEnergyPerSOp}
+// energyLayer is one weighted layer's synaptic profile: live and total
+// synapses reached per unit of input activity.
+type energyLayer struct {
+	fanOut  float64 // live synapses per input unit
+	fullFan float64 // total synapses per input unit
+}
 
-	// Per-layer live-synapse fraction and fan-out.
-	type wl struct {
-		liveFrac float64
-		fanOut   float64 // live synapses per input unit
-		fullFan  float64 // total synapses per input unit
-		inLen    int
-	}
-	var weighted []wl
+// EnergyModel is the per-layer synaptic profile of a network, built
+// once (cold) so SOP accounting can run per inference batch without
+// re-scanning the prune masks. The profile depends only on geometry and
+// masks, which weight-sharing clones share — one model serves every
+// clone of the network it was built from. Rebuild after re-pruning or
+// a hot swap.
+type EnergyModel struct {
+	layers []energyLayer
+	// EnergyPerSOpJ converts SOPs to joules (defaultEnergyPerSOp).
+	EnergyPerSOpJ float64
+}
+
+// NewEnergyModel scans the network's weighted layers and masks into a
+// reusable SOP-accounting model.
+func NewEnergyModel(net *snn.Network) *EnergyModel {
+	m := &EnergyModel{EnergyPerSOpJ: defaultEnergyPerSOp}
 	for _, l := range net.Layers {
 		switch v := l.(type) {
 		case *snn.Conv2D:
@@ -64,8 +76,8 @@ func MeasureEnergy(net *snn.Network, workload [][]*tensor.Tensor) EnergyReport {
 			live := total
 			if v.Mask != nil {
 				live = 0
-				for _, m := range v.Mask.Data {
-					if m != 0 {
+				for _, mk := range v.Mask.Data {
+					if mk != 0 {
 						live++
 					}
 				}
@@ -74,68 +86,89 @@ func MeasureEnergy(net *snn.Network, workload [][]*tensor.Tensor) EnergyReport {
 			// Each input unit participates in ~K²·OutC/stride² taps; use
 			// exact total synapse count × output positions / input size.
 			positions := float64(v.Geom.OutH() * v.Geom.OutW())
-			weighted = append(weighted, wl{
-				liveFrac: float64(live) / float64(total),
-				fanOut:   float64(live) * positions / float64(inLen),
-				fullFan:  float64(total) * positions / float64(inLen),
-				inLen:    inLen,
+			m.layers = append(m.layers, energyLayer{
+				fanOut:  float64(live) * positions / float64(inLen),
+				fullFan: float64(total) * positions / float64(inLen),
 			})
 		case *snn.Dense:
 			total := v.W.Len()
 			live := total
 			if v.Mask != nil {
 				live = 0
-				for _, m := range v.Mask.Data {
-					if m != 0 {
+				for _, mk := range v.Mask.Data {
+					if mk != 0 {
 						live++
 					}
 				}
 			}
-			weighted = append(weighted, wl{
-				liveFrac: float64(live) / float64(total),
-				fanOut:   float64(live) / float64(v.In),
-				fullFan:  float64(total) / float64(v.In),
-				inLen:    v.In,
+			m.layers = append(m.layers, energyLayer{
+				fanOut:  float64(live) / float64(v.In),
+				fullFan: float64(total) / float64(v.In),
 			})
 		}
 	}
+	return m
+}
 
-	// Measure per-layer input spike counts by instrumenting a run: we
-	// re-run the network and read LIF statistics, attributing each
-	// weighted layer's input activity to the spike counts of the LIF
-	// (or raw input) that feeds it.
-	snn.Calibrate(net, workload)
-
-	// Input activity per weighted layer: walk the layer list tracking
-	// the most recent spike source. The first weighted layer sees the
-	// raw input frames; later ones see the preceding LIF's output.
+// BatchSOPs attributes the inference work net just performed: the
+// caller resets spike statistics (net.ResetStats) before the pass and
+// supplies the total input activity (sum of input frame values over the
+// whole batch and all steps) plus the batch size. Each weighted layer's
+// input activity is the raw input for the first and the preceding LIF's
+// accumulated spikes for the rest (LIF statistics are per-sample
+// averages, hence the batch multiplier). Returns performed and
+// unpruned-baseline SOP counts. Allocation-free: safe on the serve
+// scheduler's per-tick path.
+func (m *EnergyModel) BatchSOPs(net *snn.Network, inputSum float64, batch int) (sops, possible float64) {
+	if batch <= 0 {
+		batch = 1
+	}
 	wi := 0
 	var prevLIF *snn.LIF
-	inputSpikes := func() float64 {
-		if prevLIF == nil {
-			// Raw input: count active input units over the workload.
-			total := 0.0
-			for _, frames := range workload {
-				for t := 0; t < net.Cfg.Steps; t++ {
-					f := frames[minInt(t, len(frames)-1)]
-					total += f.Sum()
-				}
-			}
-			return total
-		}
-		return prevLIF.StatSpikes
-	}
 	for _, l := range net.Layers {
-		switch l.(type) {
+		switch v := l.(type) {
 		case *snn.Conv2D, *snn.Dense:
-			sp := inputSpikes()
-			rep.SOPs += sp * weighted[wi].fanOut
-			rep.PossibleSOPs += sp * weighted[wi].fullFan
+			if wi >= len(m.layers) {
+				return sops, possible // model built from a different stack
+			}
+			sp := inputSum
+			if prevLIF != nil {
+				sp = prevLIF.StatSpikes * float64(batch)
+			}
+			sops += sp * m.layers[wi].fanOut
+			possible += sp * m.layers[wi].fullFan
 			wi++
 		case *snn.LIF:
-			prevLIF = l.(*snn.LIF)
+			prevLIF = v
 		}
 	}
+	return sops, possible
+}
+
+// MeasureEnergy runs the network over the workload counting SOPs. For
+// each weighted layer, every incoming spike costs one SOP per live
+// (unpruned) synapse it fans into; the accurate baseline pays fan-out on
+// every synapse. Spiking activity is taken from the actual run, so the
+// two counts share one activity profile.
+func MeasureEnergy(net *snn.Network, workload [][]*tensor.Tensor) EnergyReport {
+	rep := EnergyReport{Samples: len(workload), EnergyPerSOpJ: defaultEnergyPerSOp}
+	m := NewEnergyModel(net)
+
+	// Instrument a run: Calibrate resets and repopulates LIF statistics,
+	// then the model attributes each weighted layer's input activity.
+	snn.Calibrate(net, workload)
+
+	// Raw input activity: active input units over the workload.
+	inputSum := 0.0
+	for _, frames := range workload {
+		for t := 0; t < net.Cfg.Steps; t++ {
+			f := frames[minInt(t, len(frames)-1)]
+			inputSum += f.Sum()
+		}
+	}
+	// Calibrate runs per-sample (batch 1), so LIF statistics already
+	// total the whole workload.
+	rep.SOPs, rep.PossibleSOPs = m.BatchSOPs(net, inputSum, 1)
 	return rep
 }
 

@@ -52,6 +52,7 @@ var Registry = map[string]Runner{
 	"ablation-uap":      AblationUAP,
 	"hw-mapping":        HWMapping,
 	"stream-eval":       StreamEval,
+	"precision-tiers":   PrecisionTiers,
 }
 
 // IDs returns the registry keys in stable order.

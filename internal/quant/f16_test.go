@@ -1,0 +1,108 @@
+package quant
+
+import (
+	"math"
+	"testing"
+)
+
+// Every one of the 65,536 binary16 bit patterns must survive the
+// F16ToF32 → F32ToF16 round trip: a half is exactly representable as a
+// float32, so converting it up and back must reproduce the original
+// bits. NaNs keep their NaN-ness (the codec canonicalizes the payload
+// to a quiet NaN, so bits may differ; sign is preserved).
+func TestF16ExhaustiveRoundTrip(t *testing.T) {
+	for i := 0; i <= 0xffff; i++ {
+		h := uint16(i)
+		f := F16ToF32(h)
+		back := F32ToF16(f)
+		if h&0x7c00 == 0x7c00 && h&0x3ff != 0 { // NaN
+			if back&0x7c00 != 0x7c00 || back&0x3ff == 0 {
+				t.Fatalf("NaN 0x%04x round-tripped to non-NaN 0x%04x", h, back)
+			}
+			if back&0x8000 != h&0x8000 {
+				t.Fatalf("NaN 0x%04x lost its sign: 0x%04x", h, back)
+			}
+			continue
+		}
+		if back != h {
+			t.Fatalf("0x%04x -> %v -> 0x%04x", h, f, back)
+		}
+	}
+}
+
+// Round-to-nearest-even at the normal-precision boundary: a float32
+// exactly halfway between two halves must round to the half with an
+// even mantissa, and anything past halfway must round up.
+func TestF16RoundToNearestEvenNormals(t *testing.T) {
+	for i := 0; i < 0x7bff; i++ { // every finite half except the max
+		h := uint16(i)
+		if h&0x7c00 == 0 {
+			continue // subnormals covered below
+		}
+		lo := F16ToF32(h)
+		hi := F16ToF32(h + 1)
+		mid := float64(lo) + (float64(hi)-float64(lo))/2
+		got := F32ToF16(float32(mid))
+		want := h
+		if h&1 == 1 { // odd mantissa: ties round away to the even neighbor
+			want = h + 1
+		}
+		if got != want {
+			t.Fatalf("midpoint of 0x%04x/0x%04x rounds to 0x%04x, want 0x%04x", h, h+1, got, want)
+		}
+		// Just past halfway must round up. Nextafter32, not the
+		// float64 form: one float64 ulp above the midpoint rounds
+		// straight back onto it when converted to float32.
+		up := math.Nextafter32(float32(mid), float32(math.Inf(1)))
+		if g := F32ToF16(up); g != h+1 {
+			t.Fatalf("past-midpoint of 0x%04x rounds to 0x%04x, want 0x%04x", h, g, h+1)
+		}
+	}
+}
+
+// The subnormal boundary cases: ties between subnormal halves follow
+// the same round-to-nearest-even rule.
+func TestF16RoundToNearestEvenSubnormals(t *testing.T) {
+	ulp := math.Pow(2, -24) // subnormal half spacing
+	for i := 0; i < 64; i++ {
+		lo := float64(i) * ulp
+		mid := lo + ulp/2
+		got := F32ToF16(float32(mid))
+		want := uint16(i)
+		if i&1 == 1 {
+			want = uint16(i + 1)
+		}
+		if got != want {
+			t.Fatalf("subnormal midpoint %v rounds to 0x%04x, want 0x%04x", mid, got, want)
+		}
+	}
+}
+
+// Rounding up the all-ones mantissa must carry into the exponent: the
+// value just below a power of two rounds to the power of two itself,
+// and the largest finite half's upper midpoint overflows to infinity.
+func TestF16CarryIntoExponent(t *testing.T) {
+	// 0x3bff = largest half below 1.0; its midpoint with 1.0 has an odd
+	// low bit, so round-to-even carries up into 0x3c00 (= 1.0).
+	lo := F16ToF32(0x3bff)
+	mid := float32((float64(lo) + 1.0) / 2)
+	if got := F32ToF16(mid); got != 0x3c00 {
+		t.Fatalf("carry into exponent: got 0x%04x, want 0x3c00", got)
+	}
+	// Largest subnormal (0x03ff) to smallest normal (0x0400): the carry
+	// crosses the subnormal/normal boundary.
+	losub := F16ToF32(0x03ff)
+	nrm := F16ToF32(0x0400)
+	midsub := float32((float64(losub) + float64(nrm)) / 2)
+	if got := F32ToF16(midsub); got != 0x0400 {
+		t.Fatalf("subnormal->normal carry: got 0x%04x, want 0x0400", got)
+	}
+	// Past the max finite half (0x7bff = 65504): the midpoint to the
+	// next would-be half (65520) ties to even upward, overflowing to Inf.
+	if got := F32ToF16(65520); got != 0x7c00 {
+		t.Fatalf("overflow tie: got 0x%04x, want 0x7c00 (+Inf)", got)
+	}
+	if got := F32ToF16(65519); got != 0x7bff {
+		t.Fatalf("below overflow tie: got 0x%04x, want 0x7bff", got)
+	}
+}

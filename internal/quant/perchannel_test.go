@@ -1,6 +1,7 @@
 package quant
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/rng"
@@ -17,7 +18,10 @@ func TestPerChannelBeatsPerTensor(t *testing.T) {
 		x.Data[64+i] = r.NormFloat32() * 0.01
 	}
 	perTensor := Applied(x, INT8)
-	perChannel := ApplyPerChannel(x.Clone(), INT8, 2)
+	perChannel, err := ApplyPerChannel(x.Clone(), INT8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	smallRowErr := func(q *tensor.Tensor) float64 {
 		e := 0.0
@@ -33,36 +37,103 @@ func TestPerChannelBeatsPerTensor(t *testing.T) {
 	}
 }
 
-func TestPerChannelFallbacks(t *testing.T) {
+func TestPerChannelFP32Identity(t *testing.T) {
 	r := rng.New(2)
 	x := tensor.New(10)
 	for i := range x.Data {
 		x.Data[i] = r.NormFloat32()
 	}
-	// FP32: identity.
-	y := ApplyPerChannel(x.Clone(), FP32, 2)
+	y, err := ApplyPerChannel(x.Clone(), FP32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range x.Data {
 		if y.Data[i] != x.Data[i] {
 			t.Fatal("FP32 per-channel must be identity")
 		}
 	}
-	// Bad row count: falls back to per-tensor (still valid INT8).
-	z := ApplyPerChannel(x.Clone(), INT8, 3) // 10 % 3 != 0
-	w := Applied(x, INT8)
-	for i := range z.Data {
-		if z.Data[i] != w.Data[i] {
-			t.Fatal("fallback must equal per-tensor quantization")
-		}
+}
+
+// A rows value that does not divide the tensor used to silently fall
+// back to per-tensor quantization — quietly different numerics. It is
+// now an error.
+func TestPerChannelBadRowsErrors(t *testing.T) {
+	x := tensor.New(10)
+	if _, err := ApplyPerChannel(x, INT8, 3); err == nil {
+		t.Fatal("expected error for rows not dividing the tensor")
+	}
+	if _, err := QuantizePerChannel(x, 3); err == nil {
+		t.Fatal("expected error for rows not dividing the tensor")
+	}
+	if _, err := QuantizePerChannel(x, 0); err == nil {
+		t.Fatal("expected error for rows <= 0")
 	}
 }
 
 func TestPerChannelZeroRow(t *testing.T) {
 	x := tensor.New(2, 4)
 	x.Data[0], x.Data[1] = 1, -1 // row 0 nonzero, row 1 all zero
-	out := ApplyPerChannel(x, INT8, 2)
+	p, err := QuantizePerChannel(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Steps[1] != 1 {
+		t.Fatalf("zero row step = %v, want the 1-step convention", p.Steps[1])
+	}
+	out, err := ApplyPerChannel(x, INT8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 4; i < 8; i++ {
 		if out.Data[i] != 0 {
 			t.Fatal("zero row must stay zero")
+		}
+	}
+}
+
+// The panel codes dequantize to exactly the fake-quantized values —
+// the int8 GEMM kernels and the fake-quantization path must agree.
+func TestPanelMatchesApplyPerChannel(t *testing.T) {
+	r := rng.New(3)
+	x := tensor.New(4, 16)
+	for i := range x.Data {
+		x.Data[i] = r.NormFloat32()
+	}
+	p, err := QuantizePerChannel(x, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fake, err := ApplyPerChannel(x.Clone(), INT8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rI := 0; rI < p.Rows; rI++ {
+		for c := 0; c < p.Cols; c++ {
+			want := fake.Data[rI*p.Cols+c]
+			got := float32(p.Codes[rI*p.Cols+c]) * p.Steps[rI]
+			if got != want {
+				t.Fatalf("panel[%d,%d] dequantizes to %v, fake-quant %v", rI, c, got, want)
+			}
+		}
+	}
+}
+
+// String↔ParseScale must round-trip over every scale, in every case
+// spelling — "Int8" used to parse while "Fp16" did not.
+func TestScaleStringParseRoundTrip(t *testing.T) {
+	for _, s := range Scales {
+		for _, spell := range []string{
+			s.String(),
+			strings.ToLower(s.String()),
+			strings.ToUpper(s.String()[:1]) + strings.ToLower(s.String()[1:]),
+		} {
+			got, err := ParseScale(spell)
+			if err != nil {
+				t.Fatalf("ParseScale(%q): %v", spell, err)
+			}
+			if got != s {
+				t.Fatalf("ParseScale(%q) = %v, want %v", spell, got, s)
+			}
 		}
 	}
 }

@@ -12,6 +12,7 @@ package quant
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"repro/internal/tensor"
 )
@@ -45,14 +46,15 @@ func (s Scale) String() string {
 	}
 }
 
-// ParseScale converts a string such as "fp16" to a Scale.
+// ParseScale converts a string such as "fp16" to a Scale. Matching is
+// case-insensitive, so "FP16", "fp16" and "Fp16" all parse.
 func ParseScale(s string) (Scale, error) {
-	switch s {
-	case "FP32", "fp32":
+	switch strings.ToUpper(s) {
+	case "FP32":
 		return FP32, nil
-	case "FP16", "fp16":
+	case "FP16":
 		return FP16, nil
-	case "INT8", "int8", "Int8":
+	case "INT8":
 		return INT8, nil
 	}
 	return FP32, fmt.Errorf("quant: unknown precision scale %q", s)
@@ -157,17 +159,25 @@ func Int8ParamsFor(t *tensor.Tensor) Int8Params {
 	return Int8Params{Step: m / 127}
 }
 
+// quantCode is the single rounding implementation of the package:
+// round-to-nearest with symmetric clamping at ±127. Every int8
+// quantizer (per-tensor, per-channel, fake-quantization) routes
+// through it so their numerics cannot drift apart.
+func quantCode(v, step float32) int8 {
+	q := math.Round(float64(v / step))
+	if q > 127 {
+		q = 127
+	} else if q < -127 {
+		q = -127
+	}
+	return int8(q)
+}
+
 // QuantizeInt8 returns the int8 codes of t under p.
 func QuantizeInt8(t *tensor.Tensor, p Int8Params) []int8 {
 	out := make([]int8, t.Len())
 	for i, v := range t.Data {
-		q := math.Round(float64(v / p.Step))
-		if q > 127 {
-			q = 127
-		} else if q < -127 {
-			q = -127
-		}
-		out[i] = int8(q)
+		out[i] = quantCode(v, p.Step)
 	}
 	return out
 }
@@ -194,13 +204,7 @@ func Apply(t *tensor.Tensor, s Scale) *tensor.Tensor {
 	case INT8:
 		p := Int8ParamsFor(t)
 		for i, v := range t.Data {
-			q := math.Round(float64(v / p.Step))
-			if q > 127 {
-				q = 127
-			} else if q < -127 {
-				q = -127
-			}
-			t.Data[i] = float32(q) * p.Step
+			t.Data[i] = float32(quantCode(v, p.Step)) * p.Step
 		}
 		return t
 	default:
@@ -213,16 +217,34 @@ func Applied(t *tensor.Tensor, s Scale) *tensor.Tensor {
 	return Apply(t.Clone(), s)
 }
 
-// ApplyPerChannel fake-quantizes a (rows × cols) weight matrix to INT8
-// with one symmetric step per row (per output channel), the finer-grained
-// scheme deployed quantizers prefer: a channel with small weights keeps
-// its resolution instead of inheriting the whole tensor's range. FP16 and
-// FP32 have no per-tensor state, so they fall back to Apply.
-func ApplyPerChannel(t *tensor.Tensor, s Scale, rows int) *tensor.Tensor {
-	if s != INT8 || rows <= 0 || t.Len()%rows != 0 {
-		return Apply(t, s)
+// Int8Panel is a per-channel quantized weight matrix: Rows×Cols int8
+// codes with one symmetric step per row (per output channel). It is the
+// storage format the int8 GEMM kernels consume directly — built once at
+// load or hot-swap time, shared read-only between network clones.
+type Int8Panel struct {
+	Rows, Cols int
+	Codes      []int8    // Rows×Cols, row-major
+	Steps      []float32 // one step per row: real = Steps[r] * code
+}
+
+// QuantizePerChannel quantizes a (rows × cols) weight matrix to an
+// int8 panel with one symmetric step per row (per output channel), the
+// finer-grained scheme deployed quantizers prefer: a channel with small
+// weights keeps its resolution instead of inheriting the whole tensor's
+// range. An all-zero row gets step 1 (all codes 0), matching
+// Int8ParamsFor's convention. It errors when rows does not divide the
+// tensor — a silent fallback would quietly change numerics.
+func QuantizePerChannel(t *tensor.Tensor, rows int) (*Int8Panel, error) {
+	if rows <= 0 || t.Len()%rows != 0 {
+		return nil, fmt.Errorf("quant: per-channel rows %d does not divide tensor of %d elements", rows, t.Len())
 	}
 	cols := t.Len() / rows
+	p := &Int8Panel{
+		Rows:  rows,
+		Cols:  cols,
+		Codes: make([]int8, t.Len()),
+		Steps: make([]float32, rows),
+	}
 	for r := 0; r < rows; r++ {
 		row := t.Data[r*cols : (r+1)*cols]
 		m := float32(0)
@@ -235,21 +257,43 @@ func ApplyPerChannel(t *tensor.Tensor, s Scale, rows int) *tensor.Tensor {
 				m = a
 			}
 		}
-		if m == 0 {
-			continue
+		step := float32(1)
+		if m != 0 {
+			step = m / 127
 		}
-		step := m / 127
+		p.Steps[r] = step
+		codes := p.Codes[r*cols : (r+1)*cols]
 		for i, v := range row {
-			q := math.Round(float64(v / step))
-			if q > 127 {
-				q = 127
-			} else if q < -127 {
-				q = -127
-			}
-			row[i] = float32(q) * step
+			codes[i] = quantCode(v, step)
 		}
 	}
-	return t
+	return p, nil
+}
+
+// ApplyPerChannel fake-quantizes a (rows × cols) weight matrix to INT8
+// with one symmetric step per row, in place, by round-tripping through
+// QuantizePerChannel's codes — the fake-quantized values are exactly
+// what the int8 GEMM kernels compute with. FP16 and FP32 have no
+// per-tensor state, so they fall back to Apply. A rows value that does
+// not divide the tensor is an error, never a silent per-tensor
+// fallback.
+func ApplyPerChannel(t *tensor.Tensor, s Scale, rows int) (*tensor.Tensor, error) {
+	if s != INT8 {
+		return Apply(t, s), nil
+	}
+	p, err := QuantizePerChannel(t, rows)
+	if err != nil {
+		return nil, err
+	}
+	for r := 0; r < p.Rows; r++ {
+		step := p.Steps[r]
+		row := t.Data[r*p.Cols : (r+1)*p.Cols]
+		codes := p.Codes[r*p.Cols : (r+1)*p.Cols]
+		for i := range row {
+			row[i] = float32(codes[i]) * step
+		}
+	}
+	return t, nil
 }
 
 // MSE returns the mean squared quantization error between a and b.

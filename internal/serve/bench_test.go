@@ -122,6 +122,12 @@ func BenchmarkServeSlowConsumer(b *testing.B) {
 // single-worker pin would benchmark exactly the shape the scheduler
 // exists to avoid.
 func benchSessions(b *testing.B, sessions int, opts ServerOptions) {
+	benchSessionsClients(b, sessions, opts, func(int) ClientOptions { return ClientOptions{} })
+}
+
+// benchSessionsClients is benchSessions with per-session client
+// options, so tiered mixes can reuse the same iteration shape.
+func benchSessionsClients(b *testing.B, sessions int, opts ServerOptions, copts func(int) ClientOptions) {
 	defer tensor.SetWorkers(0)
 	tensor.SetWorkers(0)
 	master := testNet(6, 81)
@@ -141,9 +147,9 @@ func benchSessions(b *testing.B, sessions int, opts ServerOptions) {
 		errs := make(chan error, sessions)
 		for s := 0; s < sessions; s++ {
 			wg.Add(1)
-			go func() {
+			go func(s int) {
 				defer wg.Done()
-				cl, done := startSession(srv)
+				cl, done := startSessionOptions(srv, copts(s))
 				defer cl.Close()
 				if _, err := cl.Stream(bytes.NewReader(data), nil); err != nil {
 					errs <- err
@@ -151,7 +157,7 @@ func benchSessions(b *testing.B, sessions int, opts ServerOptions) {
 				}
 				cl.Close()
 				<-done
-			}()
+			}(s)
 		}
 		wg.Wait()
 		close(errs)
@@ -190,6 +196,23 @@ func BenchmarkServeSessionsShared(b *testing.B) {
 	for _, sessions := range []int{1, 4, 16, 64} {
 		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
 			benchSessions(b, sessions, ServerOptions{})
+		})
+	}
+}
+
+// BenchmarkServeSessionsTiered measures the mixed-precision serving
+// path: half the sessions request the INT8 tier, half stay FP32, all
+// on the shared scheduler. Same-tier coalescing means each tick's
+// batch fills from one tier's pending windows only, so this benchmark
+// prices the cost of splitting the coalescing stream in two (compare
+// windows/s and fill against BenchmarkServeSessionsShared at the same
+// session count) plus the int8 kernel's share of the work.
+func BenchmarkServeSessionsTiered(b *testing.B) {
+	for _, sessions := range []int{4, 16} {
+		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
+			benchSessionsClients(b, sessions, ServerOptions{}, func(s int) ClientOptions {
+				return ClientOptions{Int8: s%2 == 1}
+			})
 		})
 	}
 }

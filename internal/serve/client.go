@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -45,6 +46,12 @@ type ClientOptions struct {
 	// of the first recording). Results are bit-identical either way;
 	// this is the bit-exactness debugging escape hatch.
 	PrivateBatch bool
+	// Int8 requests the quantized INT8 precision tier for the session
+	// (modeInt8 on the same frameMode frame): weighted layers run
+	// per-channel int8 panels instead of exact FP32. Deterministic, but
+	// carries the pinned weight-quantization error; a server without
+	// int8 panels rejects the session's first recording.
+	Int8 bool
 }
 
 // Client speaks the serve framing protocol over one session
@@ -67,6 +74,11 @@ type Client struct {
 	// read loop, topped up under wmu, resynced from frameDone.
 	granted atomic.Int64
 	started bool
+
+	// lastSOPs is the total estimated synaptic-operation count the
+	// server reported for the most recent recording (0 from a
+	// pre-energy server). Read via LastSOPs after Stream returns.
+	lastSOPs float64
 }
 
 // NewClient wraps an established session connection (TCP or net.Pipe)
@@ -108,6 +120,12 @@ func Dial(addr string, o ClientOptions) (*Client, error) {
 // Close ends the session.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// LastSOPs returns the server's total estimated synaptic-operation
+// count for the most recent completed recording, 0 when the server
+// runs without an energy model (or predates one). Valid after Stream
+// returns nil; not safe concurrently with Stream.
+func (c *Client) LastSOPs() float64 { return c.lastSOPs }
+
 // Stream sends one AEDAT recording and calls emit for every window
 // result, in window order, as the server classifies them. It returns
 // the server's window count. Sending and receiving run concurrently —
@@ -120,7 +138,7 @@ func (c *Client) Stream(recording io.Reader, emit func(stream.Result) error) (in
 	initialGrant, sendMode := 0, false
 	if !c.started {
 		c.started = true
-		sendMode = c.o.PrivateBatch
+		sendMode = c.o.PrivateBatch || c.o.Int8
 		if c.o.CreditWindow > 0 {
 			initialGrant = c.o.CreditWindow
 		}
@@ -159,16 +177,20 @@ func (c *Client) Stream(recording io.Reader, emit func(stream.Result) error) (in
 				return 0, err
 			}
 		case frameDone:
-			if n != 4 && n != doneSize {
+			if n != 4 && n != legacyDoneSize && n != doneSize {
 				c.conn.Close()
 				<-writeErr
 				return 0, fmt.Errorf("serve: done frame of %d bytes", n)
 			}
 			count := int(binary.LittleEndian.Uint32(payload))
+			c.lastSOPs = 0
+			if n == doneSize {
+				c.lastSOPs = math.Float64frombits(binary.LittleEndian.Uint64(payload[8:]))
+			}
 			if err := <-writeErr; err != nil {
 				return count, err
 			}
-			if n == doneSize && c.o.CreditWindow > 0 {
+			if n >= legacyDoneSize && c.o.CreditWindow > 0 {
 				// Resync from the server's view — it also absorbs the
 				// benign startup race where results streamed before the
 				// first grant was processed — then restore a full
@@ -232,7 +254,7 @@ func (c *Client) writeCredit(n uint32) error {
 }
 
 // send uploads the recording as data frames and terminates it. The
-// session-opening frames — the mode opt-out, then the initial credit
+// session-opening frames — the mode bits, then the initial credit
 // grant (first recording of the session) — lead the upload from this
 // goroutine: sending them synchronously from Stream would deadlock a
 // synchronous transport against a server that writes before reading
@@ -240,7 +262,14 @@ func (c *Client) writeCredit(n uint32) error {
 // frame, as the server's pipeline-build latch requires.
 func (c *Client) send(recording io.Reader, initialGrant int, sendMode bool) error {
 	if sendMode {
-		if err := c.writeFrame(frameMode, []byte{modePrivate}); err != nil {
+		var bits byte
+		if c.o.PrivateBatch {
+			bits |= modePrivate
+		}
+		if c.o.Int8 {
+			bits |= modeInt8
+		}
+		if err := c.writeFrame(frameMode, []byte{bits}); err != nil {
 			return err
 		}
 	}

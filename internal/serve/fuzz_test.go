@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+	"repro/internal/tensor"
+)
+
+// fuzzServer is one small shared server for the whole fuzz run:
+// sessions are independent, so reusing it keeps each iteration at
+// connection cost instead of pool-construction cost. Short deadlines
+// keep an input that leaves the server waiting for more frames from
+// stalling an iteration.
+var fuzzSrv = struct {
+	once sync.Once
+	srv  *Server
+}{}
+
+func fuzzServer(t testing.TB) *Server {
+	fuzzSrv.once.Do(func() {
+		tensor.SetWorkers(1)
+		srv, err := NewServer(testNet(3, 2), ServerOptions{
+			Pipeline:     stream.Options{WindowMS: 40, Steps: 3, ChunkEvents: 64},
+			PoolSize:     1,
+			IdleTimeout:  200 * time.Millisecond,
+			WriteTimeout: 200 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fuzzSrv.srv = srv
+	})
+	return fuzzSrv.srv
+}
+
+// fuzzFrame appends one well-formed frame header + payload.
+func fuzzFrame(b []byte, typ byte, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	hdr[0] = typ
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	return append(append(b, hdr[:]...), payload...)
+}
+
+// FuzzServeFraming throws hostile client bytes at a live session — the
+// raw fuzz input is the client's entire send stream — and requires the
+// server to terminate the session cleanly: no panic (serveSession's
+// recover would convert one into a session error, but a crash in the
+// reader or writer goroutine would kill the process and fail the run),
+// no hang past the deadlines, and the server stays serviceable for the
+// next iteration. Seeds cover the valid opening handshakes, truncated
+// and oversized headers, unknown frame types, and mode/credit frames
+// with wrong payload sizes.
+func FuzzServeFraming(f *testing.F) {
+	rec := testRecording(f, 1, 120, 5)
+
+	f.Add([]byte{})
+	f.Add([]byte{frameData})                              // truncated header
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff})           // unknown type, huge length
+	f.Add(fuzzFrame(nil, frameData, []byte("not aedat"))) // garbage container bytes
+	f.Add(fuzzFrame(nil, frameEnd, []byte{1}))            // end frame with payload
+	f.Add(fuzzFrame(nil, frameMode, []byte{0x55, 0x55}))  // oversized mode payload
+	f.Add(fuzzFrame(nil, frameCredit, []byte{1, 0}))      // undersized credit payload
+	f.Add(fuzzFrame(nil, frameResult, make([]byte, 20)))  // server-only frame type
+	f.Add(fuzzFrame(fuzzFrame(nil, frameMode, []byte{modePrivate | modeInt8}), frameEnd, nil))
+	valid := fuzzFrame(nil, frameMode, []byte{modeInt8})
+	valid = fuzzFrame(valid, frameCredit, []byte{8, 0, 0, 0})
+	valid = fuzzFrame(valid, frameData, rec)
+	f.Add(fuzzFrame(valid, frameEnd, nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		srv := fuzzServer(t)
+		cs, ss := net.Pipe()
+		done := make(chan error, 1)
+		go func() { done <- srv.ServeConn(ss) }()
+		// Drain everything the server sends so its writes never block;
+		// a real hostile client that refuses to read is covered by the
+		// write deadline, which this harness keeps short.
+		drained := make(chan struct{})
+		go func() {
+			defer close(drained)
+			_, _ = io.Copy(io.Discard, cs)
+		}()
+		_ = cs.SetWriteDeadline(time.Now().Add(200 * time.Millisecond))
+		_, _ = cs.Write(data)
+		_ = cs.Close()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("session did not terminate after hostile input")
+		}
+		<-drained
+	})
+}

@@ -131,7 +131,29 @@ type Metrics struct {
 	ResultsBuffered atomic.Int64 // gauge: undelivered results across sessions
 
 	Latency LatencyHist // per-round window classification latency
+
+	// sops accumulates the energy model's estimated synaptic operations
+	// across every classified batch, as math.Float64bits in an
+	// atomic.Uint64 — the float analogue of the counters above, updated
+	// by a CAS loop so the batch-classify path stays lock-free.
+	sops atomic.Uint64
 }
+
+// AddSOPs accumulates estimated synaptic operations from one classified
+// batch. Lock-free and allocation-free: it runs on the scheduler tick
+// and private classify paths.
+func (m *Metrics) AddSOPs(v float64) {
+	for {
+		old := m.sops.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if m.sops.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// SOPsEstimated reads the accumulated synaptic-operation estimate.
+func (m *Metrics) SOPsEstimated() float64 { return math.Float64frombits(m.sops.Load()) }
 
 // Metrics exposes the live counter registry (primarily for tests and
 // embedders; HTTP scraping goes through MetricsHandler).
@@ -187,6 +209,15 @@ type MetricsSnapshot struct {
 	SlotWaits     int64 `json:"slot_waits"`
 	CloneCap      int64 `json:"clone_cap"`
 
+	// Energy accounting (see approx.EnergyModel): total estimated
+	// synaptic operations attributed across all classified windows and
+	// the modelled energy they cost, plus whether the quantized INT8
+	// precision tier is available to sessions (per-channel panels built
+	// on the served master).
+	SOPsEstimated    float64 `json:"sops_estimated"`
+	EnergyEstimatedJ float64 `json:"energy_estimated_j"`
+	Int8Supported    bool    `json:"int8_supported"`
+
 	SwapGeneration int64   `json:"swap_generation"`
 	UptimeSec      float64 `json:"uptime_sec"`
 }
@@ -226,8 +257,14 @@ func (s *Server) MetricsSnapshot() MetricsSnapshot {
 		SlotWaits:     s.slots.Waits(),
 		CloneCap:      int64(s.opts.PoolSize),
 
+		SOPsEstimated: m.SOPsEstimated(),
+		Int8Supported: s.int8OK,
+
 		SwapGeneration: s.swaps.Load(),
 		UptimeSec:      up,
+	}
+	if em := s.energy.Load(); em != nil {
+		snap.EnergyEstimatedJ = snap.SOPsEstimated * em.EnergyPerSOpJ
 	}
 	if s.sched != nil {
 		st := s.sched.Stats()

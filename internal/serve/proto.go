@@ -86,6 +86,17 @@ const (
 // at the first recording. Unknown bits are reserved and ignored.
 const modePrivate = 0x01
 
+// modeInt8 requests the quantized INT8 precision tier for the session:
+// weighted layers run per-channel int8 panels with int32 accumulation
+// (snn.TierINT8) instead of the exact FP32 path. Results stay
+// deterministic — the int8 kernel is bit-identical at any worker count
+// and batch composition — but carry the bounded weight-quantization
+// error the exp harness pins. Like modePrivate, the bit is latched
+// when the session's pipeline is built. The shared scheduler coalesces
+// only same-tier windows into a batch, so mixed-tier sessions share
+// the server without sharing GEMMs.
+const modeInt8 = 0x02
+
 // modeSize is the frameMode payload: one byte of mode bits.
 const modeSize = 1
 
@@ -98,8 +109,14 @@ const maxFramePayload = 1 << 20
 const frameHeaderSize = 5
 
 // resultSize is the frameResult payload: window uint32, startMS
-// float64, events uint32, class int32.
-const resultSize = 4 + 8 + 4 + 4
+// float64, events uint32, class int32, then the window's estimated
+// synaptic-operation count float64 (0 when the server runs without an
+// energy model). Pre-energy servers sent the 20-byte prefix only; the
+// client accepts both.
+const resultSize = 4 + 8 + 4 + 4 + 8
+
+// legacyResultSize is the pre-energy frameResult payload (no SOPs).
+const legacyResultSize = 4 + 8 + 4 + 4
 
 // creditSize is the frameCredit payload: uint32 additional credits.
 const creditSize = 4
@@ -108,9 +125,13 @@ const creditSize = 4
 // session's remaining result credits uint32 — the client resyncs its
 // credit accounting from it, which also absorbs the benign race where
 // the first grant lands after the server already streamed results
-// creditlessly. Pre-credit servers sent only the 4-byte count; the
-// client accepts both.
-const doneSize = 4 + 4
+// creditlessly — then the recording's total estimated SOPs float64.
+// Pre-credit servers sent only the 4-byte count and pre-energy servers
+// the 8-byte count+credits; the client accepts all three.
+const doneSize = 4 + 4 + 8
+
+// legacyDoneSize is the pre-energy frameDone payload (count+credits).
+const legacyDoneSize = 4 + 4
 
 // frameWriter emits frames onto a buffered writer. The header scratch
 // lives in the struct, not the stack, so the per-window result frame
@@ -159,20 +180,26 @@ func appendResult(b []byte, r stream.Result) []byte {
 	binary.LittleEndian.PutUint64(p[4:], math.Float64bits(r.StartMS))
 	binary.LittleEndian.PutUint32(p[12:], uint32(r.Events))
 	binary.LittleEndian.PutUint32(p[16:], uint32(int32(r.Class)))
+	binary.LittleEndian.PutUint64(p[20:], math.Float64bits(r.SOPs))
 	return append(b, p[:]...)
 }
 
-// decodeResult is appendResult's inverse.
+// decodeResult is appendResult's inverse; a legacy 20-byte payload
+// from a pre-energy server decodes with SOPs 0.
 func decodeResult(p []byte) (stream.Result, error) {
-	if len(p) != resultSize {
-		return stream.Result{}, fmt.Errorf("serve: result frame of %d bytes, want %d", len(p), resultSize)
+	if len(p) != resultSize && len(p) != legacyResultSize {
+		return stream.Result{}, fmt.Errorf("serve: result frame of %d bytes, want %d or %d", len(p), resultSize, legacyResultSize)
 	}
-	return stream.Result{
+	r := stream.Result{
 		Window:  int(binary.LittleEndian.Uint32(p[0:])),
 		StartMS: math.Float64frombits(binary.LittleEndian.Uint64(p[4:])),
 		Events:  int(binary.LittleEndian.Uint32(p[12:])),
 		Class:   int(int32(binary.LittleEndian.Uint32(p[16:]))),
-	}, nil
+	}
+	if len(p) == resultSize {
+		r.SOPs = math.Float64frombits(binary.LittleEndian.Uint64(p[20:]))
+	}
+	return r, nil
 }
 
 // readModePayload consumes a frameMode payload whose header was

@@ -11,6 +11,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/approx"
 	"repro/internal/snn"
 	"repro/internal/stream"
 	"repro/internal/tensor"
@@ -119,6 +120,15 @@ type Server struct {
 	// client pin its session to a private pipeline instead.
 	sched *stream.Scheduler
 
+	// energy is the SOP-accounting model over the served master's
+	// geometry and prune masks — RCU like the master itself, rebuilt by
+	// every LoadCheckpoint so accounting follows the swapped-in weights.
+	energy atomic.Pointer[approx.EnergyModel]
+	// int8OK records whether per-channel int8 panels built on the
+	// master at construction — the gate for the modeInt8 session tier.
+	// Set once in NewServer, read-only after.
+	int8OK bool
+
 	metrics Metrics
 	start   time.Time
 
@@ -162,6 +172,13 @@ func NewServer(master *snn.Network, o ServerOptions) (*Server, error) {
 		lns:     make(map[net.Listener]struct{}),
 		conns:   make(map[net.Conn]struct{}),
 	}
+	// Build the int8 panels before the clones: CloneArchitecture shares
+	// panels, so clones made after the build serve the INT8 tier without
+	// a build of their own. A master the quantizer cannot panel (no
+	// weighted layers, degenerate shapes) just disables the tier —
+	// sessions requesting it are refused at pipeline build.
+	s.int8OK = master.BuildInt8Panels() == nil
+	s.energy.Store(approx.NewEnergyModel(master))
 	s.master.Store(master)
 	for i := 0; i < o.PoolSize; i++ {
 		s.units <- &unit{master: master, clone: master.CloneArchitecture()}
@@ -187,6 +204,7 @@ func NewServer(master *snn.Network, o ServerOptions) (*Server, error) {
 			TickInterval: o.TickInterval,
 			Clones:       s,
 			Observer:     s,
+			Energy:       s,
 			SensorW:      o.Pipeline.SensorW,
 			SensorH:      o.Pipeline.SensorH,
 		})
@@ -217,17 +235,37 @@ func (s *Server) Slots() *stream.SlotPool { return s.slots }
 
 // AcquireClone implements stream.CloneSource over the shared pool,
 // refreshing stale units so a hot-swapped checkpoint reaches every
-// batch classified after the swap.
+// batch classified after the swap. The tier resets to exact FP32 on
+// every acquire: the pool is shared across tiers, and a clone released
+// by an INT8 session must never carry its tier into an FP32 batch.
 func (s *Server) AcquireClone() *snn.Network {
+	return s.AcquireCloneTier(snn.TierFP32)
+}
+
+// AcquireCloneTier implements stream.TierCloneSource: an AcquireClone
+// whose clone comes back set to tier t. SupportsTier gates every tiered
+// submission and LoadCheckpoint rebuilds panels on swap, so SetTier
+// cannot fail here.
+func (s *Server) AcquireCloneTier(t snn.PrecisionTier) *snn.Network {
 	u := <-s.units
 	if m := s.master.Load(); u.master != m {
 		u.master = m
 		u.clone = m.CloneArchitecture()
 	}
+	if err := u.clone.SetTier(t); err != nil {
+		s.units <- u
+		panic(fmt.Sprintf("serve: pooled clone cannot serve tier %v: %v", t, err))
+	}
 	s.cloneMu.Lock()
 	s.byClone[u.clone] = u
 	s.cloneMu.Unlock()
 	return u.clone
+}
+
+// SupportsTier implements stream.TierCloneSource: exact FP32 always,
+// quantized INT8 when the master's per-channel panels built.
+func (s *Server) SupportsTier(t snn.PrecisionTier) bool {
+	return t == snn.TierFP32 || (t == snn.TierINT8 && s.int8OK)
 }
 
 // ReleaseClone implements stream.CloneSource.
@@ -255,6 +293,17 @@ func (s *Server) LoadCheckpoint(r io.Reader) error {
 	if err := fresh.Load(r); err != nil {
 		return err
 	}
+	// DeepClone drops the int8 panels (clones exist to be mutated);
+	// rebuild them on the new weights before the swap becomes visible,
+	// or the INT8 tier would silently detach from the served model. A
+	// panel failure aborts the swap like a decode failure: the served
+	// model keeps its advertised capabilities.
+	if s.int8OK {
+		if err := fresh.BuildInt8Panels(); err != nil {
+			return fmt.Errorf("serve: int8 panels for the new checkpoint: %w", err)
+		}
+	}
+	s.energy.Store(approx.NewEnergyModel(fresh))
 	s.master.Store(fresh)
 	s.swaps.Add(1)
 	return nil
@@ -268,6 +317,16 @@ func (s *Server) LoadCheckpointFile(path string) error {
 	}
 	defer f.Close()
 	return s.LoadCheckpoint(f)
+}
+
+// BatchSOPs implements stream.EnergyAccount over the served model's
+// energy profile, feeding the per-batch estimate into the server-wide
+// metrics accumulator on the way through. Allocation-free — it runs on
+// the scheduler tick and private classify paths.
+func (s *Server) BatchSOPs(net *snn.Network, inputSum float64, batch int) (sops, possible float64) {
+	sops, possible = s.energy.Load().BatchSOPs(net, inputSum, batch)
+	s.metrics.AddSOPs(sops)
+	return sops, possible
 }
 
 // Master returns the currently served model (the value new sessions
@@ -477,16 +536,24 @@ func (s *Server) serveSession(dc *deadlineConn) (err error) {
 		}
 		if p == nil {
 			o := s.opts.Pipeline
+			if ss.tierInt8.Load() {
+				// A tier the server cannot serve (no panels) is rejected
+				// by the pipeline's option validation below and surfaces
+				// to the client as a frameError.
+				o.Tier = snn.TierINT8
+			}
 			if s.sched != nil && !ss.privateBatch.Load() {
 				// Shared batching: this session produces windows for the
 				// server-wide scheduler. The scheduler observes its own
 				// coalesced ticks — a producer-side observer would count
-				// every window twice.
+				// every window twice — and carries the energy account,
+				// so the producer side leaves Energy unset too.
 				o.Scheduler = s.sched
 			} else {
 				o.Clones = s
 				o.Slots = s.slots
 				o.Observer = s
+				o.Energy = s
 			}
 			p, err = stream.NewPipeline(s.master.Load(), o)
 			if err != nil {
@@ -494,8 +561,10 @@ func (s *Server) serveSession(dc *deadlineConn) (err error) {
 			}
 		}
 		windows := uint32(0)
+		sops := 0.0
 		err = p.Run(ss, func(r stream.Result) error {
 			windows++
+			sops += r.SOPs
 			return ss.emit(r)
 		})
 		if err != nil {
@@ -504,7 +573,7 @@ func (s *Server) serveSession(dc *deadlineConn) (err error) {
 		if err = ss.drainRecording(); err != nil {
 			return err
 		}
-		if err = ss.finishRecording(windows); err != nil {
+		if err = ss.finishRecording(windows, sops); err != nil {
 			return err
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,7 +29,8 @@ var (
 // ring traffic moves by value and allocates nothing.
 type wireCmd struct {
 	done    bool
-	windows uint32 // done: the recording's window count
+	windows uint32  // done: the recording's window count
+	sops    float64 // done: the recording's total estimated SOPs
 	res     stream.Result
 }
 
@@ -90,6 +92,10 @@ type session struct {
 	// read by the session goroutine when it builds the pipeline at the
 	// first recording.
 	privateBatch atomic.Bool
+	// tierInt8 requests the quantized INT8 precision tier
+	// (frameMode/modeInt8). Latched like privateBatch: the session
+	// goroutine reads it when the pipeline is built.
+	tierInt8 atomic.Bool
 
 	msgs chan rmsg   // reader → session
 	free chan []byte // recycled data chunks
@@ -166,6 +172,7 @@ func (ss *session) reader() {
 				return
 			}
 			ss.privateBatch.Store(bits&modePrivate != 0)
+			ss.tierInt8.Store(bits&modeInt8 != 0)
 		case frameData:
 			for n > 0 {
 				buf := <-ss.free
@@ -342,10 +349,11 @@ func (ss *session) emit(r stream.Result) error {
 	}
 }
 
-// finishRecording stages the end-of-recording marker.
-func (ss *session) finishRecording(windows uint32) error {
+// finishRecording stages the end-of-recording marker carrying the
+// window count and the recording's total estimated SOPs.
+func (ss *session) finishRecording(windows uint32, sops float64) error {
 	select {
-	case ss.cmds <- wireCmd{done: true, windows: windows}:
+	case ss.cmds <- wireCmd{done: true, windows: windows, sops: sops}:
 		return nil
 	case <-ss.writerDone:
 		if err := ss.writeErr(); err != nil && err != errWriterStopped {
@@ -367,6 +375,7 @@ func (ss *session) writer() {
 			var p [doneSize]byte
 			binary.LittleEndian.PutUint32(p[0:], cmd.windows)
 			binary.LittleEndian.PutUint32(p[4:], creditU32(ss.credits.Load()))
+			binary.LittleEndian.PutUint64(p[8:], math.Float64bits(cmd.sops))
 			if err := ss.fw.write(frameDone, p[:]); err != nil {
 				ss.setWriteErr(err)
 				return

@@ -78,7 +78,7 @@ func TestServeSharedMatchesPrivate(t *testing.T) {
 							return
 						}
 						for k := range j.want {
-							if got[k] != j.want[k] {
+							if !sameResult(got[k], j.want[k]) {
 								errs <- fmt.Errorf("session %d recording %d: result %d = %+v, want %+v",
 									i, r, k, got[k], j.want[k])
 								return
@@ -188,7 +188,7 @@ func TestServeSharedStarvation(t *testing.T) {
 				return
 			}
 			for k := range want {
-				if got[k] != want[k] {
+				if !sameResult(got[k], want[k]) {
 					errs <- fmt.Errorf("%s recording %d: result %d = %+v, want %+v", name, rec, k, got[k], want[k])
 					return
 				}
@@ -261,7 +261,7 @@ func TestServeSharedCreditInterleave(t *testing.T) {
 					if r.Window != next {
 						return fmt.Errorf("window %d delivered out of order (want %d)", r.Window, next)
 					}
-					if r != want[next] {
+					if !sameResult(r, want[next]) {
 						return fmt.Errorf("window %d = %+v, want %+v", next, r, want[next])
 					}
 					next++

@@ -93,7 +93,7 @@ func TestServeSoakHotSwapUnderLoad(t *testing.T) {
 					return
 				}
 				for k := range j.want {
-					if got[k] != j.want[k] {
+					if !sameResult(got[k], j.want[k]) {
 						errs <- fmt.Errorf("session %d recording %d: result %d = %+v, want %+v",
 							i, r, k, got[k], j.want[k])
 						return
@@ -171,7 +171,7 @@ func TestServeSlowConsumerSoak(t *testing.T) {
 				return fmt.Errorf("recording %d: %d results, want %d", rec, len(got), len(want))
 			}
 			for k := range want {
-				if got[k] != want[k] {
+				if !sameResult(got[k], want[k]) {
 					return fmt.Errorf("recording %d: result %d = %+v, want %+v", rec, k, got[k], want[k])
 				}
 			}

@@ -3,6 +3,7 @@ package snn
 import (
 	"fmt"
 
+	"repro/internal/quant"
 	"repro/internal/rng"
 	"repro/internal/tensor"
 )
@@ -36,6 +37,13 @@ type Conv2D struct {
 	effW       *tensor.Tensor // mask-applied weights, valid until Reset
 	wT         *tensor.Tensor // transposed effective weights, valid until Reset
 	lowScratch *tensor.Tensor // inference-mode lowering buffer, reused across steps
+
+	// Int8 tier state (tier.go): the per-channel panel built cold by
+	// Network.BuildInt8Panels (shared read-only between clones), the
+	// latch SetTier flips, and the kernel's activation scratch.
+	panel   *quant.Int8Panel
+	useInt8 bool
+	i8      tensor.Int8Scratch
 }
 
 // rowsOrient selects the GEMM orientation. When the filter bank is wide
@@ -225,6 +233,18 @@ func (c *Conv2D) forwardArena(x *tensor.Tensor, s *Scratch, li, batch int) *tens
 		panic(fmt.Sprintf("snn: Conv2D input %s does not match geom %+v (batch %d)", shapeStr(x.Shape), g, b)) //axsnn:allow-alloc cold shape guard: formats the panic once on misuse
 	}
 
+	var out *tensor.Tensor
+	if batch == 0 {
+		out = s.buf3(li, slotOut, c.OutC, oh, ow)
+	} else {
+		out = s.buf4(li, slotOut, b, c.OutC, oh, ow)
+	}
+	if c.useInt8 {
+		// Quantized tier: the panel already carries the prune mask, so
+		// the effW/wT derivations are skipped entirely.
+		return c.forwardArenaInt8(x, s, li, batch, out)
+	}
+
 	// Effective weights, re-derived once per pass — the cadence the
 	// allocating path gets from Reset clearing its caches.
 	w := c.W
@@ -237,12 +257,6 @@ func (c *Conv2D) forwardArena(x *tensor.Tensor, s *Scratch, li, batch int) *tens
 		w = effW
 	}
 
-	var out *tensor.Tensor
-	if batch == 0 {
-		out = s.buf3(li, slotOut, c.OutC, oh, ow)
-	} else {
-		out = s.buf4(li, slotOut, b, c.OutC, oh, ow)
-	}
 	if c.rowsOrient() {
 		wT, fresh := s.once2(li, slotWT, ckk, c.OutC)
 		if fresh {
@@ -468,6 +482,11 @@ type Dense struct {
 	effW *tensor.Tensor // mask-applied weights, valid until Reset
 	wT   *tensor.Tensor // transposed effective weights, valid until Reset
 	idx  []int          // scratch: nonzero input indices (spike fast path)
+
+	// Int8 tier state (tier.go), mirroring Conv2D's.
+	panel   *quant.Int8Panel
+	useInt8 bool
+	i8      tensor.Int8Scratch
 }
 
 // NewDense creates a dense layer with Gaussian init scaled by fan-in.
@@ -581,6 +600,10 @@ func (d *Dense) ForwardBatch(x *tensor.Tensor, train bool) *tensor.Tensor {
 // spike-sparse gather loops, the batched path the single GEMM; outputs
 // and weight panels live in the arena.
 func (d *Dense) forwardArena(x *tensor.Tensor, s *Scratch, li, batch int) *tensor.Tensor {
+	if d.useInt8 {
+		// Quantized tier: the panel already carries the prune mask.
+		return d.forwardArenaInt8(x, s, li, batch)
+	}
 	w := d.W
 	if d.Mask != nil {
 		effW, fresh := s.once2(li, slotEffW, d.Out, d.In)

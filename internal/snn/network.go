@@ -42,6 +42,9 @@ type Network struct {
 	trainLs    []trainLayer
 	trainInit  bool
 	paramFloor int
+
+	// Inference precision tier (tier.go): FP32 exact or INT8 quantized.
+	tier PrecisionTier
 }
 
 // NewNetwork assembles a network from layers.
@@ -195,18 +198,21 @@ func (n *Network) SetVTh(vth float32) {
 // parameter tensors but independent state/caches/masks/grad buffers. Use
 // it to evaluate one trained model concurrently from several goroutines:
 // workers may run Forward/Backward freely as long as nobody writes to the
-// shared weights.
+// shared weights. The precision tier and any int8 panels carry over:
+// panels are shared read-only, scratch is per-clone.
 func (n *Network) CloneArchitecture() *Network {
-	out := &Network{Cfg: n.Cfg}
+	out := &Network{Cfg: n.Cfg, tier: n.tier}
 	for _, l := range n.Layers {
 		switch v := l.(type) {
 		case *Conv2D:
-			c := &Conv2D{Geom: v.Geom, OutC: v.OutC, W: v.W, B: v.B, Mask: v.Mask}
+			c := &Conv2D{Geom: v.Geom, OutC: v.OutC, W: v.W, B: v.B, Mask: v.Mask,
+				panel: v.panel, useInt8: v.useInt8}
 			c.dW = tensor.New(v.dW.Shape...)
 			c.dB = tensor.New(v.dB.Shape...)
 			out.Layers = append(out.Layers, c)
 		case *Dense:
-			d := &Dense{In: v.In, Out: v.Out, W: v.W, B: v.B, Mask: v.Mask}
+			d := &Dense{In: v.In, Out: v.Out, W: v.W, B: v.B, Mask: v.Mask,
+				panel: v.panel, useInt8: v.useInt8}
 			d.dW = tensor.New(v.dW.Shape...)
 			d.dB = tensor.New(v.dB.Shape...)
 			out.Layers = append(out.Layers, d)
@@ -249,6 +255,18 @@ func (n *Network) DeepClone() *Network {
 			if src.Mask != nil {
 				v.Mask = src.Mask.Clone()
 			}
+		}
+	}
+	// Deep clones exist to be mutated (approx prunes and quantizes
+	// them), which would leave shared int8 panels stale: drop them and
+	// reset the tier; callers rebuild via BuildInt8Panels when needed.
+	out.tier = TierFP32
+	for _, l := range out.Layers {
+		switch v := l.(type) {
+		case *Conv2D:
+			v.panel, v.useInt8 = nil, false
+		case *Dense:
+			v.panel, v.useInt8 = nil, false
 		}
 	}
 	return out

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/snn"
 	"repro/internal/tensor"
 )
 
@@ -59,7 +60,13 @@ type Scheduler struct {
 	gathered []*windowEntry
 	samples  [][]*tensor.Tensor
 	out      []int
+	insums   []float64 // per-sample input activity, for the SOP split
+	sopsOut  []float64 // per-sample SOP estimates, aligned with out
 	timer    *time.Timer
+
+	// tierClones is the tiered view of o.Clones, nil when the source
+	// cannot pin tiers (FP32-only scheduling still works).
+	tierClones TierCloneSource
 
 	// Adopted sensor dimensions: pinned by SensorW/H when declared,
 	// else adopted from the first submission and confirmed by the
@@ -102,11 +109,18 @@ type SchedulerOptions struct {
 	// itself provides the accumulation window).
 	TickInterval time.Duration
 	// Clones supplies the evaluation networks ticks classify on —
-	// the serve tier's shared bounded pool. Required.
+	// the serve tier's shared bounded pool. Required. When it also
+	// implements TierCloneSource, producers may submit non-FP32
+	// windows; each tick coalesces only same-tier submissions, so
+	// mixed-tier sessions share the scheduler without sharing GEMMs.
 	Clones CloneSource
 	// Observer, when non-nil, receives one ObserveRound per tick with
 	// the coalesced window count and the tick's classify latency.
 	Observer Observer
+	// Energy, when non-nil, attributes estimated SOPs to every
+	// classified window (see Options.Energy); producers receive each
+	// window's activity-weighted share of its tick's total.
+	Energy EnergyAccount
 	// SensorW/SensorH, when set, pin the sensor resolution; windows
 	// voxelized at any other resolution fail their session. When zero
 	// the first submission's dimensions are adopted.
@@ -129,6 +143,7 @@ var ErrSchedulerClosed = errors.New("stream: scheduler closed")
 type windowEntry struct {
 	owner *Producer
 	slot  int // index into the owner's round: routes the class and completion back
+	tier  snn.PrecisionTier
 
 	frames []*tensor.Tensor
 	steps  int
@@ -201,6 +216,8 @@ func newScheduler(o SchedulerOptions) *Scheduler {
 		gathered:   make([]*windowEntry, 0, o.MaxBatch),
 		samples:    make([][]*tensor.Tensor, 0, o.MaxBatch),
 		out:        make([]int, o.MaxBatch),
+		insums:     make([]float64, o.MaxBatch),
+		sopsOut:    make([]float64, o.MaxBatch),
 		h:          o.SensorH,
 		w:          o.SensorW,
 		confirmed:  o.SensorW != 0,
@@ -215,7 +232,16 @@ func newScheduler(o SchedulerOptions) *Scheduler {
 	for i := 0; i < o.Queue; i++ {
 		s.free <- &windowEntry{}
 	}
+	s.tierClones, _ = o.Clones.(TierCloneSource)
 	return s
+}
+
+// supportsTier reports whether producers may submit tier-t windows.
+func (s *Scheduler) supportsTier(t snn.PrecisionTier) bool {
+	if t == snn.TierFP32 {
+		return true
+	}
+	return s.tierClones != nil && s.tierClones.SupportsTier(t)
 }
 
 // Steps is the uniform window step count the scheduler serves.
@@ -389,6 +415,10 @@ func (s *Scheduler) gather() {
 // batch, at most FairShare per producer; the rest stay pending in
 // order. Per-producer order is preserved on both sides of the split,
 // which is what keeps the demux aligned with each session's round.
+// Only entries sharing the head entry's precision tier coalesce — a
+// batch runs on one clone at one tier — so other-tier windows defer to
+// a later tick; they head the pending list after this batch drains, so
+// alternating tiers ping-pong rather than starve.
 //
 //axsnn:hotpath
 func (s *Scheduler) selectBatch() {
@@ -398,8 +428,12 @@ func (s *Scheduler) selectBatch() {
 	s.gathered = s.gathered[:0]
 	kept := s.pending[:0]
 	deferred := 0
+	var tier snn.PrecisionTier
+	if len(s.pending) > 0 {
+		tier = s.pending[0].tier
+	}
 	for _, e := range s.pending {
-		if len(s.gathered) < s.o.MaxBatch && e.owner.taken < s.o.FairShare {
+		if e.tier == tier && len(s.gathered) < s.o.MaxBatch && e.owner.taken < s.o.FairShare {
 			e.owner.taken++
 			s.noteTaken(int64(e.owner.taken))
 			s.gathered = append(s.gathered, e) //axsnn:allow-alloc capped at MaxBatch; backing array preallocated at construction
@@ -447,6 +481,9 @@ func (s *Scheduler) buildSamples() int {
 		}
 		valid = append(valid, e)                //axsnn:allow-alloc in-place filter over gathered: reuses gathered's own backing array
 		s.samples = append(s.samples, e.frames) //axsnn:allow-alloc capped at MaxBatch; backing array preallocated at construction
+		if s.o.Energy != nil {
+			s.insums[len(s.samples)-1] = frameSum(e.frames)
+		}
 	}
 	s.gathered = valid
 	return len(s.gathered)
@@ -467,9 +504,28 @@ func (s *Scheduler) classify(fill int) (err error) {
 			}
 		}
 	}()
-	clone := s.o.Clones.AcquireClone()
+	var clone *snn.Network
+	if tier := s.gathered[0].tier; tier != snn.TierFP32 {
+		// selectBatch keeps batches tier-uniform; supportsTier was
+		// checked when the producer's pipeline was built, so the tiered
+		// source is present whenever a non-FP32 entry gets this far.
+		clone = s.tierClones.AcquireCloneTier(tier)
+	} else {
+		clone = s.o.Clones.AcquireClone()
+	}
 	defer s.o.Clones.ReleaseClone(clone)
+	if s.o.Energy != nil {
+		clone.ResetStats()
+	}
 	clone.PredictBatchInto(s.samples[:fill], s.out[:fill])
+	if s.o.Energy != nil {
+		inputSum := 0.0
+		for _, v := range s.insums[:fill] {
+			inputSum += v
+		}
+		total, _ := s.o.Energy.BatchSOPs(clone, inputSum, fill)
+		splitSOPs(total, s.insums[:fill], s.sopsOut[:fill])
+	}
 	s.confirmed = true
 	return nil
 }
@@ -482,6 +538,7 @@ func (s *Scheduler) classify(fill int) (err error) {
 func (s *Scheduler) demux(fill int) {
 	for i, e := range s.gathered[:fill] {
 		e.owner.out[e.slot] = s.out[i]
+		e.owner.sops[e.slot] = s.sopsOut[i]
 		owner, slot := e.owner, e.slot
 		s.recycle(e)
 		owner.compl <- complMsg{slot: slot}
@@ -539,8 +596,10 @@ type complMsg struct {
 type Producer struct {
 	s     *Scheduler
 	compl chan complMsg
-	out   []int // per-round classes, indexed by submission slot
-	taken int   // scheduler-goroutine-only: windows granted this tick
+	out   []int             // per-round classes, indexed by submission slot
+	sops  []float64         // per-round SOP estimates, indexed by submission slot
+	tier  snn.PrecisionTier // precision tier every submission carries
+	taken int               // scheduler-goroutine-only: windows granted this tick
 }
 
 // NewProducer registers a producer that will have at most inflight
@@ -555,6 +614,7 @@ func (s *Scheduler) NewProducer(inflight int) *Producer {
 		s:     s,
 		compl: make(chan complMsg, inflight),
 		out:   make([]int, inflight),
+		sops:  make([]float64, inflight),
 	}
 }
 
@@ -584,7 +644,7 @@ func (p *Producer) frames(e *windowEntry, h, w int) []*tensor.Tensor {
 //
 //axsnn:hotpath
 func (p *Producer) submit(e *windowEntry, slot int) {
-	e.owner, e.slot = p, slot
+	e.owner, e.slot, e.tier = p, slot, p.tier
 	select {
 	case p.s.queue <- e:
 	case <-p.s.stop:

@@ -125,6 +125,43 @@ type Options struct {
 	// first recording's dimensions are adopted and every later Run must
 	// match them.
 	SensorW, SensorH int
+	// Tier is the precision tier this pipeline classifies on
+	// (snn.TierFP32 by default). TierINT8 requires int8 panels: on the
+	// served network for pipeline-owned clones, or a CloneSource /
+	// Scheduler whose clone source implements TierCloneSource.
+	Tier snn.PrecisionTier
+	// Energy, when non-nil, attributes estimated synaptic operations
+	// (SOPs) to every classified window: Result.SOPs carries each
+	// window's share of its batch's total, split proportionally to the
+	// windows' input activity. The accounting is an estimate — spiking
+	// statistics are aggregated per batch, so a window's SOPs can vary
+	// with the batch it rode in — and is allocation-free in the steady
+	// state. The serve tier passes its per-checkpoint energy model.
+	Energy EnergyAccount
+}
+
+// EnergyAccount attributes a batch's synaptic work. The approx
+// package's EnergyModel is the canonical implementation; the interface
+// keeps stream free of the approx dependency. BatchSOPs runs on the
+// classification hot path and must not allocate or block.
+type EnergyAccount interface {
+	// BatchSOPs returns the performed and unpruned-baseline SOP counts
+	// of the batch net just classified: the caller reset spike
+	// statistics before the forward and supplies the batch's total
+	// input activity and sample count.
+	BatchSOPs(net *snn.Network, inputSum float64, batch int) (sops, possible float64)
+}
+
+// TierCloneSource is a CloneSource that can hand out clones pinned to
+// a precision tier — the serve pool implements it so INT8 sessions
+// draw int8-panel clones from the same bounded pool FP32 sessions use.
+type TierCloneSource interface {
+	CloneSource
+	// SupportsTier reports whether AcquireCloneTier can serve tier t.
+	SupportsTier(t snn.PrecisionTier) bool
+	// AcquireCloneTier is AcquireClone with the clone switched to tier
+	// t before it is returned.
+	AcquireCloneTier(t snn.PrecisionTier) *snn.Network
 }
 
 // DefaultBatch is the window-batch width used when Options.Batch is
@@ -196,6 +233,15 @@ func (o Options) withDefaults(net *snn.Network) (Options, error) {
 		if o.Steps != o.Scheduler.Steps() {
 			return o, fmt.Errorf("stream: pipeline voxelizes %d steps, scheduler serves %d", o.Steps, o.Scheduler.Steps())
 		}
+		if o.Tier != snn.TierFP32 && !o.Scheduler.supportsTier(o.Tier) {
+			return o, fmt.Errorf("stream: scheduler's clone source cannot serve the %v tier", o.Tier)
+		}
+	}
+	if o.Tier != snn.TierFP32 && o.Clones != nil {
+		ts, ok := o.Clones.(TierCloneSource)
+		if !ok || !ts.SupportsTier(o.Tier) {
+			return o, fmt.Errorf("stream: clone source cannot serve the %v tier", o.Tier)
+		}
 	}
 	return o, nil
 }
@@ -210,6 +256,11 @@ type Result struct {
 	Events int
 	// Class is the predicted class.
 	Class int
+	// SOPs is the window's estimated synaptic-operation count — its
+	// activity-weighted share of the batch it classified in — or 0
+	// when the pipeline runs without Options.Energy. Unlike Class it
+	// is an estimate, not deterministic across batch compositions.
+	SOPs float64
 }
 
 // slot is one recycled in-flight staging window: its events (copied
@@ -245,6 +296,14 @@ type Pipeline struct {
 	inc    *defense.IncrementalAQF
 	prod   *Producer // producer mode (o.Scheduler): the shared-classifier handle
 
+	// Tier/energy plumbing: the tiered view of o.Clones (nil when the
+	// pipeline runs FP32 or owns its clones), and the per-slot SOP
+	// estimates plus per-batch input-activity scratch, preallocated so
+	// the accounting rides the zero-alloc hot path.
+	tierSrc TierCloneSource
+	sops    []float64 // per-round SOP estimates, aligned with slots
+	insums  []float64 // per-slot input-activity scratch for the split
+
 	// classify's bound-method closure, created once so the steady-state
 	// flush does not allocate; runH/runW are the current recording's
 	// sensor dims, set at the top of Run.
@@ -273,7 +332,12 @@ func NewPipeline(net *snn.Network, o Options) (*Pipeline, error) {
 			p.clones = make([]*snn.Network, o.Workers)
 			for i := range p.clones {
 				p.clones[i] = net.CloneArchitecture()
+				if err := p.clones[i].SetTier(o.Tier); err != nil {
+					return nil, fmt.Errorf("stream: %w", err)
+				}
 			}
+		} else if o.Tier != snn.TierFP32 {
+			p.tierSrc = o.Clones.(TierCloneSource) // validated in withDefaults
 		}
 		p.pool = o.Slots
 		if p.pool == nil {
@@ -288,12 +352,15 @@ func NewPipeline(net *snn.Network, o Options) (*Pipeline, error) {
 	}
 	p.chunk = make([]dvs.Event, o.ChunkEvents)
 	p.out = make([]int, len(p.slots))
+	p.sops = make([]float64, len(p.slots))
+	p.insums = make([]float64, len(p.slots))
 	p.body = p.classify
 	if o.Scheduler != nil {
 		// Producer mode: the round width bounds this pipeline's windows
 		// in flight at the scheduler, so the completion channel sized to
 		// it can never block the shared demux.
 		p.prod = o.Scheduler.NewProducer(len(p.slots))
+		p.prod.tier = o.Tier
 	}
 	return p, nil
 }
@@ -454,7 +521,12 @@ func (p *Pipeline) classifyBatch(lo, end int) {
 	bs := p.pool.AcquireSlot()
 	defer p.pool.ReleaseSlot(bs)
 	var clone *snn.Network
-	if p.o.Clones != nil {
+	if p.tierSrc != nil {
+		// Tiered serving mode: the pool pins the clone to this
+		// pipeline's precision tier before handing it over.
+		clone = p.tierSrc.AcquireCloneTier(p.o.Tier)
+		defer p.o.Clones.ReleaseClone(clone)
+	} else if p.o.Clones != nil {
 		// Serving mode: draw a clone from the shared bounded pool
 		// for just this batch. All pooled clones share the served
 		// weights, so which one answers cannot change a class.
@@ -467,9 +539,54 @@ func (p *Pipeline) classifyBatch(lo, end int) {
 	for j, s := range p.slots[lo:end] {
 		frames := bs.Frames(j, p.o.Steps, h, w)
 		p.stageWindow(s, frames)
+		if p.o.Energy != nil {
+			p.insums[lo+j] = frameSum(frames)
+		}
 		samples = append(samples, frames) //axsnn:allow-alloc capped at Batch; backing array preallocated at pool construction
 	}
+	if p.o.Energy != nil {
+		clone.ResetStats()
+	}
 	clone.PredictBatchInto(samples, p.out[lo:end])
+	if p.o.Energy != nil {
+		inputSum := 0.0
+		for _, v := range p.insums[lo:end] {
+			inputSum += v
+		}
+		total, _ := p.o.Energy.BatchSOPs(clone, inputSum, end-lo)
+		splitSOPs(total, p.insums[lo:end], p.sops[lo:end])
+	}
+}
+
+// frameSum totals a window's voxelized input activity — the weight its
+// SOP share is split by.
+//
+//axsnn:hotpath
+func frameSum(frames []*tensor.Tensor) float64 {
+	sum := 0.0
+	for _, f := range frames {
+		sum += f.Sum()
+	}
+	return sum
+}
+
+// splitSOPs distributes a batch's total SOP estimate over its windows
+// proportionally to their input activity (equal split when the whole
+// batch was silent — zero activity still pays the readout's baseline).
+//
+//axsnn:hotpath
+func splitSOPs(total float64, insums, sops []float64) {
+	weight := 0.0
+	for _, v := range insums {
+		weight += v
+	}
+	for i := range sops {
+		if weight > 0 {
+			sops[i] = total * insums[i] / weight
+		} else {
+			sops[i] = total / float64(len(sops))
+		}
+	}
 }
 
 // stageWindow filters one staged window and voxelizes it into frames —
@@ -533,7 +650,7 @@ func (p *Pipeline) flush(ready int, emit func(Result) error) error {
 		p.o.Observer.ObserveRound(ready, time.Now().UnixNano()-t0) //axsnn:allow-alloc observability clock read, once per round, outside the reproducible kernels
 	}
 	for i, s := range p.slots[:ready] {
-		r := Result{Window: s.index, StartMS: s.start, Events: s.kept, Class: p.out[i]}
+		r := Result{Window: s.index, StartMS: s.start, Events: s.kept, Class: p.out[i], SOPs: p.sops[i]}
 		if err := emit(r); err != nil {
 			return err
 		}
@@ -582,7 +699,7 @@ func (p *Pipeline) flushShared(ready int, emit func(Result) error) error {
 		p.o.Observer.ObserveRound(ready, time.Now().UnixNano()-t0) //axsnn:allow-alloc observability clock read, once per round, outside the reproducible kernels
 	}
 	for i, s := range p.slots[:ready] {
-		r := Result{Window: s.index, StartMS: s.start, Events: s.kept, Class: p.prod.out[i]}
+		r := Result{Window: s.index, StartMS: s.start, Events: s.kept, Class: p.prod.out[i], SOPs: p.prod.sops[i]}
 		if err := emit(r); err != nil {
 			return err
 		}
