@@ -52,7 +52,7 @@ race:
 # One iteration of the hot-path benchmarks: keeps perf regressions
 # visible without burning CI minutes.
 bench:
-	$(GO) test -run '^$$' -bench 'SNNInference|TrainStep|GEMM|PGDCraft|StreamWindow|SchedulerTick|ServeWindow|ServeCreditWindow|ServeSlowConsumer' -benchtime=1x . ./internal/stream ./internal/serve
+	$(GO) test -run '^$$' -bench 'SNNInference|TrainStep|GEMM|PGDCraft|StreamWindow|SchedulerTick|ServeWindow|ServeCreditWindow|ServeSlowConsumer|ServeRouted' -benchtime=1x . ./internal/stream ./internal/serve
 
 # The machine-readable benchmark artifact CI archives (inference +
 # training arenas, event-domain attack/filter hot paths, the streaming
@@ -65,17 +65,18 @@ bench:
 bench-json:
 	$(GO) test -run '^$$' -bench 'Predict|NeuromorphicPerturbSet|AQFFilterSet|SNNInference|TrainStep|GEMM|Stream|Scheduler|Serve|IncrementalAQF' \
 		-benchtime=$(BENCHTIME) . ./internal/stream ./internal/serve > bench.txt
-	$(GO) run ./cmd/benchjson -zeroalloc '^Benchmark(Predict(Int8)?|TrainStep|StreamWindow|SchedulerTick/fill=[0-9]+|ServeWindow|ServeCreditWindow)$$' < bench.txt > BENCH_pr9.json
+	$(GO) run ./cmd/benchjson -zeroalloc '^Benchmark(Predict(Int8)?|TrainStep|StreamWindow|SchedulerTick/fill=[0-9]+|ServeWindow|ServeCreditWindow)$$' < bench.txt > BENCH_pr10.json
 
 # Short coverage-guided runs of the fuzz targets — the event codec's
 # oracle contracts, the incremental AQF's bit-identity to the
-# whole-stream filter, and the serve framing layer against hostile
-# client byte streams. Fails fast on the first failing target.
+# whole-stream filter, and the serve framing layer (direct and through
+# the router's frame-aware relay) against hostile client byte streams.
+# Fails fast on the first failing target.
 fuzz-smoke:
 	@set -e; \
 	for spec in "./internal/dvs FuzzStreamReader" "./internal/dvs FuzzStreamRoundTrip" \
 		"./internal/dvs FuzzReadAEDAT" "./internal/defense FuzzIncrementalAQF" \
-		"./internal/serve FuzzServeFraming"; do \
+		"./internal/serve FuzzServeFraming" "./internal/serve FuzzRouterProxy"; do \
 		set -- $$spec; \
 		echo "== $$2 ($$1)"; \
 		$(GO) test $$1 -run '^$$' -fuzz "^$$2$$" -fuzztime $(FUZZTIME) || { echo "FUZZ FAILURE: $$2 in $$1"; exit 1; }; \

@@ -14,7 +14,7 @@
 //	            [-metrics :7361] [-idle-timeout 2m] [-write-timeout 30s]
 //	            [-queue-timeout 0] [-result-window 256]
 //	            [-shared-batch] [-max-batch 16] [-tick-interval 0]
-//	            [-fair-share 4]
+//	            [-fair-share 4] [-admin-swap]
 //
 // Without -checkpoint a small gesture classifier is trained on
 // synthetic 32×32 DVS streams at startup (the same quick model
@@ -24,12 +24,39 @@
 // by default, the lossy per-window form with -perwindow.
 //
 // -metrics starts an HTTP observability listener serving the counter
-// registry as JSON on /metrics (and the process-global expvar
-// namespace, including the same snapshot, on /debug/vars). The
-// hardening knobs map straight onto serve.ServerOptions: -idle-timeout
-// and -write-timeout bound per-frame I/O, -queue-timeout opts
-// connections at a full server into bounded admission queueing, and
-// -result-window caps buffered undelivered results per session.
+// registry on /metrics — JSON by default, Prometheus text exposition
+// with ?format=prometheus or a text/plain Accept header — and the
+// process-global expvar namespace on /debug/vars. The hardening knobs
+// map straight onto serve.ServerOptions: -idle-timeout and
+// -write-timeout bound per-frame I/O, -queue-timeout opts connections
+// at a full server into bounded admission queueing, and -result-window
+// caps buffered undelivered results per session. -admin-swap enables
+// the frameSwap checkpoint RPC on client connections (required on
+// replicas fronted by a router; leave it off on servers exposed to
+// untrusted clients).
+//
+// Router mode:
+//
+//	axsnn-serve -route 127.0.0.1:7401,127.0.0.1:7402[,...]
+//	            [-addr :7360] [-spawn] [-health-interval 2s]
+//	            [-checkpoint model.gob] [-metrics :7361]
+//	            [-idle-timeout 2m] [-write-timeout 30s] [-dial-timeout 10s]
+//
+// The horizontal scale-out front tier: client connections are accepted
+// on -addr and each session is placed onto one of the -route replicas
+// by rendezvous hash, the framing relayed verbatim both ways (hello
+// handshakes and credit grants included). Replicas are health-checked
+// every -health-interval; a dying replica turns its in-flight sessions
+// into clean frameErrors and new sessions re-place onto survivors, and
+// a recovered replica is resynced to the last fanned-out checkpoint
+// before rejoining. SIGHUP fans -checkpoint out to every replica as an
+// all-or-nothing prepare/commit swap (rolled back everywhere if any
+// replica fails to stage it). -spawn additionally starts one supervised
+// replica subprocess per -route address — the same binary in server
+// mode with -admin-swap, restarted with backoff if it exits — turning
+// one command line into a small local fleet. -metrics serves the
+// router's snapshot (sessions per replica, up/down, re-placements,
+// proxy p50/p99) with the same JSON/Prometheus negotiation.
 //
 // Sessions share one continuous-batching scheduler by default: ready
 // windows from every connection coalesce into classifier batches of up
@@ -41,17 +68,21 @@
 //
 //	axsnn-serve -load [-addr host:7360] [-sessions 8] [-recordings 4]
 //	            [-segments 6] [-window 600] [-seed N] [-credit-window 64]
-//	            [-dial-timeout 10s] [-int8] [-metrics host:7361]
+//	            [-dial-timeout 10s] [-int8] [-private-batch] [-legacy]
+//	            [-metrics host:7361]
 //
 // Opens -sessions concurrent sessions, streams -recordings synthetic
 // multi-gesture flows on each, checks the protocol invariants (window
 // order, declared counts) and reports aggregate windows/s. Sessions
-// grant result credits per -credit-window (0 disables credit flow for
-// legacy-style streaming); -private-batch opts every generator session
-// out of the server's shared scheduler; -int8 requests the quantized
-// INT8 precision tier on every session (the server rejects it if the
-// served model carries no int8 panels); with -metrics the server's
-// metrics endpoint is fetched and printed after the run.
+// negotiate their config via the hello handshake: -credit-window sets
+// the result window (negative disables credit flow), -private-batch
+// opts every generator session out of the server's shared scheduler,
+// -int8 requests the quantized INT8 precision tier (the server refuses
+// the hello if the served model carries no int8 panels), and -legacy
+// drives the pre-handshake bit-latching protocol instead — the
+// regression path. The generator points at a server or a router
+// unchanged; with -metrics the metrics endpoint is fetched and printed
+// after the run.
 package main
 
 import (
@@ -64,7 +95,9 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/exec"
 	"os/signal"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -114,6 +147,11 @@ func main() {
 	dialTimeout := flag.Duration("dial-timeout", 0, "-load connection timeout (0 = 10s default)")
 	privateBatch := flag.Bool("private-batch", false, "-load sessions opt out of the server's shared scheduler")
 	int8Tier := flag.Bool("int8", false, "-load sessions request the quantized INT8 precision tier")
+	legacy := flag.Bool("legacy", false, "-load sessions speak the pre-handshake bit-latching protocol")
+	adminSwap := flag.Bool("admin-swap", false, "allow the frameSwap checkpoint RPC on client connections (required on routed replicas)")
+	route := flag.String("route", "", "comma-separated replica addresses; run as router front tier instead of server")
+	spawn := flag.Bool("spawn", false, "router spawns and supervises one replica subprocess per -route address")
+	healthInterval := flag.Duration("health-interval", 0, "router replica health-check interval (0 = 2s default)")
 	flag.Parse()
 	tensor.SetWorkers(*workers)
 
@@ -121,18 +159,34 @@ func main() {
 	gcfg.Duration = *window
 
 	if *loadMode {
+		cw := *creditWindow
+		if cw < 0 {
+			cw = serve.Creditless
+		}
+		cfg := serve.SessionConfig{
+			PrivateBatch: *privateBatch,
+			CreditWindow: cw,
+		}
+		if *int8Tier {
+			cfg.Tier = snn.TierINT8
+		}
 		copts := serve.ClientOptions{
-			CreditWindow: *creditWindow,
+			Config:       cfg,
+			Legacy:       *legacy,
 			DialTimeout:  *dialTimeout,
 			IdleTimeout:  *idleTimeout,
 			WriteTimeout: *writeTimeout,
-			PrivateBatch: *privateBatch,
-			Int8:         *int8Tier,
 		}
 		runLoad(*addr, *sessions, *recordings, *segments, gcfg, *seed, copts)
 		if *metricsAddr != "" {
 			fetchMetrics(*metricsAddr)
 		}
+		return
+	}
+
+	if *route != "" {
+		runRouter(*route, *addr, *spawn, *healthInterval, *checkpoint, *metricsAddr,
+			*idleTimeout, *writeTimeout, *dialTimeout)
 		return
 	}
 
@@ -166,6 +220,7 @@ func main() {
 		QueueTimeout: *queueTimeout, ResultWindow: *resultWindow,
 		SharedBatch: serve.Bool(*sharedBatch), MaxBatch: *maxBatch,
 		TickInterval: *tickInterval, FairShare: *fairShare,
+		AdminSwap: *adminSwap,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -210,6 +265,111 @@ func main() {
 		ln.Addr(), *sessions, effectivePool(*pool), *window)
 	if err := srv.Serve(ln); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// runRouter is router mode: the horizontal scale-out front tier placing
+// sessions across the -route replica set.
+func runRouter(route, addr string, spawn bool, healthInterval time.Duration,
+	checkpoint, metricsAddr string, idleTimeout, writeTimeout, dialTimeout time.Duration) {
+	replicas := strings.Split(route, ",")
+	for i := range replicas {
+		replicas[i] = strings.TrimSpace(replicas[i])
+	}
+	if spawn {
+		for _, raddr := range replicas {
+			go superviseReplica(raddr)
+		}
+	}
+	rt, err := serve.NewRouter(serve.RouterOptions{
+		Replicas:       replicas,
+		HealthInterval: healthInterval,
+		DialTimeout:    dialTimeout,
+		IdleTimeout:    idleTimeout,
+		WriteTimeout:   writeTimeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", rt.MetricsHandler())
+		mux.Handle("/debug/vars", expvar.Handler())
+		mln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			log.Fatalf("metrics listener: %v", err)
+		}
+		fmt.Printf("router metrics on http://%s/metrics\n", mln.Addr())
+		go func() {
+			if err := http.Serve(mln, mux); err != nil {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+	}
+
+	if checkpoint != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				statuses, err := rt.SwapAll(checkpoint)
+				for _, st := range statuses {
+					switch {
+					case st.OK:
+						log.Printf("swap %s: ok (generation %d, fingerprint %016x)", st.Addr, st.Generation, st.Fingerprint)
+					case st.RolledBack:
+						log.Printf("swap %s: staged, rolled back", st.Addr)
+					default:
+						log.Printf("swap %s: %s", st.Addr, st.Err)
+					}
+				}
+				if err != nil {
+					log.Printf("fleet swap failed (replicas keep previous weights): %v", err)
+					continue
+				}
+				log.Printf("fleet hot-swapped %s across %d replicas", checkpoint, len(statuses))
+			}
+		}()
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("routing %s across %d replicas: %s\n", ln.Addr(), len(replicas), strings.Join(replicas, ", "))
+	if err := rt.Serve(ln); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// superviseReplica keeps one replica subprocess alive: the same binary
+// in server mode listening on raddr with the swap RPC enabled,
+// inheriting every explicitly-set serving flag from the router's command
+// line, restarted with backoff when it exits.
+func superviseReplica(raddr string) {
+	args := []string{"-addr", raddr, "-admin-swap"}
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "addr", "admin-swap", "route", "spawn", "metrics", "load":
+			return
+		}
+		args = append(args, "-"+f.Name+"="+f.Value.String())
+	})
+	backoff := time.Second
+	for {
+		cmd := exec.Command(os.Args[0], args...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		start := time.Now()
+		err := cmd.Run()
+		log.Printf("replica %s exited after %v: %v", raddr, time.Since(start).Round(time.Millisecond), err)
+		if time.Since(start) > 30*time.Second {
+			backoff = time.Second
+		} else if backoff *= 2; backoff > 30*time.Second {
+			backoff = 30 * time.Second
+		}
+		time.Sleep(backoff)
 	}
 }
 

@@ -3,10 +3,12 @@ package serve
 import (
 	"bytes"
 	"fmt"
+	"net"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/snn"
 	"repro/internal/stream"
 	"repro/internal/tensor"
 )
@@ -87,7 +89,7 @@ func BenchmarkServeSlowConsumer(b *testing.B) {
 			copts := ClientOptions{}
 			if s == 0 {
 				emit = stall
-				copts.CreditWindow = 2
+				copts.Config.CreditWindow = 2
 			}
 			wg.Add(1)
 			go func() {
@@ -211,8 +213,108 @@ func BenchmarkServeSessionsTiered(b *testing.B) {
 	for _, sessions := range []int{4, 16} {
 		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
 			benchSessionsClients(b, sessions, ServerOptions{}, func(s int) ClientOptions {
-				return ClientOptions{Int8: s%2 == 1}
+				cfg := SessionConfig{}
+				if s%2 == 1 {
+					cfg.Tier = snn.TierINT8
+				}
+				return ClientOptions{Config: cfg}
 			})
 		})
 	}
+}
+
+// BenchmarkServeRouted prices the router tier: the same concurrent
+// session load over loopback TCP against one replica directly
+// (mode=direct) and through one router fronting two replicas
+// (mode=routed). Compare windows/s for the relay's throughput cost; the
+// routed run also reports the router's per-frame proxy p99 — the
+// latency the front tier adds to each result frame.
+func BenchmarkServeRouted(b *testing.B) {
+	const sessions = 8
+	defer tensor.SetWorkers(0)
+	tensor.SetWorkers(0)
+	master := testNet(6, 81)
+	o := stream.Options{WindowMS: 60, Steps: 6, Batch: 2, ChunkEvents: 1024}
+	data := testRecording(b, 3, 360, 91)
+	windows := len(standalone(b, master, data, o))
+
+	newReplica := func(b *testing.B) string {
+		b.Helper()
+		// Session teardown over TCP is asynchronous (the server reaps a
+		// session after the client's Close lands), so consecutive
+		// iterations briefly overlap; 4x headroom keeps admission from
+		// becoming the bottleneck being measured.
+		srv, err := NewServer(master.DeepClone(), ServerOptions{
+			Pipeline: o, MaxSessions: 4 * sessions, PoolSize: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Skipf("tcp listen unavailable: %v", err)
+		}
+		go func() { _ = srv.Serve(ln) }()
+		b.Cleanup(func() { srv.Close() })
+		return ln.Addr().String()
+	}
+
+	run := func(b *testing.B, addr string) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			errs := make(chan error, sessions)
+			for s := 0; s < sessions; s++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					cl, err := Dial(addr, ClientOptions{})
+					if err != nil {
+						errs <- err
+						return
+					}
+					defer cl.Close()
+					if _, err := cl.Stream(bytes.NewReader(data), nil); err != nil {
+						errs <- err
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N*sessions*windows)/b.Elapsed().Seconds(), "windows/s")
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*sessions*windows), "ns/window")
+	}
+
+	b.Run("mode=direct", func(b *testing.B) {
+		run(b, newReplica(b))
+	})
+	b.Run("mode=routed", func(b *testing.B) {
+		rt, err := NewRouter(RouterOptions{
+			Replicas:       []string{newReplica(b), newReplica(b)},
+			HealthInterval: 50 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { rt.Close() })
+		deadline := time.Now().Add(30 * time.Second)
+		for rt.Healthy() < 2 {
+			if time.Now().After(deadline) {
+				b.Fatal("replicas never came up")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		rln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Skipf("tcp listen unavailable: %v", err)
+		}
+		go func() { _ = rt.Serve(rln) }()
+		run(b, rln.Addr().String())
+		hist := rt.metrics.ProxyLatency.Snapshot()
+		b.ReportMetric(float64(hist.Quantile(0.99))/float64(time.Millisecond), "proxyp99ms")
+	})
 }

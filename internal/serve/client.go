@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/snn"
 	"repro/internal/stream"
 )
 
@@ -22,15 +23,22 @@ const DefaultCreditWindow = 64
 // DefaultDialTimeout bounds Dial's connection establishment.
 const DefaultDialTimeout = 10 * time.Second
 
-// ClientOptions configure a Client's flow control and deadlines.
+// ClientOptions configure a Client: the session configuration it
+// negotiates and the transport deadlines it applies.
 type ClientOptions struct {
-	// CreditWindow is the result window granted to the server: it may
-	// stream at most this many results past what emit has consumed.
-	// The client tops the window up as results are consumed, so a fast
-	// consumer never stalls the server while a slow one bounds its
-	// memory. 0 uses DefaultCreditWindow; negative disables credit
-	// flow entirely (the pre-credit protocol).
-	CreditWindow int
+	// Config is the session configuration to negotiate: private
+	// batching, precision tier, credit window, protocol version. Zero
+	// values mean defaults (see SessionConfig); invalid values — a
+	// credit window below Creditless, an unknown tier, a version this
+	// build cannot speak — are reported as errors by the first Client
+	// call, never silently clamped.
+	Config SessionConfig
+	// Legacy skips the hello handshake and speaks the pre-PR10 wire
+	// protocol: mode bits latched via frameMode, credit flow switched
+	// on implicitly by the first frameCredit. Config still supplies the
+	// settings; only their encoding changes. Kept as a first-class
+	// option so the bit-latching fallback stays regression-tested.
+	Legacy bool
 	// DialTimeout bounds Dial. 0 uses DefaultDialTimeout, negative
 	// disables.
 	DialTimeout time.Duration
@@ -41,17 +49,13 @@ type ClientOptions struct {
 	// WriteTimeout bounds each outgoing frame write. 0 uses
 	// DefaultWriteTimeout, negative disables.
 	WriteTimeout time.Duration
-	// PrivateBatch opts this session out of the server's shared-batch
-	// scheduler onto a private pipeline (a frameMode frame sent ahead
-	// of the first recording). Results are bit-identical either way;
-	// this is the bit-exactness debugging escape hatch.
-	PrivateBatch bool
-	// Int8 requests the quantized INT8 precision tier for the session
-	// (modeInt8 on the same frameMode frame): weighted layers run
-	// per-channel int8 panels instead of exact FP32. Deterministic, but
-	// carries the pinned weight-quantization error; a server without
-	// int8 panels rejects the session's first recording.
-	Int8 bool
+}
+
+// Validate rejects option values the protocol cannot express. The
+// timeouts keep their documented conventions (0 default, negative
+// disabled) and are never errors.
+func (o ClientOptions) Validate() error {
+	return o.Config.Validate()
 }
 
 // Client speaks the serve framing protocol over one session
@@ -62,6 +66,11 @@ type Client struct {
 	br   *bufio.Reader
 	pbuf []byte
 	o    ClientOptions
+	// cfg is the resolved session config (wire form: CreditWindow 0
+	// means creditless), err a construction-time validation failure
+	// surfaced by the first call that would touch the wire.
+	cfg SessionConfig
+	err error
 
 	// wmu serializes the two frame producers — the upload goroutine's
 	// data frames and the read loop's credit grants — onto the shared
@@ -75,6 +84,10 @@ type Client struct {
 	granted atomic.Int64
 	started bool
 
+	// negotiated holds the server's accept echo once it has arrived.
+	negotiated SessionConfig
+	accepted   bool
+
 	// lastSOPs is the total estimated synaptic-operation count the
 	// server reported for the most recent recording (0 from a
 	// pre-energy server). Read via LastSOPs after Stream returns.
@@ -87,18 +100,21 @@ func NewClient(conn net.Conn) *Client {
 	return NewClientOptions(conn, ClientOptions{})
 }
 
-// NewClientOptions wraps an established session connection.
+// NewClientOptions wraps an established session connection. Invalid
+// options do not fail construction — the signature predates
+// validation — but poison the client: the first Stream, Ping, or swap
+// RPC reports the validation error without touching the wire.
 func NewClientOptions(conn net.Conn, o ClientOptions) *Client {
-	if o.CreditWindow == 0 {
-		o.CreditWindow = DefaultCreditWindow
-	}
-	if o.CreditWindow < 0 {
-		o.CreditWindow = 0
-	}
 	o.IdleTimeout = normTimeout(o.IdleTimeout, DefaultIdleTimeout)
 	o.WriteTimeout = normTimeout(o.WriteTimeout, DefaultWriteTimeout)
 	dc := &deadlineConn{conn: conn, idle: o.IdleTimeout, write: o.WriteTimeout}
-	return &Client{conn: conn, br: bufio.NewReader(dc), fw: newFrameWriter(dc), o: o}
+	c := &Client{conn: conn, br: bufio.NewReader(dc), fw: newFrameWriter(dc), o: o}
+	if err := o.Validate(); err != nil {
+		c.err = err
+		return c
+	}
+	c.cfg = o.Config.withDefaults()
+	return c
 }
 
 // Dial connects a session to a serve address.
@@ -126,25 +142,31 @@ func (c *Client) Close() error { return c.conn.Close() }
 // returns nil; not safe concurrently with Stream.
 func (c *Client) LastSOPs() float64 { return c.lastSOPs }
 
+// Negotiated returns the server's accept echo — the effective session
+// configuration — and whether it has arrived yet. It is valid after the
+// first Stream or Ping returns (a legacy session never receives one).
+// Not safe concurrently with Stream.
+func (c *Client) Negotiated() (SessionConfig, bool) {
+	return c.negotiated, c.accepted
+}
+
 // Stream sends one AEDAT recording and calls emit for every window
 // result, in window order, as the server classifies them. It returns
 // the server's window count. Sending and receiving run concurrently —
 // the server streams results while the recording is still uploading —
 // which is what makes the protocol deadlock-free over synchronous
-// transports. Under credit flow (the default) the initial grant rides
-// ahead of the first data frame on the upload goroutine, and top-ups
-// are sent from the read loop once half the window is consumed.
+// transports. The session's first Stream leads with the hello frame
+// (or the legacy mode/credit opening), whose credit window doubles as
+// the initial grant; top-ups are sent from the read loop once half the
+// window is consumed.
 func (c *Client) Stream(recording io.Reader, emit func(stream.Result) error) (int, error) {
-	initialGrant, sendMode := 0, false
-	if !c.started {
-		c.started = true
-		sendMode = c.o.PrivateBatch || c.o.Int8
-		if c.o.CreditWindow > 0 {
-			initialGrant = c.o.CreditWindow
-		}
+	if c.err != nil {
+		return 0, c.err
 	}
+	opening := !c.started
+	c.started = true
 	writeErr := make(chan error, 1)
-	go func() { writeErr <- c.send(recording, initialGrant, sendMode) }()
+	go func() { writeErr <- c.send(recording, opening) }()
 
 	for {
 		typ, n, err := readHeader(c.br)
@@ -176,6 +198,12 @@ func (c *Client) Stream(recording io.Reader, emit func(stream.Result) error) (in
 				<-writeErr
 				return 0, err
 			}
+		case frameAccept:
+			if err := c.applyAccept(payload); err != nil {
+				c.conn.Close()
+				<-writeErr
+				return 0, err
+			}
 		case frameDone:
 			if n != 4 && n != legacyDoneSize && n != doneSize {
 				c.conn.Close()
@@ -190,7 +218,7 @@ func (c *Client) Stream(recording io.Reader, emit func(stream.Result) error) (in
 			if err := <-writeErr; err != nil {
 				return count, err
 			}
-			if n >= legacyDoneSize && c.o.CreditWindow > 0 {
+			if n >= legacyDoneSize && c.cfg.CreditWindow > 0 {
 				// Resync from the server's view — it also absorbs the
 				// benign startup race where results streamed before the
 				// first grant was processed — then restore a full
@@ -216,14 +244,125 @@ func (c *Client) Stream(recording io.Reader, emit func(stream.Result) error) (in
 	}
 }
 
+// applyAccept records the server's negotiated-config echo.
+func (c *Client) applyAccept(payload []byte) error {
+	cfg, err := decodeHello(payload)
+	if err != nil {
+		return fmt.Errorf("serve: decoding accept frame: %w", err)
+	}
+	c.negotiated, c.accepted = cfg, true
+	return nil
+}
+
+// Ping performs the hello/accept handshake without streaming a
+// recording — the router's health probe, and a cheap way to learn the
+// server's effective config. Requires the hello protocol (a legacy
+// session has no handshake to complete). Safe to call before Stream;
+// redundant calls return immediately once the accept has arrived.
+func (c *Client) Ping() error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.o.Legacy {
+		return errors.New("serve: Ping requires the hello handshake (non-legacy client)")
+	}
+	if !c.started {
+		c.started = true
+		if err := c.sendOpening(); err != nil {
+			return err
+		}
+	}
+	for !c.accepted {
+		typ, payload, err := c.readFrame()
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case frameAccept:
+			if err := c.applyAccept(payload); err != nil {
+				return err
+			}
+		case frameError:
+			return errors.New(string(payload))
+		default:
+			return fmt.Errorf("serve: unexpected frame type 0x%02x awaiting accept", typ)
+		}
+	}
+	return nil
+}
+
+// SwapPrepare asks the server to stage the checkpoint at path (a
+// server-side file) without serving it: phase one of the all-or-nothing
+// hot-swap fan-out. The staging is connection-scoped — commit or abort
+// must ride the same Client. Requires ServerOptions.AdminSwap.
+func (c *Client) SwapPrepare(path string) (SwapStatus, error) {
+	return c.swapRPC(swapPrepare, path)
+}
+
+// SwapCommit makes this connection's prepared checkpoint the served
+// master and reports the new generation and fingerprint.
+func (c *Client) SwapCommit() (SwapStatus, error) {
+	return c.swapRPC(swapCommit, "")
+}
+
+// SwapAbort discards this connection's prepared checkpoint, reporting
+// the generation and fingerprint still being served.
+func (c *Client) SwapAbort() (SwapStatus, error) {
+	return c.swapRPC(swapAbort, "")
+}
+
+func (c *Client) swapRPC(phase byte, path string) (SwapStatus, error) {
+	if c.err != nil {
+		return SwapStatus{}, c.err
+	}
+	if err := c.writeFrame(frameSwap, append([]byte{phase}, path...)); err != nil {
+		return SwapStatus{}, err
+	}
+	for {
+		typ, payload, err := c.readFrame()
+		if err != nil {
+			return SwapStatus{}, err
+		}
+		switch typ {
+		case frameSwapResult:
+			return decodeSwapResult(payload)
+		case frameAccept:
+			// A hello sent earlier on this session may still be echoing.
+			if err := c.applyAccept(payload); err != nil {
+				return SwapStatus{}, err
+			}
+		case frameError:
+			return SwapStatus{}, errors.New(string(payload))
+		default:
+			return SwapStatus{}, fmt.Errorf("serve: unexpected frame type 0x%02x awaiting swap result", typ)
+		}
+	}
+}
+
+// readFrame reads one frame into the reusable payload buffer.
+func (c *Client) readFrame() (byte, []byte, error) {
+	typ, n, err := readHeader(c.br)
+	if err != nil {
+		return 0, nil, err
+	}
+	if cap(c.pbuf) < n {
+		c.pbuf = make([]byte, n)
+	}
+	payload := c.pbuf[:n]
+	if _, err := io.ReadFull(c.br, payload); err != nil {
+		return 0, nil, err
+	}
+	return typ, payload, nil
+}
+
 // consumed accounts one delivered result and tops the server's window
 // up once half of it is spent — batched grants, not one per result, so
 // credit traffic stays a small fraction of result traffic.
 func (c *Client) consumed() error {
-	if c.o.CreditWindow == 0 {
+	if c.cfg.CreditWindow == 0 {
 		return nil
 	}
-	if c.granted.Add(-1) <= int64(c.o.CreditWindow/2) {
+	if c.granted.Add(-1) <= int64(c.cfg.CreditWindow/2) {
 		return c.topUp()
 	}
 	return nil
@@ -231,7 +370,7 @@ func (c *Client) consumed() error {
 
 // topUp grants the server credits back to a full window.
 func (c *Client) topUp() error {
-	n := int64(c.o.CreditWindow) - c.granted.Load()
+	n := int64(c.cfg.CreditWindow) - c.granted.Load()
 	if n <= 0 {
 		return nil
 	}
@@ -253,31 +392,53 @@ func (c *Client) writeCredit(n uint32) error {
 	return c.fw.flush()
 }
 
-// send uploads the recording as data frames and terminates it. The
-// session-opening frames — the mode bits, then the initial credit
-// grant (first recording of the session) — lead the upload from this
-// goroutine: sending them synchronously from Stream would deadlock a
-// synchronous transport against a server that writes before reading
-// (e.g. the capacity refusal). The mode frame precedes the first data
-// frame, as the server's pipeline-build latch requires.
-func (c *Client) send(recording io.Reader, initialGrant int, sendMode bool) error {
-	if sendMode {
+// sendOpening writes the session-opening frames. Current protocol: one
+// hello carrying the whole config, whose credit window is also the
+// initial grant. Legacy protocol: mode bits (only when set), then the
+// initial credit grant.
+func (c *Client) sendOpening() error {
+	if !c.o.Legacy {
+		if err := c.writeFrame(frameHello, appendHello(nil, c.cfg)); err != nil {
+			return err
+		}
+		if c.cfg.CreditWindow > 0 {
+			c.granted.Add(int64(c.cfg.CreditWindow))
+		}
+		return nil
+	}
+	if c.cfg.PrivateBatch || c.cfg.Tier == snn.TierINT8 {
 		var bits byte
-		if c.o.PrivateBatch {
+		if c.cfg.PrivateBatch {
 			bits |= modePrivate
 		}
-		if c.o.Int8 {
+		if c.cfg.Tier == snn.TierINT8 {
 			bits |= modeInt8
 		}
 		if err := c.writeFrame(frameMode, []byte{bits}); err != nil {
 			return err
 		}
 	}
-	if initialGrant > 0 {
-		if err := c.writeCredit(uint32(initialGrant)); err != nil {
+	if c.cfg.CreditWindow > 0 {
+		if err := c.writeCredit(uint32(c.cfg.CreditWindow)); err != nil {
 			return err
 		}
-		c.granted.Add(int64(initialGrant))
+		c.granted.Add(int64(c.cfg.CreditWindow))
+	}
+	return nil
+}
+
+// send uploads the recording as data frames and terminates it. The
+// session-opening frames (first recording of the session) lead the
+// upload from this goroutine: sending them synchronously from Stream
+// would deadlock a synchronous transport against a server that writes
+// before reading (e.g. the capacity refusal). The hello/mode frame
+// precedes the first data frame, as the server's pipeline-build latch
+// requires.
+func (c *Client) send(recording io.Reader, opening bool) error {
+	if opening {
+		if err := c.sendOpening(); err != nil {
+			return err
+		}
 	}
 	buf := make([]byte, 32<<10)
 	for {

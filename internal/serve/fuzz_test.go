@@ -73,27 +73,122 @@ func FuzzServeFraming(f *testing.F) {
 	valid = fuzzFrame(valid, frameData, rec)
 	f.Add(fuzzFrame(valid, frameEnd, nil))
 
+	// Handshake-era seeds: the versioned hello, its version-skew and
+	// truncation edges, and the admin swap RPC (refused here — the fuzz
+	// server does not enable AdminSwap).
+	hello := appendHello(nil, SessionConfig{Version: ProtoVersion, CreditWindow: 4})
+	f.Add(fuzzFrame(nil, frameHello, hello))                            // bare valid hello
+	f.Add(fuzzFrame(fuzzFrame(nil, frameHello, hello), frameData, rec)) // hello then data
+	f.Add(fuzzFrame(nil, frameHello, hello[:3]))                        // truncated hello
+	future := appendHello(nil, SessionConfig{Version: ProtoVersion, CreditWindow: 4})
+	future[0] = ProtoVersion + 1
+	f.Add(fuzzFrame(nil, frameHello, future))                              // version this build refuses
+	f.Add(fuzzFrame(nil, frameHello, append(hello, 0xaa, 0xbb)))           // newer-minor trailing bytes
+	f.Add(fuzzFrame(fuzzFrame(nil, frameHello, hello), frameHello, hello)) // duplicate hello
+	f.Add(fuzzFrame(nil, frameSwap, append([]byte{swapPrepare}, "x.gob"...)))
+	f.Add(fuzzFrame(nil, frameSwap, []byte{swapCommit}))
+	f.Add(fuzzFrame(nil, frameSwap, nil)) // swap without a phase byte
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		srv := fuzzServer(t)
 		cs, ss := net.Pipe()
 		done := make(chan error, 1)
 		go func() { done <- srv.ServeConn(ss) }()
-		// Drain everything the server sends so its writes never block;
-		// a real hostile client that refuses to read is covered by the
-		// write deadline, which this harness keeps short.
-		drained := make(chan struct{})
-		go func() {
-			defer close(drained)
-			_, _ = io.Copy(io.Discard, cs)
-		}()
-		_ = cs.SetWriteDeadline(time.Now().Add(200 * time.Millisecond))
-		_, _ = cs.Write(data)
-		_ = cs.Close()
-		select {
-		case <-done:
-		case <-time.After(5 * time.Second):
-			t.Fatal("session did not terminate after hostile input")
+		fuzzDrive(t, cs, data, done)
+	})
+}
+
+// fuzzDrive writes hostile bytes at a live session endpoint, drains
+// whatever comes back, and requires termination within the harness
+// deadlines.
+func fuzzDrive(t *testing.T, cs net.Conn, data []byte, done chan error) {
+	t.Helper()
+	// Drain everything the server sends so its writes never block;
+	// a real hostile client that refuses to read is covered by the
+	// write deadline, which this harness keeps short.
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		_, _ = io.Copy(io.Discard, cs)
+	}()
+	_ = cs.SetWriteDeadline(time.Now().Add(200 * time.Millisecond))
+	_, _ = cs.Write(data)
+	_ = cs.Close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("session did not terminate after hostile input")
+	}
+	<-drained
+}
+
+// fuzzRouter is a shared single-replica router in front of the shared
+// fuzz server, dialing it over loopback TCP.
+var fuzzRt = struct {
+	once sync.Once
+	rt   *Router
+	err  error
+}{}
+
+func fuzzRouter(t testing.TB) *Router {
+	fuzzRt.once.Do(func() {
+		srv := fuzzServer(t)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fuzzRt.err = err
+			return
 		}
-		<-drained
+		go func() { _ = srv.Serve(ln) }()
+		rt, err := NewRouter(RouterOptions{
+			Replicas:       []string{ln.Addr().String()},
+			HealthInterval: 50 * time.Millisecond,
+			IdleTimeout:    200 * time.Millisecond,
+			WriteTimeout:   200 * time.Millisecond,
+		})
+		if err != nil {
+			fuzzRt.err = err
+			return
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for rt.Healthy() == 0 {
+			if time.Now().After(deadline) {
+				fuzzRt.err = io.ErrNoProgress
+				rt.Close()
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		fuzzRt.rt = rt
+	})
+	if fuzzRt.err != nil {
+		t.Skipf("router fuzz needs loopback tcp: %v", fuzzRt.err)
+	}
+	return fuzzRt.rt
+}
+
+// FuzzRouterProxy feeds hostile client byte streams through the router's
+// frame-aware relay onto a live replica: the proxy must never panic or
+// hang, must keep relaying only well-formed frame boundaries, and both
+// tiers must survive for the next iteration. Seeds mirror the framing
+// fuzzer plus relay-specific edges (headers declaring payloads past the
+// frame cap).
+func FuzzRouterProxy(f *testing.F) {
+	rec := testRecording(f, 1, 120, 5)
+	hello := appendHello(nil, SessionConfig{Version: ProtoVersion, CreditWindow: 4})
+
+	f.Add([]byte{})
+	f.Add([]byte{frameData}) // truncated header
+	f.Add(fuzzFrame(nil, frameHello, hello))
+	f.Add(fuzzFrame(fuzzFrame(fuzzFrame(nil, frameHello, hello), frameData, rec), frameEnd, nil))
+	f.Add(fuzzFrame(fuzzFrame(nil, frameCredit, []byte{8, 0, 0, 0}), frameData, rec))
+	f.Add([]byte{frameData, 0xff, 0xff, 0xff, 0x7f}) // payload length past the frame cap
+	f.Add(fuzzFrame(nil, frameSwap, append([]byte{swapPrepare}, "x.gob"...)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rt := fuzzRouter(t)
+		cs, ss := net.Pipe()
+		done := make(chan error, 1)
+		go func() { done <- rt.ServeConn(ss) }()
+		fuzzDrive(t, cs, data, done)
 	})
 }

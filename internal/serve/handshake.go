@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/snn"
+)
+
+// ProtoVersion is the session-handshake protocol version this build
+// speaks. A hello declaring a higher version is refused with a
+// frameError; a hello at this version or lower is accepted, with any
+// payload bytes past the fields this version defines ignored — the
+// forward-compatibility seam for newer minor clients.
+const ProtoVersion = 1
+
+// Creditless, as a SessionConfig.CreditWindow, disables credit flow
+// for the session entirely: results stream as fast as the transport
+// accepts them (the pre-credit protocol). Values below Creditless are
+// invalid and rejected by validation, not silently clamped.
+const Creditless = -1
+
+// SessionConfig is a session's negotiated configuration — the payload
+// of the versioned hello frame a client leads its session with, and of
+// the accept frame the server echoes back.
+//
+// Before PR 10 these settings accreted across ad-hoc frames: mode bits
+// latched private batching and the precision tier, and credit flow
+// switched on implicitly at the first credit grant — none of which a
+// router could faithfully reason about. The hello frame carries all of
+// it explicitly, versioned, before the first data frame.
+//
+// Field conventions on the way in (ClientOptions.Config): Version 0
+// means ProtoVersion; CreditWindow 0 means DefaultCreditWindow and
+// Creditless (-1) disables credit flow. In a negotiated config — the
+// accept echo, Client.Negotiated — every field is resolved:
+// CreditWindow is the actual window, 0 meaning credit flow is off.
+type SessionConfig struct {
+	// Version is the handshake protocol version. 0 resolves to
+	// ProtoVersion; the server refuses versions it does not speak.
+	Version int
+	// PrivateBatch opts the session out of the server's shared-batch
+	// scheduler onto a private pipeline — the bit-exactness debugging
+	// escape hatch. The accept echo reports the effective value: a
+	// server running without a shared scheduler echoes true.
+	PrivateBatch bool
+	// Tier is the session's precision tier (snn.TierFP32 or
+	// snn.TierINT8). A server that cannot serve the requested tier
+	// refuses the hello instead of silently downgrading.
+	Tier snn.PrecisionTier
+	// CreditWindow is how many undelivered results the client
+	// authorizes the server to stream ahead of consumption. The hello
+	// frame carries the initial grant, replacing the separate leading
+	// credit frame of the legacy protocol; top-ups still ride
+	// frameCredit.
+	CreditWindow int
+}
+
+// withDefaults resolves the zero-value conventions into wire form:
+// Version 0 becomes ProtoVersion, CreditWindow 0 becomes
+// DefaultCreditWindow and Creditless becomes 0 (credit flow off).
+func (c SessionConfig) withDefaults() SessionConfig {
+	if c.Version == 0 {
+		c.Version = ProtoVersion
+	}
+	switch c.CreditWindow {
+	case 0:
+		c.CreditWindow = DefaultCreditWindow
+	case Creditless:
+		c.CreditWindow = 0
+	}
+	return c
+}
+
+// maxCreditWindow bounds a sane credit window; the wire field is a
+// uint32 and a window past this is a configuration error, not a
+// request the server should honor.
+const maxCreditWindow = 1 << 30
+
+// Validate rejects configurations the protocol cannot express instead
+// of silently clamping them.
+func (c SessionConfig) Validate() error {
+	if c.Version < 0 || c.Version > ProtoVersion {
+		return fmt.Errorf("serve: session config version %d (this build speaks up to %d)", c.Version, ProtoVersion)
+	}
+	if c.CreditWindow < Creditless {
+		return fmt.Errorf("serve: credit window %d is invalid (use %d to disable credit flow)", c.CreditWindow, Creditless)
+	}
+	if c.CreditWindow > maxCreditWindow {
+		return fmt.Errorf("serve: credit window %d exceeds the %d limit", c.CreditWindow, maxCreditWindow)
+	}
+	if c.Tier != snn.TierFP32 && c.Tier != snn.TierINT8 {
+		return fmt.Errorf("serve: unknown precision tier %v", c.Tier)
+	}
+	return nil
+}
+
+// The hello/accept payload, version 1:
+//
+//	[2 bytes LE version][1 byte flags][1 byte tier][4 bytes LE credit window]
+//
+// flags bit 0 is private batching; the remaining bits are reserved and
+// ignored. tier is the snn.PrecisionTier ordinal. credit window 0
+// means credit flow is off (the resolved form of Creditless). Payload
+// bytes past helloSize are ignored when the declared version is one
+// this build speaks — a newer client may append fields this build does
+// not know about.
+const helloSize = 2 + 1 + 1 + 4
+
+const helloFlagPrivate = 0x01
+
+// appendHello encodes a resolved SessionConfig as a hello/accept
+// payload after b.
+func appendHello(b []byte, c SessionConfig) []byte {
+	var p [helloSize]byte
+	binary.LittleEndian.PutUint16(p[0:], uint16(c.Version))
+	if c.PrivateBatch {
+		p[2] |= helloFlagPrivate
+	}
+	p[3] = byte(c.Tier)
+	binary.LittleEndian.PutUint32(p[4:], uint32(c.CreditWindow))
+	return append(b, p[:]...)
+}
+
+// decodeHello is appendHello's inverse, enforcing the version-skew
+// rules: version 0 and versions above ProtoVersion are refused,
+// trailing bytes beyond the version-1 fields are tolerated.
+func decodeHello(p []byte) (SessionConfig, error) {
+	if len(p) < helloSize {
+		return SessionConfig{}, fmt.Errorf("serve: hello frame of %d bytes, want at least %d", len(p), helloSize)
+	}
+	v := int(binary.LittleEndian.Uint16(p[0:]))
+	if v == 0 || v > ProtoVersion {
+		return SessionConfig{}, fmt.Errorf("serve: hello declares protocol version %d; this server speaks 1..%d", v, ProtoVersion)
+	}
+	c := SessionConfig{
+		Version:      v,
+		PrivateBatch: p[2]&helloFlagPrivate != 0,
+		Tier:         snn.PrecisionTier(p[3]),
+		CreditWindow: int(binary.LittleEndian.Uint32(p[4:])),
+	}
+	if c.Tier != snn.TierFP32 && c.Tier != snn.TierINT8 {
+		return SessionConfig{}, fmt.Errorf("serve: hello requests unknown precision tier %d", p[3])
+	}
+	if c.CreditWindow > maxCreditWindow {
+		return SessionConfig{}, fmt.Errorf("serve: hello requests a %d credit window, limit %d", c.CreditWindow, maxCreditWindow)
+	}
+	return c, nil
+}
+
+// Swap RPC phases (the first byte of a frameSwap payload). The
+// two-phase shape exists for the router: prepare loads and validates
+// the checkpoint on every replica without touching the served model,
+// and only when every replica has prepared does commit make it live —
+// all-or-nothing, with abort as the rollback.
+const (
+	swapPrepare = 1 // payload: phase byte + checkpoint path
+	swapCommit  = 2 // payload: phase byte only
+	swapAbort   = 3 // payload: phase byte only
+)
+
+// SwapStatus is one replica's answer to a swap RPC (frameSwapResult).
+type SwapStatus struct {
+	// OK reports whether the phase succeeded. A failed prepare is
+	// reported in-band (OK false, Msg set) rather than ending the
+	// admin session, so the coordinator can still abort its peers.
+	OK bool
+	// Generation is the server's swap generation after the phase
+	// (meaningful on commit and abort).
+	Generation int64
+	// Fingerprint identifies the checkpoint bytes: FNV-1a over the
+	// serialized form. Replicas that prepared the same file report the
+	// same fingerprint — the router's same-generation assertion.
+	Fingerprint uint64
+	// Msg carries the failure detail when OK is false.
+	Msg string
+}
+
+// swapResultSize is the fixed prefix of a frameSwapResult payload:
+// ok byte, generation, fingerprint; the message fills the rest.
+const swapResultSize = 1 + 8 + 8
+
+// appendSwapResult encodes a SwapStatus as a frameSwapResult payload.
+func appendSwapResult(b []byte, st SwapStatus) []byte {
+	var p [swapResultSize]byte
+	if st.OK {
+		p[0] = 1
+	}
+	binary.LittleEndian.PutUint64(p[1:], uint64(st.Generation))
+	binary.LittleEndian.PutUint64(p[9:], st.Fingerprint)
+	return append(append(b, p[:]...), st.Msg...)
+}
+
+// decodeSwapResult is appendSwapResult's inverse.
+func decodeSwapResult(p []byte) (SwapStatus, error) {
+	if len(p) < swapResultSize {
+		return SwapStatus{}, fmt.Errorf("serve: swap result frame of %d bytes, want at least %d", len(p), swapResultSize)
+	}
+	return SwapStatus{
+		OK:          p[0] != 0,
+		Generation:  int64(binary.LittleEndian.Uint64(p[1:])),
+		Fingerprint: binary.LittleEndian.Uint64(p[9:]),
+		Msg:         string(p[swapResultSize:]),
+	}, nil
+}

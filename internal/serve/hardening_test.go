@@ -285,7 +285,7 @@ func TestServeCreditFlowMatchesReference(t *testing.T) {
 	data := testRecording(t, 1, 500, 17)
 	want := standalone(t, master, data, o)
 
-	cl, done := startSessionOptions(srv, ClientOptions{CreditWindow: 1})
+	cl, done := startSessionOptions(srv, ClientOptions{Config: SessionConfig{CreditWindow: 1}})
 	defer cl.Close()
 	var got []stream.Result
 	var consumed atomic.Int64
@@ -332,7 +332,7 @@ func TestServeLegacyClientWithoutCredits(t *testing.T) {
 	data := testRecording(t, 2, 300, 19)
 	want := standalone(t, master, data, o)
 
-	cl, done := startSessionOptions(srv, ClientOptions{CreditWindow: -1})
+	cl, done := startSessionOptions(srv, ClientOptions{Legacy: true, Config: SessionConfig{CreditWindow: Creditless}})
 	defer cl.Close()
 	var got []stream.Result
 	if _, err := cl.Stream(bytes.NewReader(data), func(r stream.Result) error {

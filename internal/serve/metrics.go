@@ -219,6 +219,7 @@ type MetricsSnapshot struct {
 	Int8Supported    bool    `json:"int8_supported"`
 
 	SwapGeneration int64   `json:"swap_generation"`
+	CheckpointFP   uint64  `json:"checkpoint_fp"`
 	UptimeSec      float64 `json:"uptime_sec"`
 }
 
@@ -261,6 +262,7 @@ func (s *Server) MetricsSnapshot() MetricsSnapshot {
 		Int8Supported: s.int8OK,
 
 		SwapGeneration: s.swaps.Load(),
+		CheckpointFP:   s.ckptFP.Load(),
 		UptimeSec:      up,
 	}
 	if em := s.energy.Load(); em != nil {
@@ -281,12 +283,19 @@ func (s *Server) MetricsSnapshot() MetricsSnapshot {
 	return snap
 }
 
-// MetricsHandler serves MetricsSnapshot as JSON — the handler
-// cmd/axsnn-serve mounts on its -metrics listener, and what tests hit
-// through httptest. It is registry-free so any number of servers (and
-// test instances) can each have one.
+// MetricsHandler serves MetricsSnapshot — the handler cmd/axsnn-serve
+// mounts on its -metrics listener, and what tests hit through httptest.
+// JSON by default; Prometheus text exposition when the request asks for
+// it (?format=prometheus, or a text/plain / OpenMetrics Accept header —
+// what a Prometheus scraper sends). Registry-free so any number of
+// servers (and test instances) can each have one.
 func (s *Server) MetricsHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if wantsPromText(r) {
+			w.Header().Set("Content-Type", promContentType)
+			writeServerProm(w, s.MetricsSnapshot())
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")

@@ -12,7 +12,14 @@
 //	[1 byte type][4 bytes little-endian payload length][payload]
 //
 // A session is one connection serving a sequence of recordings on one
-// warmed pipeline. Per recording, the client sends the AEDAT container
+// warmed pipeline. A current client opens the session with one
+// versioned frameHello carrying its SessionConfig (protocol version,
+// private batching, precision tier, credit window — including the
+// initial credit grant); the server answers with a frameAccept echoing
+// the negotiated config. A client that skips hello keeps the legacy
+// semantics instead: frameMode bit latches plus implicit credit
+// latching at the first frameCredit. Per recording, the client sends
+// the AEDAT container
 // as a sequence of frameData frames (any chunking, including the whole
 // file at once) terminated by frameEnd; the server answers with one
 // frameResult per window — in window order, streamed as soon as each
@@ -68,13 +75,17 @@ import (
 // Frame types. Client-to-server types have the high bit clear,
 // server-to-client types have it set.
 const (
-	frameData   = 0x01 // raw AEDAT container bytes
-	frameEnd    = 0x02 // recording complete, no payload
-	frameCredit = 0x03 // grant uint32 more result credits to the server
-	frameMode   = 0x04 // session mode bits (modeSize payload, see modePrivate)
-	frameResult = 0x81 // one window result (resultSize payload)
-	frameDone   = 0x82 // all windows emitted; payload = doneSize (see below)
-	frameError  = 0x83 // fatal session error; payload = UTF-8 message
+	frameData       = 0x01 // raw AEDAT container bytes
+	frameEnd        = 0x02 // recording complete, no payload
+	frameCredit     = 0x03 // grant uint32 more result credits to the server
+	frameMode       = 0x04 // legacy session mode bits (modeSize payload, see modePrivate)
+	frameSwap       = 0x05 // admin checkpoint swap RPC (phase byte + path; see handshake.go)
+	frameHello      = 0x06 // versioned session handshake (SessionConfig payload)
+	frameResult     = 0x81 // one window result (resultSize payload)
+	frameDone       = 0x82 // all windows emitted; payload = doneSize (see below)
+	frameError      = 0x83 // fatal session error; payload = UTF-8 message
+	frameAccept     = 0x84 // negotiated SessionConfig echo answering frameHello
+	frameSwapResult = 0x85 // SwapStatus answering one frameSwap phase
 )
 
 // modePrivate, set in a frameMode payload, opts the session out of the

@@ -1,0 +1,347 @@
+//go:build race
+
+// Multi-process router soak: real replica subprocesses, a real router,
+// the race detector watching the relay and swap paths. Only built into
+// the race job — the subprocess fleet is too heavy for the tier-1 run.
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+	"repro/internal/tensor"
+)
+
+// soakPipeline must match replicaMain's server pipeline exactly: the
+// parent computes the bit-identity reference with it.
+var soakPipeline = stream.Options{WindowMS: 45, Steps: 4, Batch: 2, ChunkEvents: 64}
+
+// TestMain doubles as the replica entrypoint: re-executing the test
+// binary with AXSNN_SOAK_REPLICA=<addr> runs a serve replica instead of
+// the test suite — how the soak builds a fleet of real processes from
+// one binary.
+func TestMain(m *testing.M) {
+	if addr := os.Getenv("AXSNN_SOAK_REPLICA"); addr != "" {
+		replicaMain(addr)
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// replicaMain serves the deterministic soak model on addr (with a
+// retry window for rebinding a just-killed replica's port), announcing
+// the bound address on stdout.
+func replicaMain(addr string) {
+	tensor.SetWorkers(1)
+	srv, err := NewServer(testNet(4, 61), ServerOptions{
+		Pipeline: soakPipeline, MaxSessions: 16, PoolSize: 2, AdminSwap: true,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "replica:", err)
+		os.Exit(1)
+	}
+	var ln net.Listener
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintln(os.Stderr, "replica:", err)
+			os.Exit(1)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fmt.Printf("LISTEN %s\n", ln.Addr())
+	if err := srv.Serve(ln); err != nil {
+		fmt.Fprintln(os.Stderr, "replica:", err)
+		os.Exit(1)
+	}
+}
+
+// soakReplica is one replica subprocess.
+type soakReplica struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// spawnReplica re-executes the test binary as a replica on addr
+// (127.0.0.1:0 for an ephemeral port) and waits for its LISTEN line.
+func spawnReplica(t *testing.T, addr string) *soakReplica {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), "AXSNN_SOAK_REPLICA="+addr)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Skipf("cannot spawn replica subprocess: %v", err)
+	}
+	rep := &soakReplica{cmd: cmd}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	})
+
+	lines := bufio.NewScanner(stdout)
+	got := make(chan string, 1)
+	go func() {
+		for lines.Scan() {
+			if a, ok := strings.CutPrefix(lines.Text(), "LISTEN "); ok {
+				got <- a
+				break
+			}
+		}
+		// Keep draining so the child never blocks on stdout.
+		_, _ = io.Copy(io.Discard, stdout)
+		close(got)
+	}()
+	select {
+	case a, ok := <-got:
+		if !ok {
+			t.Fatal("replica exited before announcing its address")
+		}
+		rep.addr = a
+	case <-time.After(60 * time.Second):
+		t.Fatal("replica did not announce its address")
+	}
+	return rep
+}
+
+// kill terminates the subprocess and reaps it.
+func (r *soakReplica) kill(t *testing.T) {
+	t.Helper()
+	if err := r.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = r.cmd.Process.Wait()
+}
+
+// TestRouterMultiProcessSoak is the PR 10 acceptance soak: three
+// replica subprocesses behind an in-process router under -race.
+// Sessions through the router stay bit-identical to the direct
+// reference while a fleet-wide hot-swap fans out; a replica killed
+// mid-stream turns into a prompt session error, never a hang; the
+// survivors keep serving bit-identically; the restarted replica rejoins
+// and takes placements; and a final fleet swap lands every replica on
+// the same generation and fingerprint.
+func TestRouterMultiProcessSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process soak skipped in -short")
+	}
+	defer tensor.SetWorkers(0)
+	tensor.SetWorkers(1)
+	master := testNet(4, 61) // the same net every replica builds
+	o := soakPipeline
+	data := testRecording(t, 2, 400, 91)
+	want := standalone(t, master, data, o)
+
+	// The swap checkpoint carries the master's own weights, so results
+	// are invariant under swap timing — the same trick as the
+	// single-process soak.
+	ckpt := filepath.Join(t.TempDir(), "soak.gob")
+	var buf bytes.Buffer
+	if err := master.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ckpt, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reps := []*soakReplica{
+		spawnReplica(t, "127.0.0.1:0"),
+		spawnReplica(t, "127.0.0.1:0"),
+		spawnReplica(t, "127.0.0.1:0"),
+	}
+	rt, err := NewRouter(RouterOptions{
+		Replicas:       []string{reps[0].addr, reps[1].addr, reps[2].addr},
+		HealthInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	waitFor(t, "fleet up", 60*time.Second, func() bool { return rt.Healthy() == 3 })
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("tcp listen unavailable: %v", err)
+	}
+	go func() { _ = rt.Serve(rln) }()
+	raddr := rln.Addr().String()
+
+	// Phase 1: concurrent sessions through the router while a fleet
+	// swap fans out mid-load. Every session must match the reference.
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for rec := 0; rec < 2; rec++ {
+				cl, err := Dial(raddr, ClientOptions{})
+				if err != nil {
+					errs <- fmt.Errorf("session %d: %w", i, err)
+					return
+				}
+				var got []stream.Result
+				_, err = cl.Stream(bytes.NewReader(data), func(r stream.Result) error {
+					got = append(got, r)
+					return nil
+				})
+				cl.Close()
+				if err != nil {
+					errs <- fmt.Errorf("session %d rec %d: %w", i, rec, err)
+					return
+				}
+				if len(got) != len(want) {
+					errs <- fmt.Errorf("session %d rec %d: %d results, want %d", i, rec, len(got), len(want))
+					return
+				}
+				for k := range want {
+					if !sameResult(got[k], want[k]) {
+						errs <- fmt.Errorf("session %d rec %d: result %d = %+v, want %+v", i, rec, k, got[k], want[k])
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	statuses, err := rt.SwapAll(ckpt)
+	if err != nil {
+		t.Fatalf("mid-load SwapAll: %v", err)
+	}
+	for _, st := range statuses {
+		// Fingerprints identify the checkpoint bytes and must agree
+		// fleet-wide; the generation is each process's local swap count
+		// (a probe-triggered resync bumps it), so it is only required to
+		// have advanced.
+		if !st.OK || st.Generation < 1 || st.Fingerprint != statuses[0].Fingerprint {
+			t.Fatalf("mid-load swap status %+v diverges from %+v", st, statuses[0])
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Phase 2: a session pinned in flight — a one-result credit window
+	// and a consumer that parks after the first result until the kill
+	// has landed; kill its replica process under it.
+	cl, err := Dial(raddr, ClientOptions{Config: SessionConfig{CreditWindow: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	firstResult := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	streamErr := make(chan error, 1)
+	go func() {
+		_, err := cl.Stream(bytes.NewReader(data), func(stream.Result) error {
+			once.Do(func() {
+				close(firstResult)
+				<-release
+			})
+			return nil
+		})
+		streamErr <- err
+	}()
+	<-firstResult
+
+	var victim *soakReplica
+	waitFor(t, "victim identified", 10*time.Second, func() bool {
+		for _, rep := range rt.MetricsSnapshot().Replicas {
+			if rep.ActiveSessions > 0 {
+				for _, sr := range reps {
+					if sr.addr == rep.Addr {
+						victim = sr
+						return true
+					}
+				}
+			}
+		}
+		return false
+	})
+	killStart := time.Now()
+	victim.kill(t)
+	close(release)
+	select {
+	case err := <-streamErr:
+		if err == nil {
+			t.Fatal("stream over a killed replica process reported success")
+		}
+		if d := time.Since(killStart); d > 30*time.Second {
+			t.Fatalf("session error took %v after the kill, past the deadline budget", d)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("stream over a killed replica process hung")
+	}
+	waitFor(t, "loss detected", 30*time.Second, func() bool { return rt.Healthy() == 2 })
+
+	// Phase 3: survivors keep serving bit-identically.
+	for i := 0; i < 4; i++ {
+		assertResults(t, fmt.Sprintf("survivor session %d", i), want,
+			streamThrough(t, raddr, ClientOptions{}, data))
+	}
+
+	// Phase 4: restart the killed replica on its old address. The
+	// health loop resyncs it to the fanned-out checkpoint and brings it
+	// back; placements must reach it again.
+	restarted := spawnReplica(t, victim.addr)
+	if restarted.addr != victim.addr {
+		t.Fatalf("restarted replica bound %s, want %s", restarted.addr, victim.addr)
+	}
+	waitFor(t, "replica rejoin", 60*time.Second, func() bool { return rt.Healthy() == 3 })
+	before := func() int64 {
+		for _, rep := range rt.MetricsSnapshot().Replicas {
+			if rep.Addr == victim.addr {
+				return rep.Placements
+			}
+		}
+		return -1
+	}()
+	waitFor(t, "placements on the rejoined replica", 60*time.Second, func() bool {
+		assertResults(t, "rejoin-era session", want, streamThrough(t, raddr, ClientOptions{}, data))
+		for _, rep := range rt.MetricsSnapshot().Replicas {
+			if rep.Addr == victim.addr {
+				return rep.Placements > before
+			}
+		}
+		return false
+	})
+
+	// Phase 5: a final fleet swap must land all three processes —
+	// two originals and one restarted-and-resynced — on the same
+	// generation and fingerprint.
+	statuses, err = rt.SwapAll(ckpt)
+	if err != nil {
+		t.Fatalf("final SwapAll: %v", err)
+	}
+	if len(statuses) != 3 {
+		t.Fatalf("final swap reached %d replicas, want 3", len(statuses))
+	}
+	for _, st := range statuses {
+		if !st.OK || st.Generation < 2 || st.Fingerprint != statuses[0].Fingerprint {
+			t.Fatalf("final swap status %+v diverges from %+v", st, statuses[0])
+		}
+	}
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net"
 	"os"
@@ -31,18 +32,20 @@ type ServerOptions struct {
 	// MaxSessions bounds how many sessions run concurrently; further
 	// connections are refused with ErrAtCapacity instead of queueing
 	// (a loaded serving tier fails fast so the balancer can retry
-	// elsewhere) unless QueueTimeout opts into bounded waiting. <= 0
-	// uses 16.
+	// elsewhere) unless QueueTimeout opts into bounded waiting. 0 uses
+	// 16; negative is a configuration error.
 	MaxSessions int
 	// PoolSize is the shared clone/arena/slot pool capacity — how many
-	// window batches classify at once across ALL sessions. <= 0 sizes
-	// it by tensor.Workers(): the pools match the compute budget, so
+	// window batches classify at once across ALL sessions. 0 sizes it
+	// by tensor.Workers(): the pools match the compute budget, so
 	// memory stays O(workers × batch), not O(sessions × batch).
+	// Negative is a configuration error.
 	PoolSize int
 	// QueueTimeout, when positive, queues connections arriving at a
 	// full server for up to this long before refusing them — bounded
 	// admission waiting instead of fail-fast. Zero (the default) keeps
-	// the immediate ErrAtCapacity refusal.
+	// the immediate ErrAtCapacity refusal; negative is a configuration
+	// error.
 	QueueTimeout time.Duration
 	// IdleTimeout bounds peer silence: every frame read arms it, and a
 	// credit stall (an exhausted window the client never tops up) is
@@ -54,8 +57,9 @@ type ServerOptions struct {
 	WriteTimeout time.Duration
 	// ResultWindow caps the undelivered results buffered per session
 	// under credit flow (the ring between the pipeline and the wire
-	// writer); the pipeline stalls beyond it. <= 0 uses 256 — at 20
+	// writer); the pipeline stalls beyond it. 0 uses 256 — at 20
 	// bytes per staged result the worst case is ~5 KB per session.
+	// Negative is a configuration error.
 	ResultWindow int
 	// SharedBatch enables cross-session continuous batching: sessions
 	// submit voxelized windows to one shared stream.Scheduler that
@@ -67,7 +71,8 @@ type ServerOptions struct {
 	// (the bit-exactness debugging escape hatch). Use Bool.
 	SharedBatch *bool
 	// MaxBatch caps how many windows one scheduler tick coalesces into
-	// a single batched classify. <= 0 uses stream.DefaultMaxBatch.
+	// a single batched classify. 0 uses stream.DefaultMaxBatch;
+	// negative is a configuration error.
 	MaxBatch int
 	// TickInterval is how long a scheduler tick waits to fill its
 	// batch after the first ready window — trading latency for fill.
@@ -75,15 +80,48 @@ type ServerOptions struct {
 	TickInterval time.Duration
 	// FairShare caps how many of one session's windows a single tick
 	// may take, so a saturating session cannot starve light ones.
-	// <= 0 uses max(1, MaxBatch/4).
+	// 0 uses max(1, MaxBatch/4); negative is a configuration error.
 	FairShare int
 	// SchedQueue bounds the scheduler's submission queue (total
-	// windows staged across all sessions). <= 0 uses 2×MaxBatch.
+	// windows staged across all sessions). 0 uses 2×MaxBatch; negative
+	// is a configuration error.
 	SchedQueue int
+	// AdminSwap enables the frameSwap checkpoint RPC
+	// (prepare/commit/abort) on client connections — the seam the
+	// router's all-or-nothing hot-swap fan-out rides. Off by default on
+	// purpose: the RPC names server-side files, so a server exposed to
+	// untrusted clients must not honor it.
+	AdminSwap bool
 }
 
 // Bool is a *bool literal helper for ServerOptions.SharedBatch.
 func Bool(v bool) *bool { return &v }
+
+// validate rejects option values NewServer used to clamp silently: a
+// negative size or window is a caller bug worth reporting, not a
+// request for the default. Negative timeouts are NOT errors — the
+// deadline fields document them as "disabled".
+func (o ServerOptions) validate() error {
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"MaxSessions", o.MaxSessions},
+		{"PoolSize", o.PoolSize},
+		{"ResultWindow", o.ResultWindow},
+		{"MaxBatch", o.MaxBatch},
+		{"FairShare", o.FairShare},
+		{"SchedQueue", o.SchedQueue},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("serve: ServerOptions.%s is %d; it must not be negative (0 means default)", f.name, f.v)
+		}
+	}
+	if o.QueueTimeout < 0 {
+		return fmt.Errorf("serve: ServerOptions.QueueTimeout is %v; it must not be negative (0 disables queueing)", o.QueueTimeout)
+	}
+	return nil
+}
 
 // unit is one pooled evaluation resource: a weight-sharing clone (its
 // inference arena rides inside, recycled by PredictBatchInto) tagged
@@ -103,8 +141,13 @@ type unit struct {
 type Server struct {
 	opts   ServerOptions
 	master atomic.Pointer[snn.Network]
-	swapMu sync.Mutex // serializes LoadCheckpoint
+	swapMu sync.Mutex // serializes checkpoint commits
 	swaps  atomic.Int64
+	// ckptFP fingerprints the committed checkpoint bytes (FNV-1a); 0
+	// until the first swap. The router asserts replicas converged on
+	// the same checkpoint by comparing fingerprints, which generation
+	// counters alone cannot prove.
+	ckptFP atomic.Uint64
 
 	units   chan *unit
 	cloneMu sync.Mutex
@@ -145,16 +188,24 @@ type Server struct {
 
 // NewServer builds a server over master. The master is used read-only;
 // every classification runs on pooled weight-sharing clones.
+//
+// Zero option values mean "use the default"; negative sizes and
+// windows are configuration errors, reported instead of silently
+// clamped (negative timeouts stay meaningful: they disable the
+// deadline, per ServerOptions).
 func NewServer(master *snn.Network, o ServerOptions) (*Server, error) {
-	if o.MaxSessions <= 0 {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	if o.MaxSessions == 0 {
 		o.MaxSessions = 16
 	}
-	if o.PoolSize <= 0 {
+	if o.PoolSize == 0 {
 		o.PoolSize = tensor.Workers()
 	}
 	o.IdleTimeout = normTimeout(o.IdleTimeout, DefaultIdleTimeout)
 	o.WriteTimeout = normTimeout(o.WriteTimeout, DefaultWriteTimeout)
-	if o.ResultWindow <= 0 {
+	if o.ResultWindow == 0 {
 		o.ResultWindow = 256
 	}
 	batch := o.Pipeline.Batch
@@ -287,11 +338,45 @@ func (s *Server) ReleaseClone(c *snn.Network) {
 // in-flight batches finish on the clone they hold, and every batch
 // acquired after the swap classifies on the new weights.
 func (s *Server) LoadCheckpoint(r io.Reader) error {
-	s.swapMu.Lock()
-	defer s.swapMu.Unlock()
-	fresh := s.master.Load().DeepClone()
-	if err := fresh.Load(r); err != nil {
+	fresh, fp, err := s.prepareSwapReader(r)
+	if err != nil {
 		return err
+	}
+	s.commitSwap(fresh, fp)
+	return nil
+}
+
+// LoadCheckpointFile is LoadCheckpoint over a file path.
+func (s *Server) LoadCheckpointFile(path string) error {
+	fresh, fp, err := s.prepareSwap(path)
+	if err != nil {
+		return err
+	}
+	s.commitSwap(fresh, fp)
+	return nil
+}
+
+// prepareSwap stages a checkpoint file without touching the served
+// model: the first phase of the frameSwap RPC, and the loading half of
+// LoadCheckpointFile. Safe without swapMu — it only reads the master
+// (atomically) and builds a private network.
+func (s *Server) prepareSwap(path string) (*snn.Network, uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	return s.prepareSwapReader(f)
+}
+
+// prepareSwapReader decodes checkpoint bytes onto a fresh deep clone of
+// the master and rebuilds whatever capabilities the server advertises,
+// returning the network plus the FNV-1a fingerprint of the bytes read.
+func (s *Server) prepareSwapReader(r io.Reader) (*snn.Network, uint64, error) {
+	h := fnv.New64a()
+	fresh := s.master.Load().DeepClone()
+	if err := fresh.Load(io.TeeReader(r, h)); err != nil {
+		return nil, 0, err
 	}
 	// DeepClone drops the int8 panels (clones exist to be mutated);
 	// rebuild them on the new weights before the swap becomes visible,
@@ -300,24 +385,29 @@ func (s *Server) LoadCheckpoint(r io.Reader) error {
 	// model keeps its advertised capabilities.
 	if s.int8OK {
 		if err := fresh.BuildInt8Panels(); err != nil {
-			return fmt.Errorf("serve: int8 panels for the new checkpoint: %w", err)
+			return nil, 0, fmt.Errorf("serve: int8 panels for the new checkpoint: %w", err)
 		}
 	}
-	s.energy.Store(approx.NewEnergyModel(fresh))
-	s.master.Store(fresh)
-	s.swaps.Add(1)
-	return nil
+	return fresh, h.Sum64(), nil
 }
 
-// LoadCheckpointFile is LoadCheckpoint over a file path.
-func (s *Server) LoadCheckpointFile(path string) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return s.LoadCheckpoint(f)
+// commitSwap makes a prepared checkpoint the served master and returns
+// the new swap generation. The commit itself is cheap — three stores
+// under swapMu — which is what lets the router hold every replica's
+// prepared checkpoint ready and commit the fleet near-simultaneously.
+func (s *Server) commitSwap(fresh *snn.Network, fp uint64) int64 {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	s.energy.Store(approx.NewEnergyModel(fresh))
+	s.master.Store(fresh)
+	s.ckptFP.Store(fp)
+	return s.swaps.Add(1)
 }
+
+// CheckpointFP reports the FNV-1a fingerprint of the last committed
+// checkpoint's bytes — 0 until the first swap. Replicas serving the
+// same checkpoint report the same fingerprint.
+func (s *Server) CheckpointFP() uint64 { return s.ckptFP.Load() }
 
 // BatchSOPs implements stream.EnergyAccount over the served model's
 // energy profile, feeding the per-batch estimate into the server-wide
@@ -388,7 +478,18 @@ func (s *Server) Serve(ln net.Listener) error {
 			return err
 		}
 		backoff = 0
+		// The Add must be ordered against Close's closed-flag write:
+		// an accept that races the shutdown would otherwise Add while
+		// Close is already in Wait.
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			s.forgetListener(ln)
+			return nil
+		}
 		s.wg.Add(1)
+		s.mu.Unlock()
 		go func() {
 			defer s.wg.Done()
 			_ = s.ServeConn(conn)
@@ -521,10 +622,10 @@ func (s *Server) serveSession(dc *deadlineConn) (err error) {
 	}()
 
 	// The pipeline is built lazily, at the first recording: by then the
-	// reader has processed any frameMode the client led with (frames
-	// are relayed in wire order), so the shared-vs-private choice is
-	// latched correctly. It is then reused for every recording on the
-	// session.
+	// reader has processed the frameHello (or legacy frameMode) the
+	// client led with — frames are relayed in wire order — so the
+	// shared-vs-private and tier choices are latched correctly. It is
+	// then reused for every recording on the session.
 	var p *stream.Pipeline
 	for {
 		more, err := ss.nextRecording()

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/snn"
 	"repro/internal/stream"
 )
 
@@ -24,15 +25,26 @@ var (
 	errServerClosed  = errors.New("serve: server closed")
 )
 
-// wireCmd is one unit of the session's result ring: either a window
-// result or the end-of-recording marker. Fixed-size by construction —
-// ring traffic moves by value and allocates nothing.
+// wireCmd is one unit of the session's result ring: a window result,
+// the end-of-recording marker, the negotiated handshake echo, or a
+// swap RPC answer. Fixed-size by construction — ring traffic moves by
+// value and allocates nothing on the result path (the zero kind is
+// cmdResult, so the hot path stages `wireCmd{res: r}` untouched).
 type wireCmd struct {
-	done    bool
-	windows uint32  // done: the recording's window count
-	sops    float64 // done: the recording's total estimated SOPs
+	kind    byte
+	windows uint32  // cmdDone: the recording's window count
+	sops    float64 // cmdDone: the recording's total estimated SOPs
 	res     stream.Result
+	cfg     SessionConfig // cmdAccept: the negotiated config to echo
+	swap    SwapStatus    // cmdSwap: the phase's answer
 }
+
+const (
+	cmdResult = iota // res: one window result (credit-gated)
+	cmdDone          // windows/sops: end-of-recording marker
+	cmdAccept        // cfg: frameAccept echo (bypasses credits)
+	cmdSwap          // swap: frameSwapResult answer (bypasses credits)
+)
 
 // Inbound chunk queue geometry: the reader goroutine relays data bytes
 // to the pipeline through readBuffers recycled chunks of readChunk
@@ -46,18 +58,24 @@ const (
 
 // rmsg is one message from the reader goroutine to the session
 // goroutine: a data chunk, a recording boundary, a clean connection
-// close, or a read error. Fixed-size, moved by value.
+// close, a read error, a hello handshake, or a swap RPC phase.
+// Fixed-size, moved by value.
 type rmsg struct {
-	kind byte
-	buf  []byte // rData: a free-list chunk holding payload bytes
-	err  error  // rErr
+	kind  byte
+	buf   []byte        // rData: a free-list chunk holding payload bytes
+	err   error         // rErr
+	cfg   SessionConfig // rHello: the negotiated config to echo
+	phase byte          // rSwap: swapPrepare/swapCommit/swapAbort
+	path  string        // rSwap: checkpoint path (prepare only)
 }
 
 const (
-	rData = iota // payload bytes of the current recording
-	rEnd         // frameEnd: the recording is complete
-	rEOF         // connection closed cleanly
-	rErr         // read or protocol error
+	rData  = iota // payload bytes of the current recording
+	rEnd          // frameEnd: the recording is complete
+	rEOF          // connection closed cleanly
+	rErr          // read or protocol error
+	rHello        // frameHello accepted; the accept echo must be staged
+	rSwap         // frameSwap phase for the session goroutine to execute
 )
 
 // session is one connection's serving state, three goroutines wide:
@@ -88,14 +106,29 @@ type session struct {
 	topup      chan struct{}
 
 	// privateBatch opts the session out of the server's shared-batch
-	// scheduler (frameMode/modePrivate). Set by the reader goroutine,
-	// read by the session goroutine when it builds the pipeline at the
-	// first recording.
+	// scheduler (frameHello, or legacy frameMode/modePrivate). Set by
+	// the reader goroutine, read by the session goroutine when it
+	// builds the pipeline at the first recording.
 	privateBatch atomic.Bool
-	// tierInt8 requests the quantized INT8 precision tier
-	// (frameMode/modeInt8). Latched like privateBatch: the session
-	// goroutine reads it when the pipeline is built.
+	// tierInt8 requests the quantized INT8 precision tier (frameHello,
+	// or legacy frameMode/modeInt8). Latched like privateBatch: the
+	// session goroutine reads it when the pipeline is built.
 	tierInt8 atomic.Bool
+
+	// Reader-goroutine-only handshake ordering state: a hello must
+	// precede the first data frame and cannot follow a legacy mode
+	// frame or a second hello; a swap phase is refused mid-recording.
+	sawHello    bool
+	sawMode     bool
+	sawData     bool
+	inRecording bool
+
+	// Session-goroutine-only swap staging: the checkpoint prepared on
+	// this connection, waiting for commit or abort. Connection-scoped
+	// on purpose — the router's all-or-nothing fan-out holds one admin
+	// connection per replica open across prepare and commit.
+	staged   *snn.Network
+	stagedFP uint64
 
 	msgs chan rmsg   // reader → session
 	free chan []byte // recycled data chunks
@@ -171,9 +204,29 @@ func (ss *session) reader() {
 				ss.msgs <- rmsg{kind: rErr, err: merr}
 				return
 			}
+			if ss.sawHello {
+				ss.msgs <- rmsg{kind: rErr, err: errors.New("serve: legacy mode frame after hello")}
+				return
+			}
+			ss.sawMode = true
 			ss.privateBatch.Store(bits&modePrivate != 0)
 			ss.tierInt8.Store(bits&modeInt8 != 0)
+		case frameHello:
+			cfg, herr := ss.readHello(n)
+			if herr != nil {
+				ss.msgs <- rmsg{kind: rErr, err: herr}
+				return
+			}
+			ss.msgs <- rmsg{kind: rHello, cfg: cfg}
+		case frameSwap:
+			phase, path, serr := ss.readSwap(n)
+			if serr != nil {
+				ss.msgs <- rmsg{kind: rErr, err: serr}
+				return
+			}
+			ss.msgs <- rmsg{kind: rSwap, phase: phase, path: path}
 		case frameData:
+			ss.sawData, ss.inRecording = true, true
 			for n > 0 {
 				buf := <-ss.free
 				m := n
@@ -192,12 +245,89 @@ func (ss *session) reader() {
 				ss.msgs <- rmsg{kind: rErr, err: fmt.Errorf("serve: end frame carries %d payload bytes", n)}
 				return
 			}
+			ss.inRecording = false
 			ss.msgs <- rmsg{kind: rEnd}
 		default:
 			ss.msgs <- rmsg{kind: rErr, err: fmt.Errorf("serve: unexpected frame type 0x%02x from client", typ)}
 			return
 		}
 	}
+}
+
+// readHello consumes a frameHello payload, negotiates, and applies the
+// resulting config: the private/tier latches are stored and the hello's
+// credit window becomes the initial grant, exactly as if a legacy
+// client had sent the equivalent mode and credit frames. Returns the
+// negotiated config the session goroutine must echo as frameAccept.
+// Reader-goroutine only.
+func (ss *session) readHello(n int) (SessionConfig, error) {
+	switch {
+	case ss.sawHello:
+		return SessionConfig{}, errors.New("serve: duplicate hello frame")
+	case ss.sawMode:
+		return SessionConfig{}, errors.New("serve: hello frame after a legacy mode frame")
+	case ss.sawData:
+		return SessionConfig{}, errors.New("serve: hello frame after the first data frame")
+	}
+	p := make([]byte, n)
+	if _, err := io.ReadFull(ss.br, p); err != nil {
+		return SessionConfig{}, err
+	}
+	cfg, err := decodeHello(p)
+	if err != nil {
+		return SessionConfig{}, err
+	}
+	if cfg.Tier == snn.TierINT8 && !ss.srv.SupportsTier(snn.TierINT8) {
+		return SessionConfig{}, errors.New("serve: hello requests the int8 precision tier, which this server cannot serve")
+	}
+	ss.sawHello = true
+	// The echo reports effective settings, not requested ones: a server
+	// running without a shared scheduler serves every session privately
+	// and says so. Version stays the client's (already capped at
+	// ProtoVersion by decodeHello) — the highest both sides speak.
+	if ss.srv.sched == nil {
+		cfg.PrivateBatch = true
+	}
+	ss.privateBatch.Store(cfg.PrivateBatch)
+	ss.tierInt8.Store(cfg.Tier == snn.TierINT8)
+	if cfg.CreditWindow > 0 {
+		ss.addCredits(int64(cfg.CreditWindow))
+	}
+	return cfg, nil
+}
+
+// readSwap consumes a frameSwap payload and validates the phase; the
+// session goroutine executes it (checkpoint loading does not belong on
+// the reader, which must keep draining credit frames). Reader-goroutine
+// only.
+func (ss *session) readSwap(n int) (byte, string, error) {
+	if !ss.srv.opts.AdminSwap {
+		return 0, "", errors.New("serve: swap frames are refused unless the server enables AdminSwap")
+	}
+	if ss.inRecording {
+		return 0, "", errors.New("serve: swap frame mid-recording")
+	}
+	if n < 1 {
+		return 0, "", errors.New("serve: swap frame without a phase byte")
+	}
+	p := make([]byte, n)
+	if _, err := io.ReadFull(ss.br, p); err != nil {
+		return 0, "", err
+	}
+	phase, path := p[0], string(p[1:])
+	switch phase {
+	case swapPrepare:
+		if path == "" {
+			return 0, "", errors.New("serve: swap prepare without a checkpoint path")
+		}
+	case swapCommit, swapAbort:
+		if path != "" {
+			return 0, "", fmt.Errorf("serve: swap phase %d carries %d unexpected payload bytes", phase, n-1)
+		}
+	default:
+		return 0, "", fmt.Errorf("serve: unknown swap phase %d", phase)
+	}
+	return phase, path, nil
 }
 
 // takeMsg returns the staged-back message, if any, else the next one
@@ -246,6 +376,10 @@ func (ss *session) Read(p []byte) (int, error) {
 			// the clean session end after the drain.
 			ss.pending, ss.hasPending = m, true
 			return 0, io.EOF
+		case rHello, rSwap:
+			// Unreachable: the reader refuses both mid-recording. Kept as
+			// a loud failure rather than a silent drop.
+			return 0, errors.New("serve: handshake frame mid-recording")
 		default: // rErr
 			return 0, m.err
 		}
@@ -271,7 +405,10 @@ func (ss *session) drainRecording() error {
 			ss.free <- m.buf[:cap(m.buf)]
 		case rEnd:
 			return nil
-		case rEOF:
+		case rEOF, rHello, rSwap:
+			// Between-recordings traffic (a swap can follow the frameEnd
+			// the decoder already consumed through Read): stage it back
+			// for nextRecording.
 			ss.pending, ss.hasPending = m, true
 			return nil
 		default: // rErr
@@ -283,22 +420,80 @@ func (ss *session) drainRecording() error {
 // nextRecording blocks until the next recording's first frame arrives,
 // returning false on a clean session end (connection closed between
 // recordings). Credit top-ups never surface here — the reader applies
-// them inline.
+// them inline. Hello echoes and swap phases are handled here, between
+// recordings, then the wait continues: a probe client may hello and
+// close without ever streaming, and an admin connection may run swap
+// phases with no recordings at all.
 func (ss *session) nextRecording() (bool, error) {
-	m, ok := ss.takeMsg()
-	if !ok {
-		return false, nil
+	for {
+		m, ok := ss.takeMsg()
+		if !ok {
+			return false, nil
+		}
+		switch m.kind {
+		case rEOF:
+			return false, nil
+		case rErr:
+			return false, m.err
+		case rHello:
+			if err := ss.stageCmd(wireCmd{kind: cmdAccept, cfg: m.cfg}); err != nil {
+				return false, err
+			}
+		case rSwap:
+			if err := ss.handleSwap(m.phase, m.path); err != nil {
+				return false, err
+			}
+		default:
+			// rData or rEnd opens the next recording (an immediate rEnd is
+			// an empty recording the decoder will reject).
+			ss.pending, ss.hasPending = m, true
+			return true, nil
+		}
 	}
-	switch m.kind {
-	case rEOF:
-		return false, nil
-	case rErr:
-		return false, m.err
-	default:
-		// rData or rEnd opens the next recording (an immediate rEnd is
-		// an empty recording the decoder will reject).
-		ss.pending, ss.hasPending = m, true
-		return true, nil
+}
+
+// handleSwap executes one swap phase against the server and stages the
+// answer. A failed prepare is answered in-band (OK false) instead of
+// ending the session: the coordinating router still needs this
+// connection to abort its peers' staging.
+func (ss *session) handleSwap(phase byte, path string) error {
+	var st SwapStatus
+	switch phase {
+	case swapPrepare:
+		fresh, fp, err := ss.srv.prepareSwap(path)
+		if err != nil {
+			st.Msg = err.Error()
+		} else {
+			ss.staged, ss.stagedFP = fresh, fp
+			st = SwapStatus{OK: true, Generation: ss.srv.Swaps(), Fingerprint: fp}
+		}
+	case swapCommit:
+		if ss.staged == nil {
+			st.Msg = "serve: swap commit without a prepared checkpoint"
+		} else {
+			gen := ss.srv.commitSwap(ss.staged, ss.stagedFP)
+			st = SwapStatus{OK: true, Generation: gen, Fingerprint: ss.stagedFP}
+			ss.staged, ss.stagedFP = nil, 0
+		}
+	case swapAbort:
+		ss.staged, ss.stagedFP = nil, 0
+		st = SwapStatus{OK: true, Generation: ss.srv.Swaps(), Fingerprint: ss.srv.CheckpointFP()}
+	}
+	return ss.stageCmd(wireCmd{kind: cmdSwap, swap: st})
+}
+
+// stageCmd stages a non-result command (accept echo, swap answer) into
+// the ring, failing fast once the writer has died. Unlike emit it never
+// touches the buffered-results gauge — these frames bypass credits.
+func (ss *session) stageCmd(cmd wireCmd) error {
+	select {
+	case ss.cmds <- cmd:
+		return nil
+	case <-ss.writerDone:
+		if err := ss.writeErr(); err != nil && err != errWriterStopped {
+			return err
+		}
+		return errWriterStopped
 	}
 }
 
@@ -352,51 +547,64 @@ func (ss *session) emit(r stream.Result) error {
 // finishRecording stages the end-of-recording marker carrying the
 // window count and the recording's total estimated SOPs.
 func (ss *session) finishRecording(windows uint32, sops float64) error {
-	select {
-	case ss.cmds <- wireCmd{done: true, windows: windows, sops: sops}:
-		return nil
-	case <-ss.writerDone:
-		if err := ss.writeErr(); err != nil && err != errWriterStopped {
-			return err
-		}
-		return errWriterStopped
-	}
+	return ss.stageCmd(wireCmd{kind: cmdDone, windows: windows, sops: sops})
 }
 
 // writer drains the ring onto the wire: one credit per result, a
 // per-window flush (results are the serving heartbeat, not a batch
-// artifact), frameDone echoing the remaining credits. Write deadlines
-// ride the deadlineConn underneath the frameWriter.
+// artifact), frameDone echoing the remaining credits. Accept echoes and
+// swap answers bypass the credit gate — they are control traffic, not
+// results the client budgeted for. Write deadlines ride the
+// deadlineConn underneath the frameWriter.
 func (ss *session) writer() {
 	defer close(ss.writerDone)
 	rbuf := make([]byte, 0, resultSize)
 	for cmd := range ss.cmds {
-		if cmd.done {
+		switch cmd.kind {
+		case cmdDone:
 			var p [doneSize]byte
 			binary.LittleEndian.PutUint32(p[0:], cmd.windows)
 			binary.LittleEndian.PutUint32(p[4:], creditU32(ss.credits.Load()))
 			binary.LittleEndian.PutUint64(p[8:], math.Float64bits(cmd.sops))
-			if err := ss.fw.write(frameDone, p[:]); err != nil {
+			if err := ss.writeFlush(frameDone, p[:]); err != nil {
+				return
+			}
+		case cmdAccept:
+			rbuf = appendHello(rbuf[:0], cmd.cfg)
+			if err := ss.writeFlush(frameAccept, rbuf); err != nil {
+				return
+			}
+		case cmdSwap:
+			if err := ss.writeFlush(frameSwapResult, appendSwapResult(nil, cmd.swap)); err != nil {
+				return
+			}
+		default: // cmdResult
+			if err := ss.sendResult(cmd.res, &rbuf); err != nil {
+				// The result in hand was counted into the buffered gauge at
+				// emit, will never be delivered, and is no longer in the ring
+				// for stopWriter's drain to see — account for it here or the
+				// gauge leaks one phantom result per writer that dies
+				// mid-delivery.
+				ss.srv.metrics.ResultsBuffered.Add(-1)
 				ss.setWriteErr(err)
 				return
 			}
-			if err := ss.fw.flush(); err != nil {
-				ss.setWriteErr(err)
-				return
-			}
-			continue
-		}
-		if err := ss.sendResult(cmd.res, &rbuf); err != nil {
-			// The result in hand was counted into the buffered gauge at
-			// emit, will never be delivered, and is no longer in the ring
-			// for stopWriter's drain to see — account for it here or the
-			// gauge leaks one phantom result per writer that dies
-			// mid-delivery.
-			ss.srv.metrics.ResultsBuffered.Add(-1)
-			ss.setWriteErr(err)
-			return
 		}
 	}
+}
+
+// writeFlush emits one control frame and flushes, recording a write
+// error for the session goroutine. Writer-goroutine only.
+func (ss *session) writeFlush(typ byte, payload []byte) error {
+	if err := ss.fw.write(typ, payload); err != nil {
+		ss.setWriteErr(err)
+		return err
+	}
+	if err := ss.fw.flush(); err != nil {
+		ss.setWriteErr(err)
+		return err
+	}
+	return nil
 }
 
 // sendResult delivers one staged result: wait for a credit, frame it,
@@ -488,7 +696,7 @@ func (ss *session) stopWriter() {
 	// so they must come off it here or the gauge leaks one session's
 	// ring worth of phantom results forever.
 	for cmd := range ss.cmds {
-		if !cmd.done {
+		if cmd.kind == cmdResult {
 			ss.srv.metrics.ResultsBuffered.Add(-1)
 		}
 	}

@@ -62,7 +62,7 @@ func TestServeSharedMatchesPrivate(t *testing.T) {
 				wg.Add(1)
 				go func(i int) {
 					defer wg.Done()
-					cl, done := startSessionOptions(srv, ClientOptions{PrivateBatch: i%2 == 1})
+					cl, done := startSessionOptions(srv, ClientOptions{Config: SessionConfig{PrivateBatch: i%2 == 1}})
 					defer cl.Close()
 					for r, j := range jobs[i] {
 						var got []stream.Result
@@ -125,7 +125,7 @@ func TestServeSharedOptOut(t *testing.T) {
 	data := testRecording(t, 2, 300, 37)
 	want := standalone(t, master, data, o)
 
-	cl, done := startSessionOptions(srv, ClientOptions{PrivateBatch: true})
+	cl, done := startSessionOptions(srv, ClientOptions{Config: SessionConfig{PrivateBatch: true}})
 	defer cl.Close()
 	var got []stream.Result
 	if _, err := cl.Stream(bytes.NewReader(data), func(r stream.Result) error {
@@ -253,7 +253,7 @@ func TestServeSharedCreditInterleave(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			cl, done := startSessionOptions(srv, ClientOptions{CreditWindow: 2})
+			cl, done := startSessionOptions(srv, ClientOptions{Config: SessionConfig{CreditWindow: 2}})
 			defer cl.Close()
 			for rec := 0; rec < 3; rec++ {
 				next := 0
@@ -319,7 +319,7 @@ func TestServeSharedAbortDrainsBufferedGauge(t *testing.T) {
 		t.Fatalf("recording yields %d windows; need enough to stay staged past 1 credit", len(want))
 	}
 
-	cl, done := startSessionOptions(srv, ClientOptions{CreditWindow: 1})
+	cl, done := startSessionOptions(srv, ClientOptions{Config: SessionConfig{CreditWindow: 1}})
 	defer cl.Close()
 	seen := 0
 	_, err = cl.Stream(bytes.NewReader(data), func(stream.Result) error {

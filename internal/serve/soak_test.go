@@ -221,7 +221,7 @@ func TestServeSlowConsumerSoak(t *testing.T) {
 	// Phase 2 — identical load, except session 0 consumes one result
 	// per 10ms on a 1-credit window.
 	slow := func(stream.Result) error { time.Sleep(10 * time.Millisecond); return nil }
-	conc := phase(ClientOptions{CreditWindow: 1}, 1, slow)
+	conc := phase(ClientOptions{Config: SessionConfig{CreditWindow: 1}}, 1, slow)
 
 	m := srv.Metrics()
 	if m.CreditStalls.Load() == 0 {

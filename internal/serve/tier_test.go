@@ -82,8 +82,8 @@ func TestServeInt8TierEndToEnd(t *testing.T) {
 		<-done
 	}
 	run("fp32 shared", ClientOptions{}, wantFP)
-	run("int8 shared", ClientOptions{Int8: true}, wantI8)
-	run("int8 private", ClientOptions{Int8: true, PrivateBatch: true}, wantI8)
+	run("int8 shared", ClientOptions{Config: SessionConfig{Tier: snn.TierINT8}}, wantI8)
+	run("int8 private", ClientOptions{Config: SessionConfig{Tier: snn.TierINT8, PrivateBatch: true}}, wantI8)
 
 	// Mixed tiers concurrently on the shared scheduler: same-tier
 	// coalescing must keep each session on its own reference while the
@@ -96,7 +96,7 @@ func TestServeInt8TierEndToEnd(t *testing.T) {
 			defer wg.Done()
 			copts, want := ClientOptions{}, wantFP
 			if i%2 == 1 {
-				copts, want = ClientOptions{Int8: true}, wantI8
+				copts, want = ClientOptions{Config: SessionConfig{Tier: snn.TierINT8}}, wantI8
 			}
 			cl, done := startSessionOptions(srv, copts)
 			defer cl.Close()
@@ -171,7 +171,7 @@ func TestServeInt8HotSwapRebuildsPanels(t *testing.T) {
 	}
 
 	run := func(ctx string, want []stream.Result) {
-		cl, done := startSessionOptions(srv, ClientOptions{Int8: true})
+		cl, done := startSessionOptions(srv, ClientOptions{Config: SessionConfig{Tier: snn.TierINT8}})
 		defer cl.Close()
 		assertResults(t, ctx, want, streamAll(t, cl, data))
 		cl.Close()
